@@ -1,0 +1,73 @@
+// Ablation (option O6): end-to-end effect of the cache replacement policy
+// on hit rate and throughput under the SpecWeb99-style access pattern, with
+// the cache deliberately smaller than the working set.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "http/http_server.hpp"
+
+int main() {
+  using namespace cops;
+  bench::print_header(
+      "ABLATION O6 — cache replacement policies end-to-end",
+      "COPS-HTTP, cache capacity = 4% of the file set (high eviction "
+      "pressure),\nZipf-skewed SpecWeb99-style accesses.");
+
+  auto env = bench::bench_env();
+  auto fileset = bench::ensure_fileset(env);
+
+  struct PolicyCase {
+    const char* name;
+    nserver::CachePolicyKind kind;
+  };
+  const PolicyCase cases[] = {
+      {"none", nserver::CachePolicyKind::kNone},
+      {"LRU", nserver::CachePolicyKind::kLru},
+      {"LFU", nserver::CachePolicyKind::kLfu},
+      {"LRU-MIN", nserver::CachePolicyKind::kLruMin},
+      {"LRU-Threshold", nserver::CachePolicyKind::kLruThreshold},
+      {"Hyper-G", nserver::CachePolicyKind::kHyperG},
+  };
+
+  std::printf("%-16s %12s %12s %12s %12s\n", "policy", "rps", "hit rate",
+              "evictions", "p50 us");
+  for (const auto& policy_case : cases) {
+    auto options = http::CopsHttpServer::default_options();
+    options.cache_policy = policy_case.kind;
+    options.cache_capacity_bytes = static_cast<size_t>(
+        0.04 * static_cast<double>(loadgen::fileset_bytes(fileset)));
+    options.cache_size_threshold = 16 * 1024;  // LRU-Threshold parameter
+    http::HttpServerConfig config;
+    config.doc_root = fileset.root;
+    http::CopsHttpServer server(options, config);
+    if (!server.start().is_ok()) {
+      std::fprintf(stderr, "start failed for %s\n", policy_case.name);
+      return 1;
+    }
+    loadgen::ClientConfig load;
+    load.server = net::InetAddress::loopback(server.port());
+    load.num_clients = 32;
+    load.think_time = std::chrono::milliseconds(1);
+    load.duration = std::chrono::duration_cast<Duration>(
+        std::chrono::duration<double>(env.seconds_per_point));
+    auto sampler = std::make_shared<loadgen::WorkloadSampler>(fileset);
+    load.path_for = [sampler](size_t, std::mt19937& rng) {
+      return sampler->sample(rng);
+    };
+    auto stats = loadgen::run_clients(load);
+    auto* cache = server.server().cache();
+    std::printf("%-16s %12.1f %12.3f %12llu %12lld\n", policy_case.name,
+                stats.throughput_rps(), cache ? cache->hit_rate() : 0.0,
+                static_cast<unsigned long long>(cache ? cache->evictions()
+                                                      : 0),
+                static_cast<long long>(
+                    stats.response_time.quantile_micros(0.5)));
+    server.stop();
+  }
+  std::printf(
+      "\nLRU-MIN / LRU-Threshold favour many small objects (higher hit "
+      "counts on SpecWeb's 85%% small-file accesses); byte hit rate "
+      "differs — the paper offers the five policies because no single one "
+      "wins everywhere.\n");
+  return 0;
+}

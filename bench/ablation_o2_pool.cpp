@@ -1,0 +1,62 @@
+// Ablation (option O2): dispatcher-inline event handling (SPED, the Zeus /
+// Harvest structure from Related Work) vs a separate Event Processor pool.
+//
+// With one CPU the pool cannot add parallelism, so this measures the pure
+// queue-hop overhead vs the isolation benefit; on SMP hardware the pool is
+// what lets the N-Server use extra processors (the paper's motivation for
+// adding the Event Processor to the Reactor).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "http/http_server.hpp"
+
+int main() {
+  using namespace cops;
+  bench::print_header(
+      "ABLATION O2 — inline dispatch (SPED) vs separate processor pool",
+      "Same COPS-HTTP server, same workload; only option O2 differs.");
+
+  auto env = bench::bench_env();
+  auto fileset = bench::ensure_fileset(env);
+
+  auto run = [&](bool pool, size_t clients) {
+    auto options = http::CopsHttpServer::default_options();
+    options.separate_processor_pool = pool;
+    options.processor_threads = pool ? 2 : 0;
+    http::HttpServerConfig config;
+    config.doc_root = fileset.root;
+    http::CopsHttpServer server(options, config);
+    if (!server.start().is_ok()) return loadgen::ClientStats{};
+    loadgen::ClientConfig load;
+    load.server = net::InetAddress::loopback(server.port());
+    load.num_clients = clients;
+    load.think_time = std::chrono::milliseconds(2);
+    load.duration = std::chrono::duration_cast<Duration>(
+        std::chrono::duration<double>(env.seconds_per_point));
+    auto sampler = std::make_shared<loadgen::WorkloadSampler>(fileset);
+    load.path_for = [sampler](size_t, std::mt19937& rng) {
+      return sampler->sample(rng);
+    };
+    auto stats = loadgen::run_clients(load);
+    server.stop();
+    return stats;
+  };
+
+  const std::vector<size_t> sweep =
+      env.quick ? std::vector<size_t>{8, 64} : std::vector<size_t>{8, 64, 256};
+  std::printf("%10s %14s %14s %16s %16s\n", "clients", "SPED rps", "pool rps",
+              "SPED p50 us", "pool p50 us");
+  for (size_t clients : sweep) {
+    auto sped = run(false, clients);
+    auto pool = run(true, clients);
+    std::printf("%10zu %14.1f %14.1f %16lld %16lld\n", clients,
+                sped.throughput_rps(), pool.throughput_rps(),
+                static_cast<long long>(sped.response_time.quantile_micros(0.5)),
+                static_cast<long long>(
+                    pool.response_time.quantile_micros(0.5)));
+  }
+  std::printf(
+      "\nOn this single-CPU host the queue hop is pure overhead; the pool "
+      "pays off once hooks block (O4 synchronous) or CPUs are plentiful.\n");
+  return 0;
+}

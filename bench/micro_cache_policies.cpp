@@ -1,0 +1,56 @@
+// Micro-benchmark: file-cache replacement policies (option O6) under a
+// Zipf-skewed access stream — cost and hit rate of each policy.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "common/zipf.hpp"
+#include "nserver/cache_policy.hpp"
+#include "nserver/file_cache.hpp"
+
+namespace {
+
+using cops::nserver::CachePolicyKind;
+using cops::nserver::FileCache;
+using cops::nserver::FileData;
+using cops::nserver::FileDataPtr;
+
+FileDataPtr make_file(size_t size) {
+  auto data = std::make_shared<FileData>();
+  data->bytes.assign(size, 'x');
+  return data;
+}
+
+void bench_policy(benchmark::State& state, CachePolicyKind kind) {
+  constexpr size_t kObjects = 400;
+  constexpr size_t kCapacity = 64 * 1024;  // fits ~¼ of the working set
+  FileCache cache(cops::nserver::make_cache_policy(kind, 4 * 1024), kCapacity);
+  cops::ZipfDistribution zipf(kObjects, 1.0);
+  std::mt19937 rng(17);
+  std::uniform_int_distribution<size_t> size_dist(128, 2048);
+  std::vector<size_t> sizes(kObjects);
+  for (auto& s : sizes) s = size_dist(rng);
+
+  for (auto _ : state) {
+    const size_t object = zipf(rng);
+    const std::string key = "/f" + std::to_string(object);
+    auto hit = cache.lookup(key);
+    if (hit == nullptr) {
+      cache.insert(key, make_file(sizes[object]));
+    }
+    benchmark::DoNotOptimize(hit);
+  }
+  state.counters["hit_rate"] = cache.hit_rate();
+  state.counters["evictions"] =
+      static_cast<double>(cache.evictions()) / double(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(bench_policy, LRU, CachePolicyKind::kLru);
+BENCHMARK_CAPTURE(bench_policy, LFU, CachePolicyKind::kLfu);
+BENCHMARK_CAPTURE(bench_policy, LRU_MIN, CachePolicyKind::kLruMin);
+BENCHMARK_CAPTURE(bench_policy, LRU_Threshold, CachePolicyKind::kLruThreshold);
+BENCHMARK_CAPTURE(bench_policy, Hyper_G, CachePolicyKind::kHyperG);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Micro-benchmark: Reactor primitives — cross-thread post round-trips and
+// timer scheduling throughput.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <future>
+
+#include "net/reactor.hpp"
+
+namespace {
+
+void reactor_post_roundtrip(benchmark::State& state) {
+  cops::net::Reactor reactor;
+  reactor.start_thread();
+  for (auto _ : state) {
+    std::promise<void> done;
+    auto fut = done.get_future();
+    reactor.post([&done] { done.set_value(); });
+    fut.wait();
+  }
+  reactor.stop();
+  reactor.join();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(reactor_post_roundtrip);
+
+void reactor_post_batched(benchmark::State& state) {
+  cops::net::Reactor reactor;
+  reactor.start_thread();
+  std::atomic<uint64_t> executed{0};
+  uint64_t posted = 0;
+  for (auto _ : state) {
+    reactor.post([&executed] { executed.fetch_add(1); });
+    ++posted;
+  }
+  while (executed.load() < posted) std::this_thread::yield();
+  reactor.stop();
+  reactor.join();
+  state.SetItemsProcessed(static_cast<int64_t>(posted));
+}
+BENCHMARK(reactor_post_batched);
+
+void timer_schedule_cancel(benchmark::State& state) {
+  cops::net::TimerQueue timers;
+  for (auto _ : state) {
+    auto id = timers.schedule_after(std::chrono::hours(1), [] {});
+    timers.cancel(id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(timer_schedule_cancel);
+
+void timer_run_due(benchmark::State& state) {
+  cops::net::TimerQueue timers;
+  int fired = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < 64; ++i) {
+      timers.schedule_after(std::chrono::nanoseconds(0), [&fired] { ++fired; });
+    }
+    state.ResumeTiming();
+    timers.run_due();
+  }
+  benchmark::DoNotOptimize(fired);
+}
+BENCHMARK(timer_run_due);
+
+}  // namespace
+
+BENCHMARK_MAIN();

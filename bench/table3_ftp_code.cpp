@@ -1,0 +1,86 @@
+// Table 3 reproduction: the code distribution of COPS-FTP.
+//
+// Paper (Java, on top of the reused Apache FTPServer):
+//   Reused code     124 classes  945 methods  8,141 NCSS
+//   Removed code     18 classes  199 methods  1,186 NCSS
+//   Added code       23 classes  150 methods  1,897 NCSS
+//   Generated code   84 classes  480 methods  2,937 NCSS
+//
+// Mapping onto this repository (see DESIGN.md, substitutions):
+//   Reused    → the FTP application substrate (protocol, user db, fs view,
+//               data connections) standing in for Apache FTPServer
+//   Added     → the event-driven adaptation (ftp_server hooks)
+//   Generated → copsgen output for the COPS-FTP preset + the N-Server
+//               framework sources the generator instantiates
+//   Removed   → not applicable (we built the substrate event-ready rather
+//               than carving a thread-per-connection server apart)
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/source_stats.hpp"
+#include "gdp/pattern_template.hpp"
+
+namespace {
+
+void print_row(const char* label, const cops::SourceStats& stats,
+               const char* paper) {
+  std::printf("%-18s %8d %8d %8d     %s\n", label, stats.classes,
+              stats.methods, stats.ncss, paper);
+}
+
+}  // namespace
+
+int main() {
+  using namespace cops;
+  bench::print_header(
+      "TABLE 3 — code distribution of COPS-FTP",
+      "Columns: classes / methods / NCSS, measured on this repository;\n"
+      "paper's Java numbers shown alongside for shape comparison.");
+
+  const std::string src = std::string(COPS_SOURCE_DIR) + "/src";
+  const auto reused = analyze_files({
+      src + "/ftp/command.hpp", src + "/ftp/command.cpp",
+      src + "/ftp/replies.hpp", src + "/ftp/user_db.hpp",
+      src + "/ftp/user_db.cpp", src + "/ftp/fs_view.hpp",
+      src + "/ftp/fs_view.cpp", src + "/ftp/session.hpp",
+      src + "/ftp/session.cpp",
+  });
+  const auto added = analyze_files({
+      src + "/ftp/ftp_server.hpp",
+      src + "/ftp/ftp_server.cpp",
+      std::string(COPS_SOURCE_DIR) + "/examples/cops_ftp.cpp",
+  });
+
+  // Generated: instantiate the template for the COPS-FTP preset, plus the
+  // framework sources whose inclusion the options govern.
+  const auto tmpl = gdp::make_nserver_template();
+  auto scaffold = tmpl.generate(gdp::nserver_ftp_options(),
+                                "/tmp/cops_bench_gen_ftp",
+                                {{"app_name", "CopsFtp"},
+                                 {"listen_port", "2121"}});
+  if (!scaffold.is_ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 scaffold.status().to_string().c_str());
+    return 1;
+  }
+  auto generated = scaffold.value().totals;
+  generated += analyze_directory(src + "/nserver");
+  generated += analyze_directory(src + "/net");
+
+  std::printf("%-18s %8s %8s %8s     %s\n", "", "classes", "methods", "NCSS",
+              "paper (classes/methods/NCSS)");
+  print_row("Reused code", reused, "124 / 945 / 8,141");
+  print_row("Added code", added, " 23 / 150 / 1,897");
+  print_row("Generated code", generated, " 84 / 480 / 2,937");
+  std::printf("%-18s %8s %8s %8s     %s\n", "Removed code", "-", "-", "-",
+              " 18 / 199 / 1,186 (N/A here: substrate built event-ready)");
+
+  const double added_fraction =
+      double(added.ncss) / double(added.ncss + reused.ncss + generated.ncss);
+  std::printf(
+      "\nShape check: the event-driven adaptation is %.1f%% of the total "
+      "code (paper: 1,897 / 12,975 = 14.6%%; and only 711 lines were truly "
+      "new logic).\n",
+      added_fraction * 100.0);
+  return 0;
+}

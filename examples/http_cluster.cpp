@@ -1,0 +1,92 @@
+// Distributed COPS-HTTP — the paper's future work (Section VI) running on
+// loopback: an event-driven load balancer in front of N worker Web servers.
+//
+//   $ ./http_cluster --root ./htdocs --workers 3 --port 8080
+//   $ curl http://127.0.0.1:8080/index.html
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/load_balancer.hpp"
+#include "http/http_server.hpp"
+
+int main(int argc, char** argv) {
+  std::string doc_root = ".";
+  int workers = 2;
+  uint16_t port = 0;
+  int run_seconds = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--root") {
+      doc_root = next();
+    } else if (arg == "--workers") {
+      workers = std::atoi(next());
+    } else if (arg == "--port") {
+      port = static_cast<uint16_t>(std::atoi(next()));
+    } else if (arg == "--run-seconds") {
+      run_seconds = std::atoi(next());
+    } else {
+      std::puts("http_cluster [--root DIR] [--workers N] [--port N] "
+                "[--run-seconds N]");
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+
+  // Worker fleet (each its own N-Server instance; on real hardware these
+  // would be separate workstations).
+  std::vector<std::unique_ptr<cops::http::CopsHttpServer>> fleet;
+  cops::http::HttpServerConfig config;
+  config.doc_root = doc_root;
+  for (int i = 0; i < workers; ++i) {
+    fleet.push_back(std::make_unique<cops::http::CopsHttpServer>(
+        cops::http::CopsHttpServer::default_options(), config));
+    auto status = fleet.back()->start();
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "worker %d failed: %s\n", i,
+                   status.to_string().c_str());
+      return 1;
+    }
+  }
+
+  cops::cluster::LoadBalancerConfig balancer_config;
+  balancer_config.listen_port = port;
+  balancer_config.policy = cops::cluster::BalancePolicy::kLeastConnections;
+  cops::cluster::LoadBalancer balancer(balancer_config);
+  for (auto& worker : fleet) {
+    balancer.add_backend(cops::net::InetAddress::loopback(worker->port()));
+  }
+  auto status = balancer.start();
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "balancer failed: %s\n", status.to_string().c_str());
+    return 1;
+  }
+  std::printf("distributed COPS-HTTP: %d workers behind 127.0.0.1:%u\n",
+              workers, balancer.port());
+
+  auto report = [&] {
+    const auto stats = balancer.backend_stats();
+    for (size_t i = 0; i < stats.size(); ++i) {
+      std::printf("  worker %zu: %llu connections (%zu active, %llu refused)\n",
+                  i, static_cast<unsigned long long>(stats[i].connections),
+                  stats[i].active,
+                  static_cast<unsigned long long>(stats[i].connect_failures));
+    }
+  };
+  if (run_seconds > 0) {
+    std::this_thread::sleep_for(std::chrono::seconds(run_seconds));
+    report();
+    balancer.stop();
+    for (auto& worker : fleet) worker->stop();
+    return 0;
+  }
+  while (true) {
+    std::this_thread::sleep_for(std::chrono::seconds(10));
+    report();
+  }
+}

@@ -1,0 +1,143 @@
+// Forward HTTP proxy — a seventh N-Server application, showing the pattern
+// stretching to a middlebox: each proxied request performs blocking upstream
+// I/O on an Event Processor worker (the COPS-FTP model: synchronous
+// completions + dynamic thread allocation grow the pool under load).
+//
+//   $ ./http_proxy 8888 127.0.0.1 8080 &     # proxy → upstream
+//   $ curl -s http://127.0.0.1:8888/index.html
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "common/string_util.hpp"
+#include "http/request_parser.hpp"
+#include "http/response.hpp"
+#include "nserver/request_context.hpp"
+#include "nserver/server.hpp"
+
+namespace {
+
+// Blocking one-shot upstream exchange (runs on a worker thread).
+std::string fetch_upstream(const std::string& host, uint16_t port,
+                           const cops::http::HttpRequest& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  timeval tv{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  std::string wire = std::string(cops::http::to_string(request.method)) +
+                     " " + request.target +
+                     " HTTP/1.1\r\nHost: upstream\r\nConnection: close\r\n";
+  for (const auto& [name, value] : request.headers) {
+    if (name == "host" || name == "connection") continue;
+    wire += name + ": " + value + "\r\n";
+  }
+  wire += "\r\n" + request.body;
+  size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n =
+        ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[16 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+class ProxyHooks : public cops::nserver::AppHooks {
+ public:
+  ProxyHooks(std::string upstream_host, uint16_t upstream_port)
+      : host_(std::move(upstream_host)), port_(upstream_port) {}
+
+  cops::nserver::DecodeResult decode(cops::nserver::RequestContext&,
+                                     cops::ByteBuffer& in) override {
+    cops::http::HttpRequest request;
+    switch (cops::http::parse_request(in, request)) {
+      case cops::http::ParseOutcome::kIncomplete:
+        return cops::nserver::DecodeResult::need_more();
+      case cops::http::ParseOutcome::kMalformed:
+        return cops::nserver::DecodeResult::error();
+      case cops::http::ParseOutcome::kComplete:
+        return cops::nserver::DecodeResult::request_ready(std::move(request));
+    }
+    return cops::nserver::DecodeResult::error();
+  }
+
+  void handle(cops::nserver::RequestContext& ctx, std::any request) override {
+    const auto req = std::any_cast<cops::http::HttpRequest>(std::move(request));
+    const bool keep_alive = req.keep_alive();
+    // Blocking upstream round trip on this worker (sync completion model).
+    auto upstream = fetch_upstream(host_, port_, req);
+    if (!keep_alive) ctx.close_after_reply();
+    if (upstream.empty()) {
+      ctx.reply_raw(cops::http::make_error_response(
+                        cops::http::StatusCode::kServiceUnavailable,
+                        keep_alive)
+                        .serialize());
+      return;
+    }
+    // The upstream answered with Connection: close framing; since we know
+    // the full body, forward it with our own keep-alive framing.
+    ctx.reply_raw(upstream);
+    if (keep_alive) ctx.close_after_reply();  // body framing is close-based
+  }
+
+ private:
+  std::string host_;
+  uint16_t port_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    std::puts("http_proxy LISTEN_PORT UPSTREAM_HOST UPSTREAM_PORT [--once]");
+    return 2;
+  }
+  auto options = cops::nserver::ServerOptions{};
+  options.listen_port = static_cast<uint16_t>(std::atoi(argv[1]));
+  options.separate_processor_pool = true;                              // O2
+  options.completion = cops::nserver::CompletionMode::kSynchronous;    // O4
+  options.thread_allocation = cops::nserver::ThreadAllocation::kDynamic;  // O5
+  options.min_processor_threads = 2;
+  options.max_processor_threads = 16;
+  options.shutdown_long_idle = true;                                   // O7
+  options.idle_timeout = std::chrono::seconds(30);
+
+  auto hooks = std::make_shared<ProxyHooks>(
+      argv[2], static_cast<uint16_t>(std::atoi(argv[3])));
+  cops::nserver::Server server(options, hooks);
+  auto status = server.start();
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "start failed: %s\n", status.to_string().c_str());
+    return 1;
+  }
+  std::printf("HTTP proxy on 127.0.0.1:%u → %s:%s\n", server.port(), argv[2],
+              argv[3]);
+  if (argc > 4 && std::string(argv[4]) == "--once") {
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    server.drain(std::chrono::seconds(2));
+    return 0;
+  }
+  while (true) std::this_thread::sleep_for(std::chrono::seconds(1));
+}

@@ -1,0 +1,167 @@
+#include "baseline/threaded_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/byte_buffer.hpp"
+#include "http/http_date.hpp"
+#include "http/mime.hpp"
+#include "http/request_parser.hpp"
+#include "http/response.hpp"
+#include "nserver/file_io_service.hpp"
+
+namespace cops::baseline {
+
+Status ThreadedHttpServer::start() {
+  if (running_.exchange(true)) {
+    return Status::invalid_argument("already started");
+  }
+  // Deliberately a *blocking* listener: each worker thread parks in
+  // accept(), exactly like an Apache 1.3 child process.
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::from_errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config_.port);
+  if (inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::invalid_argument("bad host " + config_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::from_errno("bind");
+  }
+  if (::listen(listen_fd_, config_.listen_backlog) < 0) {
+    return Status::from_errno("listen");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  workers_.reserve(config_.worker_pool);
+  for (size_t i = 0; i < config_.worker_pool; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  return Status::ok();
+}
+
+void ThreadedHttpServer::stop() {
+  if (!running_.exchange(false)) return;
+  // Closing the listener unblocks accept() in every worker.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+void ThreadedHttpServer::worker_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (!running_.load()) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listener closed
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    busy_.fetch_add(1, std::memory_order_relaxed);
+    serve_connection(client);
+    busy_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void ThreadedHttpServer::serve_connection(int client_fd) {
+  const int flag = 1;
+  ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag));
+
+  ByteBuffer in;
+  auto idle_budget = config_.keepalive_timeout;
+  while (running_.load(std::memory_order_acquire)) {
+    // Try to parse a request from what we have; read more if incomplete.
+    http::HttpRequest request;
+    const auto outcome = http::parse_request(in, request);
+    if (outcome == http::ParseOutcome::kMalformed) break;
+    if (outcome == http::ParseOutcome::kIncomplete) {
+      pollfd pfd{client_fd, POLLIN, 0};
+      const int rc = ::poll(&pfd, 1, 100);
+      if (rc < 0) break;
+      if (rc == 0) {
+        idle_budget -= std::chrono::milliseconds(100);
+        if (idle_budget.count() <= 0) break;  // keep-alive timeout
+        continue;
+      }
+      uint8_t* dst = in.prepare(16 * 1024);
+      const ssize_t n = ::read(client_fd, dst, 16 * 1024);
+      if (n > 0) {
+        in.commit(static_cast<size_t>(n));
+      } else {
+        in.commit(0);
+        break;  // EOF or error
+      }
+      idle_budget = config_.keepalive_timeout;
+      continue;
+    }
+
+    // ---- handle one request (blocking, in this worker) -------------------
+    if (config_.decode_delay.count() > 0) {
+      std::this_thread::sleep_for(config_.decode_delay);
+    }
+    http::HttpResponse resp;
+    const bool keep_alive = request.keep_alive();
+    if (request.method != http::Method::kGet &&
+        request.method != http::Method::kHead) {
+      resp = http::make_error_response(http::StatusCode::kMethodNotAllowed,
+                                       keep_alive);
+    } else if (request.path.empty()) {
+      resp = http::make_error_response(http::StatusCode::kForbidden,
+                                       keep_alive);
+    } else {
+      std::string path = request.path;
+      if (path.back() == '/') path += config_.index_file;
+      auto file = nserver::FileIoService::read_file(config_.doc_root + path);
+      if (!file.is_ok()) {
+        resp =
+            http::make_error_response(http::StatusCode::kNotFound, keep_alive);
+      } else {
+        resp.status = http::StatusCode::kOk;
+        resp.file = file.value();
+        resp.head_only = request.method == http::Method::kHead;
+        resp.set_header("Content-Type", std::string(http::mime_type_for(path)));
+        resp.set_header("Last-Modified",
+                        http::format_http_date(file.value()->mtime_seconds));
+        resp.set_header("Connection", keep_alive ? "keep-alive" : "close");
+      }
+    }
+
+    const std::string wire = resp.serialize();
+    size_t sent = 0;
+    bool write_error = false;
+    while (sent < wire.size()) {
+      const ssize_t n = ::send(client_fd, wire.data() + sent,
+                               wire.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        write_error = true;
+        break;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    if (write_error) break;
+    responses_.fetch_add(1, std::memory_order_relaxed);
+    if (!keep_alive) break;
+  }
+  ::close(client_fd);
+}
+
+}  // namespace cops::baseline

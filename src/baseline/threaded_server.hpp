@@ -1,0 +1,70 @@
+// ThreadedHttpServer — the Apache 1.3 stand-in.
+//
+// "Apache implements the process-per-connection concurrency model and uses a
+// bounded worker process pool of 150 processes to serve simultaneous client
+// connections" (paper, Section V.B).  Processes are emulated with threads —
+// the scheduling/context-switch behaviour under load, the bounded pool, and
+// the small accept backlog are what produce the paper's Fig. 3/4 shapes:
+//   * all 150 workers busy → pending connections pile up in the kernel
+//     backlog → further SYNs are dropped → clients back off exponentially →
+//     fairness collapses (Fig. 4) while the lucky accepted clients are
+//     served quickly (Apache's higher 1024-client throughput).
+//
+// Serves the same HTTP protocol library as COPS-HTTP; no user-level file
+// cache (Apache 1.3 relies on the OS buffer cache).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace cops::baseline {
+
+struct ThreadedServerConfig {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = kernel-assigned
+  std::string doc_root = ".";
+  std::string index_file = "index.html";
+  size_t worker_pool = 150;  // Apache 1.3.27's bounded pool
+  int listen_backlog = 32;   // small: SYN drops under overload (see above)
+  std::chrono::milliseconds keepalive_timeout{15'000};  // Apache default 15 s
+  std::chrono::milliseconds decode_delay{0};  // Fig. 6 CPU-cost emulation
+};
+
+class ThreadedHttpServer {
+ public:
+  explicit ThreadedHttpServer(ThreadedServerConfig config)
+      : config_(std::move(config)) {}
+  ~ThreadedHttpServer() { stop(); }
+
+  Status start();
+  void stop();
+
+  [[nodiscard]] uint16_t port() const { return port_; }
+  [[nodiscard]] uint64_t responses_sent() const { return responses_.load(); }
+  [[nodiscard]] uint64_t connections_accepted() const {
+    return accepted_.load();
+  }
+  [[nodiscard]] size_t active_workers() const { return busy_.load(); }
+
+ private:
+  void worker_loop();
+  // Serves one connection until close/keep-alive end; returns when done.
+  void serve_connection(int client_fd);
+
+  ThreadedServerConfig config_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> responses_{0};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<size_t> busy_{0};
+};
+
+}  // namespace cops::baseline

@@ -1,0 +1,141 @@
+#include "cluster/load_balancer.hpp"
+
+#include <future>
+
+#include "common/logging.hpp"
+
+namespace cops::cluster {
+
+void LoadBalancer::add_backend(const net::InetAddress& addr) {
+  backends_.push_back({addr, {}});
+}
+
+Status LoadBalancer::start() {
+  if (started_.exchange(true)) {
+    return Status::invalid_argument("already started");
+  }
+  if (backends_.empty()) {
+    return Status::invalid_argument("no backends configured");
+  }
+  connector_ = std::make_unique<net::Connector>(reactor_);
+  acceptor_ = std::make_unique<net::Acceptor>(
+      reactor_, [this](net::TcpSocket client) { on_accept(std::move(client)); });
+  auto addr =
+      net::InetAddress::parse(config_.listen_host, config_.listen_port);
+  if (!addr.is_ok()) return addr.status();
+  auto status = acceptor_->open(addr.value(), config_.listen_backlog);
+  if (!status.is_ok()) return status;
+  auto bound = acceptor_->local_address();
+  if (!bound.is_ok()) return bound.status();
+  port_ = bound.value().port();
+  reactor_.start_thread("balancer");
+  launched_.store(true);
+  return Status::ok();
+}
+
+void LoadBalancer::stop() {
+  // A failed start() never launched the reactor thread; posting to it and
+  // waiting would deadlock.
+  if (!launched_.load() || stopping_.exchange(true)) return;
+  std::promise<void> done;
+  auto fut = done.get_future();
+  reactor_.post([this, &done] {
+    if (acceptor_) acceptor_->close();
+    // Abort active relays (copy: abort mutates the map via session_done).
+    std::vector<std::shared_ptr<RelaySession>> sessions;
+    sessions.reserve(sessions_.size());
+    for (auto& [id, session] : sessions_) sessions.push_back(session);
+    for (auto& session : sessions) session->abort("balancer-stop");
+    done.set_value();
+  });
+  fut.wait();
+  reactor_.stop();
+  reactor_.join();
+}
+
+size_t LoadBalancer::pick_backend_locked() const {
+  if (config_.policy == BalancePolicy::kLeastConnections) {
+    size_t best = 0;
+    for (size_t i = 1; i < backends_.size(); ++i) {
+      if (backends_[i].stats.active < backends_[best].stats.active) best = i;
+    }
+    return best;
+  }
+  return round_robin_next_ % backends_.size();
+}
+
+void LoadBalancer::on_accept(net::TcpSocket client) {
+  const size_t start = pick_backend_locked();
+  ++round_robin_next_;
+  try_backend(std::make_shared<net::TcpSocket>(std::move(client)), 0, start);
+}
+
+void LoadBalancer::try_backend(std::shared_ptr<net::TcpSocket> client,
+                               size_t attempt, size_t start_index) {
+  if (attempt >= backends_.size()) {
+    // Every backend refused: drop the client.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    client->close();
+    return;
+  }
+  const size_t index = (start_index + attempt) % backends_.size();
+  auto status = connector_->connect(
+      backends_[index].addr,
+      [this, client, attempt, start_index,
+       index](Result<net::TcpSocket> backend_sock) {
+        if (stopping_.load()) return;
+        if (!backend_sock.is_ok()) {
+          backends_[index].stats.connect_failures += 1;
+          try_backend(client, attempt + 1, start_index);
+          return;
+        }
+        const uint64_t id = next_session_id_++;
+        auto session = std::make_shared<RelaySession>(
+            id, reactor_, std::move(*client),
+            std::move(backend_sock).take(),
+            [this](uint64_t done_id) { session_done(done_id); },
+            config_.relay_buffer_bytes);
+        auto start_status = session->start();
+        if (!start_status.is_ok()) {
+          COPS_WARN("relay start failed: " << start_status.to_string());
+          return;
+        }
+        sessions_.emplace(id, std::move(session));
+        session_backend_.emplace(id, index);
+        backends_[index].stats.connections += 1;
+        backends_[index].stats.active += 1;
+        active_.fetch_add(1, std::memory_order_relaxed);
+        total_.fetch_add(1, std::memory_order_relaxed);
+      });
+  if (!status.is_ok()) {
+    backends_[index].stats.connect_failures += 1;
+    try_backend(client, attempt + 1, start_index);
+  }
+}
+
+void LoadBalancer::session_done(uint64_t id) {
+  auto backend_it = session_backend_.find(id);
+  if (backend_it != session_backend_.end()) {
+    auto& stats = backends_[backend_it->second].stats;
+    if (stats.active > 0) stats.active -= 1;
+    session_backend_.erase(backend_it);
+  }
+  // Deleting the session inside its own callback would free the object
+  // mid-call; defer the erase to the next loop turn.
+  reactor_.post([this, id] { sessions_.erase(id); });
+  if (active_.load() > 0) active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::vector<BackendStats> LoadBalancer::backend_stats() {
+  std::promise<std::vector<BackendStats>> result;
+  auto fut = result.get_future();
+  reactor_.post([this, &result] {
+    std::vector<BackendStats> stats;
+    stats.reserve(backends_.size());
+    for (const auto& backend : backends_) stats.push_back(backend.stats);
+    result.set_value(std::move(stats));
+  });
+  return fut.get();
+}
+
+}  // namespace cops::cluster

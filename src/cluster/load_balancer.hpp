@@ -1,0 +1,94 @@
+// LoadBalancer — the control plane of the distributed N-Server front end
+// (paper, Section VI future work).
+//
+// An event-driven TCP load balancer assembled from the same substrate as
+// the N-Server itself: a Reactor, an Acceptor for the client side, a
+// Connector for the backend side, and RelaySessions as the data plane.
+// Connections are spread over the backend pool round-robin or by least
+// active sessions; a backend that refuses a connection is skipped (the
+// next candidates are tried) and its failure count recorded.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/tcp_relay.hpp"
+#include "net/acceptor.hpp"
+#include "net/connector.hpp"
+#include "net/reactor.hpp"
+
+namespace cops::cluster {
+
+enum class BalancePolicy {
+  kRoundRobin,
+  kLeastConnections,
+};
+
+struct LoadBalancerConfig {
+  std::string listen_host = "127.0.0.1";
+  uint16_t listen_port = 0;  // 0 = kernel-assigned
+  int listen_backlog = 512;
+  BalancePolicy policy = BalancePolicy::kRoundRobin;
+  size_t relay_buffer_bytes = 256 * 1024;
+};
+
+struct BackendStats {
+  uint64_t connections = 0;      // relays ever opened
+  uint64_t connect_failures = 0;
+  size_t active = 0;             // currently open relays
+};
+
+class LoadBalancer {
+ public:
+  explicit LoadBalancer(LoadBalancerConfig config)
+      : config_(std::move(config)) {}
+  ~LoadBalancer() { stop(); }
+
+  // Must be called before start().
+  void add_backend(const net::InetAddress& addr);
+
+  Status start();
+  void stop();
+
+  [[nodiscard]] uint16_t port() const { return port_; }
+  [[nodiscard]] size_t active_sessions() const { return active_.load(); }
+  [[nodiscard]] uint64_t total_sessions() const { return total_.load(); }
+  [[nodiscard]] uint64_t dropped_clients() const { return dropped_.load(); }
+  // Snapshot of per-backend stats (thread-safe; hops to the reactor).
+  [[nodiscard]] std::vector<BackendStats> backend_stats();
+
+ private:
+  struct Backend {
+    net::InetAddress addr;
+    BackendStats stats;
+  };
+
+  // All on the reactor thread:
+  void on_accept(net::TcpSocket client);
+  void try_backend(std::shared_ptr<net::TcpSocket> client, size_t attempt,
+                   size_t start_index);
+  size_t pick_backend_locked() const;
+  void session_done(uint64_t id);
+
+  LoadBalancerConfig config_;
+  std::vector<Backend> backends_;
+  net::Reactor reactor_;
+  std::unique_ptr<net::Acceptor> acceptor_;
+  std::unique_ptr<net::Connector> connector_;
+  std::unordered_map<uint64_t, std::shared_ptr<RelaySession>> sessions_;
+  std::unordered_map<uint64_t, size_t> session_backend_;
+  uint64_t next_session_id_ = 1;
+  size_t round_robin_next_ = 0;
+  uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> launched_{false};  // reactor thread is running
+  std::atomic<bool> stopping_{false};
+  std::atomic<size_t> active_{0};
+  std::atomic<uint64_t> total_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace cops::cluster

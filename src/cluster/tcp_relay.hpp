@@ -1,0 +1,80 @@
+// Bidirectional TCP relay session — the data plane of the distributed
+// N-Server front end (the paper's future work, Section VI: "the generation
+// of distributed N-servers that will serve from a network of workstations").
+//
+// A RelaySession pipes bytes between a client socket and a backend socket
+// on one Reactor, with per-direction buffering, write backpressure (read
+// interest drops while the peer's buffer is full), and half-close
+// propagation (EOF on one side shuts down the write side of the other once
+// buffered bytes drain).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/byte_buffer.hpp"
+#include "net/event_handler.hpp"
+#include "net/reactor.hpp"
+#include "net/socket.hpp"
+
+namespace cops::cluster {
+
+class RelaySession : public net::EventHandler,
+                     public std::enable_shared_from_this<RelaySession> {
+ public:
+  using DoneCallback = std::function<void(uint64_t session_id)>;
+
+  RelaySession(uint64_t id, net::Reactor& reactor, net::TcpSocket client,
+               net::TcpSocket backend, DoneCallback on_done,
+               size_t buffer_cap = 256 * 1024);
+  ~RelaySession() override;
+
+  // Registers both sockets; reactor thread only.
+  Status start();
+
+  void handle_event(int fd, uint32_t readiness) override;
+
+  [[nodiscard]] uint64_t id() const { return id_; }
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] uint64_t bytes_client_to_backend() const {
+    return to_backend_bytes_;
+  }
+  [[nodiscard]] uint64_t bytes_backend_to_client() const {
+    return to_client_bytes_;
+  }
+
+  // Tears down both sockets immediately.
+  void abort(const char* reason);
+
+ private:
+  // One direction of the pipe: src --(buffer)--> dst.
+  struct Direction {
+    net::TcpSocket* src = nullptr;
+    net::TcpSocket* dst = nullptr;
+    ByteBuffer buffer;
+    bool src_eof = false;        // no more reads from src
+    bool dst_shutdown = false;   // write side of dst closed
+    uint64_t* counter = nullptr;
+  };
+
+  void pump(Direction& dir);
+  void update_interest();
+  void finish();
+
+  uint64_t id_;
+  net::Reactor& reactor_;
+  net::TcpSocket client_;
+  net::TcpSocket backend_;
+  DoneCallback on_done_;
+  size_t buffer_cap_;
+
+  Direction inbound_;   // client → backend
+  Direction outbound_;  // backend → client
+  uint64_t to_backend_bytes_ = 0;
+  uint64_t to_client_bytes_ = 0;
+  bool registered_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace cops::cluster

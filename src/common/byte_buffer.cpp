@@ -1,0 +1,66 @@
+#include "common/byte_buffer.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace cops {
+
+void ByteBuffer::append(const void* bytes, size_t len) {
+  assert(prepared_ == 0 && "append during an open prepare/commit window");
+  const auto* p = static_cast<const uint8_t*>(bytes);
+  data_.insert(data_.end(), p, p + len);
+}
+
+uint8_t* ByteBuffer::prepare(size_t len) {
+  assert(prepared_ == 0 && "nested prepare() without commit()");
+  prepared_ = len;
+  data_.resize(data_.size() + len);
+  return data_.data() + data_.size() - len;
+}
+
+void ByteBuffer::commit(size_t len) {
+  assert(len <= prepared_ && "commit larger than prepared span");
+  data_.resize(data_.size() - (prepared_ - len));
+  prepared_ = 0;
+}
+
+void ByteBuffer::consume(size_t len) {
+  read_pos_ += len;
+  if (read_pos_ > data_.size()) read_pos_ = data_.size();
+  maybe_compact();
+}
+
+size_t ByteBuffer::read(void* out, size_t len) {
+  const size_t n = len < readable() ? len : readable();
+  std::memcpy(out, read_ptr(), n);
+  consume(n);
+  return n;
+}
+
+size_t ByteBuffer::find(std::string_view needle) const {
+  return view().find(needle);
+}
+
+void ByteBuffer::clear() {
+  data_.clear();
+  read_pos_ = 0;
+  prepared_ = 0;
+}
+
+std::string ByteBuffer::take_string() {
+  std::string out(view());
+  clear();
+  return out;
+}
+
+void ByteBuffer::maybe_compact() {
+  if (read_pos_ == data_.size()) {
+    data_.clear();
+    read_pos_ = 0;
+  } else if (read_pos_ > 4096 && read_pos_ > data_.size() / 2) {
+    data_.erase(data_.begin(), data_.begin() + static_cast<ptrdiff_t>(read_pos_));
+    read_pos_ = 0;
+  }
+}
+
+}  // namespace cops

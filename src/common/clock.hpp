@@ -1,0 +1,27 @@
+// Time helpers shared by the reactor, timers, profiler, and benches.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace cops {
+
+using SteadyClock = std::chrono::steady_clock;
+using TimePoint = SteadyClock::time_point;
+using Duration = SteadyClock::duration;
+
+[[nodiscard]] inline TimePoint now() { return SteadyClock::now(); }
+
+[[nodiscard]] inline int64_t to_micros(Duration d) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+}
+
+[[nodiscard]] inline int64_t to_millis(Duration d) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(d).count();
+}
+
+[[nodiscard]] inline double to_seconds(Duration d) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(d).count();
+}
+
+}  // namespace cops

@@ -1,0 +1,83 @@
+#include "common/config_file.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.hpp"
+
+namespace cops {
+
+Result<ConfigFile> ConfigFile::parse(std::string_view text) {
+  ConfigFile cfg;
+  int line_no = 0;
+  for (const auto& raw_line : split(text, '\n')) {
+    ++line_no;
+    auto line = trim(raw_line);
+    if (line.empty() || line.front() == '#') continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::invalid_argument("line " + std::to_string(line_no) +
+                                      ": expected key = value");
+    }
+    auto key = trim(line.substr(0, eq));
+    auto value = trim(line.substr(eq + 1));
+    if (key.empty()) {
+      return Status::invalid_argument("line " + std::to_string(line_no) +
+                                      ": empty key");
+    }
+    cfg.entries_[std::string(key)] = std::string(value);
+  }
+  return cfg;
+}
+
+Result<ConfigFile> ConfigFile::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::not_found("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+std::optional<std::string> ConfigFile::get(const std::string& key) const {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ConfigFile::get_or(const std::string& key,
+                               std::string fallback) const {
+  auto v = get(key);
+  return v ? *v : std::move(fallback);
+}
+
+std::optional<long> ConfigFile::get_int(const std::string& key) const {
+  auto v = get(key);
+  if (!v) return std::nullopt;
+  try {
+    size_t idx = 0;
+    long value = std::stol(*v, &idx);
+    if (idx != v->size()) return std::nullopt;
+    return value;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+std::optional<bool> ConfigFile::get_bool(const std::string& key) const {
+  auto v = get(key);
+  if (!v) return std::nullopt;
+  auto lower = to_lower(*v);
+  if (lower == "yes" || lower == "true" || lower == "on" || lower == "1") {
+    return true;
+  }
+  if (lower == "no" || lower == "false" || lower == "off" || lower == "0") {
+    return false;
+  }
+  return std::nullopt;
+}
+
+void ConfigFile::set(std::string key, std::string value) {
+  entries_[std::move(key)] = std::move(value);
+}
+
+}  // namespace cops

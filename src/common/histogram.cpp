@@ -1,0 +1,80 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace cops {
+
+Histogram::Histogram() : buckets_(kNumBuckets) {}
+
+int Histogram::bucket_for(int64_t micros) {
+  if (micros <= 1) return 0;
+  int b = 64 - __builtin_clzll(static_cast<uint64_t>(micros) - 1);
+  return std::min(b, kNumBuckets - 1);
+}
+
+int64_t Histogram::bucket_upper(int bucket) { return int64_t{1} << bucket; }
+
+void Histogram::record(int64_t micros) {
+  if (micros < 0) micros = 0;
+  buckets_[static_cast<size_t>(bucket_for(micros))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(micros, std::memory_order_relaxed);
+  int64_t prev = max_.load(std::memory_order_relaxed);
+  while (micros > prev &&
+         !max_.compare_exchange_weak(prev, micros, std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[static_cast<size_t>(i)].fetch_add(
+        other.buckets_[static_cast<size_t>(i)].load());
+  }
+  count_.fetch_add(other.count_.load());
+  sum_.fetch_add(other.sum_.load());
+  int64_t om = other.max_.load();
+  int64_t prev = max_.load();
+  while (om > prev && !max_.compare_exchange_weak(prev, om)) {
+  }
+}
+
+double Histogram::mean_micros() const {
+  const uint64_t n = count_.load();
+  return n == 0 ? 0.0 : static_cast<double>(sum_.load()) / static_cast<double>(n);
+}
+
+int64_t Histogram::quantile_micros(double q) const {
+  const uint64_t n = count_.load();
+  if (n == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<uint64_t>(std::ceil(q * static_cast<double>(n)));
+  uint64_t cumulative = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    cumulative += buckets_[static_cast<size_t>(i)].load();
+    if (cumulative >= target) return bucket_upper(i);
+  }
+  return bucket_upper(kNumBuckets - 1);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0);
+  count_.store(0);
+  sum_.store(0);
+  max_.store(0);
+}
+
+std::string Histogram::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1fus p50<=%lldus p99<=%lldus max=%lldus",
+                static_cast<unsigned long long>(count()), mean_micros(),
+                static_cast<long long>(quantile_micros(0.5)),
+                static_cast<long long>(quantile_micros(0.99)),
+                static_cast<long long>(max_micros()));
+  return buf;
+}
+
+}  // namespace cops

@@ -1,0 +1,28 @@
+// Jain fairness index (Fig. 4 metric).
+//
+//   f(x) = (sum x_i)^2 / (N * sum x_i^2)
+//
+// 1.0 when all clients receive equal service; k/N when k clients receive
+// equal service and the rest none.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cops {
+
+template <typename T>
+[[nodiscard]] double jain_fairness(const std::vector<T>& xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const auto& x : xs) {
+    const double v = static_cast<double>(x);
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq == 0.0) return 1.0;  // all-zero: vacuously fair
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+}  // namespace cops

@@ -1,0 +1,40 @@
+#include "common/rate_limiter.hpp"
+
+#include <algorithm>
+
+namespace cops {
+
+RateLimiter::RateLimiter(double rate_per_sec, double burst)
+    : rate_(rate_per_sec), burst_(burst), tokens_(burst), last_(now()) {}
+
+void RateLimiter::refill_locked(TimePoint at) const {
+  const double elapsed = to_seconds(at - last_);
+  if (elapsed <= 0) return;
+  tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+  last_ = at;
+}
+
+bool RateLimiter::try_acquire(double tokens) {
+  std::lock_guard lock(mutex_);
+  refill_locked(now());
+  if (tokens_ < tokens) return false;
+  tokens_ -= tokens;
+  return true;
+}
+
+Duration RateLimiter::time_until_available(double tokens) const {
+  std::lock_guard lock(mutex_);
+  refill_locked(now());
+  if (tokens_ >= tokens) return Duration::zero();
+  const double deficit = tokens - tokens_;
+  return std::chrono::duration_cast<Duration>(
+      std::chrono::duration<double>(deficit / rate_));
+}
+
+void RateLimiter::acquire_debt(double tokens) {
+  std::lock_guard lock(mutex_);
+  refill_locked(now());
+  tokens_ -= tokens;
+}
+
+}  // namespace cops

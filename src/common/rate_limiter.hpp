@@ -1,0 +1,41 @@
+// Token-bucket rate limiter.
+//
+// Used by the experiment harness to emulate the paper's bottlenecked network
+// (the Gigabit switch was effectively capped slightly above 100 Mbit/s), so
+// the saturation plateau in Fig. 3 appears on loopback too.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/clock.hpp"
+
+namespace cops {
+
+class RateLimiter {
+ public:
+  // rate_per_sec: tokens added per second; burst: bucket capacity.
+  RateLimiter(double rate_per_sec, double burst);
+
+  // Tries to take `tokens`; returns true on success.
+  bool try_acquire(double tokens);
+  // Returns the delay until `tokens` would be available (zero if now).
+  [[nodiscard]] Duration time_until_available(double tokens) const;
+  // Takes `tokens`, allowing the balance to go negative (callers then delay
+  // by time_until_available(0) — classic "debt" token bucket, which keeps
+  // long-run throughput exact even for oversized requests).
+  void acquire_debt(double tokens);
+
+  [[nodiscard]] double rate() const { return rate_; }
+
+ private:
+  void refill_locked(TimePoint at) const;
+
+  double rate_;
+  double burst_;
+  mutable double tokens_;
+  mutable TimePoint last_;
+  mutable std::mutex mutex_;
+};
+
+}  // namespace cops

@@ -1,0 +1,226 @@
+#include "common/source_stats.hpp"
+
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.hpp"
+
+namespace cops {
+namespace {
+
+bool is_identifier_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+// True when the text around a '(' at `pos` looks like a function definition
+// header rather than a call/if/for/etc.  `code` is comment-free.
+bool looks_like_function_definition(const std::string& code, size_t open_paren) {
+  // Extract the identifier before '('.
+  size_t end = open_paren;
+  while (end > 0 && std::isspace(static_cast<unsigned char>(code[end - 1])) != 0) {
+    --end;
+  }
+  size_t begin = end;
+  while (begin > 0 && is_identifier_char(code[begin - 1])) --begin;
+  if (begin == end) return false;
+  const std::string name = code.substr(begin, end - begin);
+  static const char* kKeywords[] = {"if",     "for",    "while", "switch",
+                                    "return", "sizeof", "catch", "new",
+                                    "delete", "throw",  "alignof"};
+  for (const char* kw : kKeywords) {
+    if (name == kw) return false;
+  }
+  // Find the matching ')', then check the next significant token is '{'
+  // (possibly after const/noexcept/override/final/-> trailing return).
+  int depth = 0;
+  size_t i = open_paren;
+  for (; i < code.size(); ++i) {
+    if (code[i] == '(') ++depth;
+    if (code[i] == ')') {
+      --depth;
+      if (depth == 0) break;
+    }
+  }
+  if (i >= code.size()) return false;
+  ++i;
+  // Skip trailing specifiers up to '{', ';', or something else.
+  while (i < code.size()) {
+    if (std::isspace(static_cast<unsigned char>(code[i])) != 0) {
+      ++i;
+      continue;
+    }
+    if (code[i] == '{') return true;
+    if (code[i] == ';' || code[i] == ',' || code[i] == ')') return false;
+    // Allow words (const, noexcept, override...), ':' (ctor init list starts
+    // a definition), and "->" trailing return types.
+    if (code[i] == ':') return true;  // constructor initializer list
+    if (is_identifier_char(code[i]) || code[i] == '-' || code[i] == '>' ||
+        code[i] == '&' || code[i] == '*' || code[i] == '(' || code[i] == '<') {
+      ++i;
+      continue;
+    }
+    return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string strip_comments_and_literals(std::string_view source) {
+  std::string out;
+  out.reserve(source.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < source.size(); ++i) {
+    const char c = source[i];
+    const char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          out.push_back('"');
+        } else if (c == '\'') {
+          state = State::kChar;
+          out.push_back('\'');
+        } else {
+          out.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out.push_back('\n');
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else if (c == '\n') {
+          out.push_back('\n');  // keep line structure
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;  // skip escaped char
+        } else if (c == '"') {
+          state = State::kCode;
+          out.push_back('"');
+        } else if (c == '\n') {
+          state = State::kCode;  // unterminated; recover
+          out.push_back('\n');
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out.push_back('\'');
+        } else if (c == '\n') {
+          state = State::kCode;
+          out.push_back('\n');
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+SourceStats analyze_source(std::string_view source) {
+  const std::string code = strip_comments_and_literals(source);
+  SourceStats stats;
+
+  // NCSS: count statement terminators and block-opening constructs, the
+  // common definition used by tools such as JavaNCSS (which the paper's
+  // Java measurements would have used).
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i] == ';') ++stats.ncss;
+    if (code[i] == '{') ++stats.ncss;
+  }
+  // Preprocessor directives count as statements too.
+  {
+    std::istringstream lines{code};
+    std::string line;
+    while (std::getline(lines, line)) {
+      auto t = trim(line);
+      if (!t.empty() && t.front() == '#') ++stats.ncss;
+    }
+  }
+
+  // Classes: class/struct followed by an identifier and eventually '{'
+  // (skipping forward declarations which end in ';').
+  for (const char* kw : {"class", "struct"}) {
+    const size_t kw_len = std::string_view(kw).size();
+    size_t pos = 0;
+    while ((pos = code.find(kw, pos)) != std::string::npos) {
+      const bool standalone =
+          (pos == 0 || !is_identifier_char(code[pos - 1])) &&
+          (pos + kw_len < code.size() && !is_identifier_char(code[pos + kw_len]));
+      if (standalone) {
+        // Scan forward to the first '{' or ';'.
+        size_t j = pos + kw_len;
+        while (j < code.size() && code[j] != '{' && code[j] != ';') ++j;
+        if (j < code.size() && code[j] == '{') ++stats.classes;
+      }
+      pos += kw_len;
+    }
+  }
+
+  // Methods: identifier '(' ... ')' followed by '{' or ':'.
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i] == '(' && looks_like_function_definition(code, i)) {
+      ++stats.methods;
+      // Skip past the parameter list to avoid double counting nested parens.
+      int depth = 0;
+      while (i < code.size()) {
+        if (code[i] == '(') ++depth;
+        if (code[i] == ')') {
+          --depth;
+          if (depth == 0) break;
+        }
+        ++i;
+      }
+    }
+  }
+  return stats;
+}
+
+SourceStats analyze_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return analyze_source(buf.str());
+}
+
+SourceStats analyze_directory(const std::string& dir) {
+  SourceStats total;
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(dir, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (!it->is_regular_file()) continue;
+    const auto ext = it->path().extension().string();
+    if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc") {
+      total += analyze_file(it->path().string());
+    }
+  }
+  return total;
+}
+
+SourceStats analyze_files(const std::vector<std::string>& paths) {
+  SourceStats total;
+  for (const auto& p : paths) total += analyze_file(p);
+  return total;
+}
+
+}  // namespace cops

@@ -1,0 +1,126 @@
+// Lightweight status / result types used across the library.
+//
+// The networking and server layers report recoverable failures through
+// Status / Result<T> rather than exceptions: event-driven hot paths must not
+// unwind across the reactor loop, and most failures (peer reset, would-block)
+// are ordinary control flow for a server.
+#pragma once
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace cops {
+
+enum class StatusCode {
+  kOk = 0,
+  kWouldBlock,      // non-blocking op would block; retry when ready
+  kClosed,          // peer closed the connection / EOF
+  kNotFound,
+  kInvalidArgument,
+  kOutOfRange,
+  kAlreadyExists,
+  kPermissionDenied,
+  kResourceExhausted,
+  kInternal,
+  kUnavailable,
+  kIoError,
+};
+
+[[nodiscard]] constexpr const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kWouldBlock: return "WOULD_BLOCK";
+    case StatusCode::kClosed: return "CLOSED";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case StatusCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
+    case StatusCode::kIoError: return "IO_ERROR";
+  }
+  return "UNKNOWN";
+}
+
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return {}; }
+  static Status would_block() { return {StatusCode::kWouldBlock, {}}; }
+  static Status closed() { return {StatusCode::kClosed, {}}; }
+  static Status not_found(std::string msg = {}) {
+    return {StatusCode::kNotFound, std::move(msg)};
+  }
+  static Status invalid_argument(std::string msg) {
+    return {StatusCode::kInvalidArgument, std::move(msg)};
+  }
+  static Status internal(std::string msg) {
+    return {StatusCode::kInternal, std::move(msg)};
+  }
+  static Status resource_exhausted(std::string msg = {}) {
+    return {StatusCode::kResourceExhausted, std::move(msg)};
+  }
+  static Status io_error(std::string msg) {
+    return {StatusCode::kIoError, std::move(msg)};
+  }
+  static Status unavailable(std::string msg = {}) {
+    return {StatusCode::kUnavailable, std::move(msg)};
+  }
+  // Builds an IO_ERROR status from the current errno value.
+  static Status from_errno(const char* what) {
+    return {StatusCode::kIoError,
+            std::string(what) + ": " + std::strerror(errno)};
+  }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+  [[nodiscard]] std::string to_string() const {
+    std::string out = cops::to_string(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Result<T>: either a value or a Status describing why there is none.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}            // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {}     // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool is_ok() const {
+    return std::holds_alternative<T>(data_);
+  }
+  [[nodiscard]] const T& value() const& { return std::get<T>(data_); }
+  [[nodiscard]] T& value() & { return std::get<T>(data_); }
+  [[nodiscard]] T&& take() && { return std::get<T>(std::move(data_)); }
+  [[nodiscard]] Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(data_);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace cops

@@ -1,0 +1,30 @@
+#include "common/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cops {
+
+ZipfDistribution::ZipfDistribution(size_t n, double s) {
+  if (n == 0) n = 1;
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = sum;
+  }
+  for (auto& c : cdf_) c /= sum;
+}
+
+size_t ZipfDistribution::sample(double u) const {
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::probability(size_t rank) const {
+  if (rank >= cdf_.size()) return 0.0;
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace cops

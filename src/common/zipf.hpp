@@ -1,0 +1,35 @@
+// Zipf-distributed random integers.
+//
+// SpecWeb99 accesses directories and files with a Zipf popularity law; the
+// workload generator uses this to pick which file each simulated client
+// requests.  Uses the inverse-CDF table method: O(n) setup, O(log n) sample.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace cops {
+
+class ZipfDistribution {
+ public:
+  // Values are drawn from [0, n); `s` is the skew exponent (1.0 = classic).
+  ZipfDistribution(size_t n, double s = 1.0);
+
+  template <typename Rng>
+  size_t operator()(Rng& rng) {
+    std::uniform_real_distribution<double> uniform(0.0, 1.0);
+    return sample(uniform(rng));
+  }
+
+  // Maps u in [0,1) to a rank via the precomputed CDF.
+  [[nodiscard]] size_t sample(double u) const;
+
+  [[nodiscard]] size_t n() const { return cdf_.size(); }
+  [[nodiscard]] double probability(size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace cops

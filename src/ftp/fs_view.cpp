@@ -1,0 +1,151 @@
+#include "ftp/fs_view.hpp"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+
+#include "common/string_util.hpp"
+
+namespace cops::ftp {
+namespace fs = std::filesystem;
+
+std::string FsView::resolve(const std::string& cwd,
+                            const std::string& ftp_path) {
+  std::string combined;
+  if (!ftp_path.empty() && ftp_path.front() == '/') {
+    combined = ftp_path;
+  } else {
+    combined = cwd;
+    if (combined.empty() || combined.back() != '/') combined += '/';
+    combined += ftp_path;
+  }
+  std::vector<std::string> segments;
+  for (const auto& seg : cops::split(combined, '/')) {
+    if (seg.empty() || seg == ".") continue;
+    if (seg == "..") {
+      if (segments.empty()) return {};  // escape attempt
+      segments.pop_back();
+      continue;
+    }
+    if (seg.find('\0') != std::string::npos) return {};
+    segments.push_back(seg);
+  }
+  std::string out = "/";
+  for (size_t i = 0; i < segments.size(); ++i) {
+    out += segments[i];
+    if (i + 1 < segments.size()) out += '/';
+  }
+  return out;
+}
+
+std::string FsView::real_path(const std::string& virtual_path) const {
+  return root_ + virtual_path;
+}
+
+bool FsView::exists(const std::string& virtual_path) const {
+  std::error_code ec;
+  return fs::exists(real_path(virtual_path), ec);
+}
+
+bool FsView::is_directory(const std::string& virtual_path) const {
+  std::error_code ec;
+  return fs::is_directory(real_path(virtual_path), ec);
+}
+
+Result<uint64_t> FsView::file_size(const std::string& virtual_path) const {
+  std::error_code ec;
+  const auto size = fs::file_size(real_path(virtual_path), ec);
+  if (ec) return Status::not_found(virtual_path);
+  return static_cast<uint64_t>(size);
+}
+
+Result<std::vector<DirEntry>> FsView::list(
+    const std::string& virtual_path) const {
+  std::error_code ec;
+  std::vector<DirEntry> entries;
+  for (auto it = fs::directory_iterator(real_path(virtual_path), ec);
+       !ec && it != fs::directory_iterator(); it.increment(ec)) {
+    DirEntry entry;
+    entry.name = it->path().filename().string();
+    entry.is_directory = it->is_directory(ec);
+    if (!entry.is_directory) {
+      std::error_code size_ec;
+      entry.size = static_cast<uint64_t>(it->file_size(size_ec));
+    }
+    struct stat st{};
+    if (::stat(it->path().c_str(), &st) == 0) {
+      entry.mtime_seconds = static_cast<int64_t>(st.st_mtime);
+    }
+    entries.push_back(std::move(entry));
+  }
+  if (ec) return Status::not_found(virtual_path);
+  return entries;
+}
+
+Status FsView::rename(const std::string& from_virtual,
+                      const std::string& to_virtual) {
+  std::error_code ec;
+  if (!fs::exists(real_path(from_virtual), ec)) {
+    return Status::not_found(from_virtual);
+  }
+  fs::rename(real_path(from_virtual), real_path(to_virtual), ec);
+  if (ec) return Status::io_error("rename failed: " + ec.message());
+  return Status::ok();
+}
+
+Status FsView::make_directory(const std::string& virtual_path) {
+  std::error_code ec;
+  if (!fs::create_directory(real_path(virtual_path), ec) || ec) {
+    return Status::io_error("mkdir failed: " + virtual_path);
+  }
+  return Status::ok();
+}
+
+Status FsView::remove_directory(const std::string& virtual_path) {
+  const auto real = real_path(virtual_path);
+  std::error_code ec;
+  if (!fs::is_directory(real, ec)) return Status::not_found(virtual_path);
+  if (!fs::remove(real, ec) || ec) {
+    return Status::io_error("rmdir failed: " + virtual_path);
+  }
+  return Status::ok();
+}
+
+Status FsView::remove_file(const std::string& virtual_path) {
+  const auto real = real_path(virtual_path);
+  std::error_code ec;
+  if (!fs::is_regular_file(real, ec)) return Status::not_found(virtual_path);
+  if (!fs::remove(real, ec) || ec) {
+    return Status::io_error("delete failed: " + virtual_path);
+  }
+  return Status::ok();
+}
+
+Status FsView::write_file(const std::string& virtual_path,
+                          const std::string& contents) {
+  std::ofstream out(real_path(virtual_path), std::ios::binary);
+  if (!out) return Status::io_error("cannot create " + virtual_path);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+  return out.good() ? Status::ok()
+                    : Status::io_error("short write " + virtual_path);
+}
+
+std::string FsView::format_list_line(const DirEntry& entry) {
+  char date[32] = "Jan  1 00:00";
+  const time_t t = static_cast<time_t>(entry.mtime_seconds);
+  tm local{};
+  if (localtime_r(&t, &local) != nullptr) {
+    std::strftime(date, sizeof(date), "%b %e %H:%M", &local);
+  }
+  char line[512];
+  std::snprintf(line, sizeof(line), "%s 1 ftp ftp %10llu %s %s\r\n",
+                entry.is_directory ? "drwxr-xr-x" : "-rw-r--r--",
+                static_cast<unsigned long long>(entry.size), date,
+                entry.name.c_str());
+  return line;
+}
+
+}  // namespace cops::ftp

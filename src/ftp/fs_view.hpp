@@ -1,0 +1,55 @@
+// Sandboxed filesystem view for COPS-FTP.
+//
+// All FTP paths (absolute or relative to the session's working directory)
+// resolve inside a chroot-style root; traversal above the root is refused.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace cops::ftp {
+
+struct DirEntry {
+  std::string name;
+  bool is_directory = false;
+  uint64_t size = 0;
+  int64_t mtime_seconds = 0;
+};
+
+class FsView {
+ public:
+  explicit FsView(std::string root) : root_(std::move(root)) {}
+
+  // Resolves `ftp_path` (absolute "/a/b" or relative "a/b") against `cwd`
+  // into a normalized virtual path ("/a/b"); empty string on traversal.
+  [[nodiscard]] static std::string resolve(const std::string& cwd,
+                                           const std::string& ftp_path);
+
+  // Virtual path → real path under the root.
+  [[nodiscard]] std::string real_path(const std::string& virtual_path) const;
+
+  [[nodiscard]] bool exists(const std::string& virtual_path) const;
+  [[nodiscard]] bool is_directory(const std::string& virtual_path) const;
+  [[nodiscard]] Result<uint64_t> file_size(const std::string& virtual_path) const;
+  [[nodiscard]] Result<std::vector<DirEntry>> list(
+      const std::string& virtual_path) const;
+  Status make_directory(const std::string& virtual_path);
+  Status rename(const std::string& from_virtual, const std::string& to_virtual);
+  Status remove_directory(const std::string& virtual_path);
+  Status remove_file(const std::string& virtual_path);
+  Status write_file(const std::string& virtual_path,
+                    const std::string& contents);
+
+  [[nodiscard]] const std::string& root() const { return root_; }
+
+  // Formats a directory entry as one "LIST" output line (ls -l style).
+  [[nodiscard]] static std::string format_list_line(const DirEntry& entry);
+
+ private:
+  std::string root_;
+};
+
+}  // namespace cops::ftp

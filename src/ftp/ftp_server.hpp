@@ -1,0 +1,103 @@
+// COPS-FTP — the paper's event-driven FTP server (Section V.A), built from
+// the N-Server hooks.
+//
+// Paper's option settings (Table 1, COPS-FTP column): one dispatcher,
+// separate processor pool, encode/decode on, *synchronous* completion
+// events, *dynamic* event-thread allocation, no cache, shutdown-long-idle
+// on.  The synchronous + dynamic pairing is deliberate: data transfers
+// block a worker, and the ProcessorController grows the pool while
+// transfers are in flight.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "ftp/command.hpp"
+#include "ftp/fs_view.hpp"
+#include "ftp/replies.hpp"
+#include "ftp/session.hpp"
+#include "ftp/user_db.hpp"
+#include "nserver/server.hpp"
+
+namespace cops::ftp {
+
+struct FtpServerConfig {
+  std::string root = ".";       // served directory tree
+  std::string pasv_host = "127.0.0.1";
+  bool allow_anonymous = true;
+  size_t max_upload_bytes = 64 * 1024 * 1024;
+  int data_timeout_ms = 3000;
+};
+
+class FtpAppHooks : public nserver::AppHooks {
+ public:
+  FtpAppHooks(FtpServerConfig config, std::shared_ptr<UserDb> users)
+      : config_(std::move(config)),
+        users_(std::move(users)),
+        fs_(config_.root) {
+    if (config_.allow_anonymous) users_->allow_anonymous(true);
+  }
+
+  void on_connect(nserver::RequestContext& ctx) override;
+  nserver::DecodeResult decode(nserver::RequestContext& ctx,
+                               ByteBuffer& in) override;
+  void handle(nserver::RequestContext& ctx, std::any request) override;
+  std::string encode(nserver::RequestContext& ctx,
+                     std::any response) override;
+
+  [[nodiscard]] uint64_t commands_handled() const { return commands_.load(); }
+  [[nodiscard]] uint64_t transfers_completed() const {
+    return transfers_.load();
+  }
+  [[nodiscard]] FsView& fs() { return fs_; }
+  [[nodiscard]] UserDb& users() { return *users_; }
+
+ private:
+  FtpSession& session_of(nserver::RequestContext& ctx);
+
+  // Command groups (each replies via ctx).
+  void handle_login(nserver::RequestContext& ctx, FtpSession& session,
+                    const FtpCommand& cmd);
+  void handle_navigation(nserver::RequestContext& ctx, FtpSession& session,
+                         const FtpCommand& cmd);
+  void handle_transfer_setup(nserver::RequestContext& ctx,
+                             FtpSession& session, const FtpCommand& cmd);
+  void handle_retr(nserver::RequestContext& ctx, FtpSession& session,
+                   const std::string& arg);
+  void handle_stor(nserver::RequestContext& ctx, FtpSession& session,
+                   const std::string& arg);
+  void handle_list(nserver::RequestContext& ctx, FtpSession& session,
+                   const std::string& arg, bool names_only);
+  void handle_mutation(nserver::RequestContext& ctx, FtpSession& session,
+                       const FtpCommand& cmd);
+
+  FtpServerConfig config_;
+  std::shared_ptr<UserDb> users_;
+  FsView fs_;
+  std::atomic<uint64_t> commands_{0};
+  std::atomic<uint64_t> transfers_{0};
+};
+
+// Bundles ServerOptions + FTP hooks into a runnable FTP server.
+class CopsFtpServer {
+ public:
+  CopsFtpServer(nserver::ServerOptions options, FtpServerConfig config,
+                std::shared_ptr<UserDb> users = nullptr);
+
+  Status start() { return server_.start(); }
+  void stop() { server_.stop(); }
+
+  [[nodiscard]] uint16_t port() const { return server_.port(); }
+  [[nodiscard]] nserver::Server& server() { return server_; }
+  [[nodiscard]] FtpAppHooks& hooks() { return *hooks_; }
+
+  // The paper's COPS-FTP option settings (Table 1, third column).
+  static nserver::ServerOptions default_options();
+
+ private:
+  std::shared_ptr<FtpAppHooks> hooks_;
+  nserver::Server server_;
+};
+
+}  // namespace cops::ftp

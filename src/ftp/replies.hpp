@@ -1,0 +1,45 @@
+// FTP reply codes (RFC 959) used by COPS-FTP.
+#pragma once
+
+#include <string>
+
+namespace cops::ftp {
+
+// A single-line FTP reply: "<code> <text>\r\n".
+struct Reply {
+  int code = 200;
+  std::string text;
+
+  [[nodiscard]] std::string serialize() const {
+    return std::to_string(code) + " " + text + "\r\n";
+  }
+};
+
+inline Reply reply(int code, std::string text) {
+  return {code, std::move(text)};
+}
+
+// Common replies.
+inline Reply service_ready() { return {220, "COPS-FTP Service ready"}; }
+inline Reply goodbye() { return {221, "Goodbye"}; }
+inline Reply ok() { return {200, "Command okay"}; }
+inline Reply syst() { return {215, "UNIX Type: L8"}; }
+inline Reply need_password() { return {331, "User name okay, need password"}; }
+inline Reply logged_in() { return {230, "User logged in, proceed"}; }
+inline Reply not_logged_in() { return {530, "Not logged in"}; }
+inline Reply login_failed() { return {530, "Login incorrect"}; }
+inline Reply file_unavailable(const std::string& what) {
+  return {550, what + ": No such file or directory"};
+}
+inline Reply action_ok(std::string text) { return {250, std::move(text)}; }
+inline Reply opening_data(std::string what) {
+  return {150, "Opening BINARY mode data connection for " + std::move(what)};
+}
+inline Reply transfer_complete() { return {226, "Transfer complete"}; }
+inline Reply cant_open_data() { return {425, "Can't open data connection"}; }
+inline Reply transfer_aborted() { return {426, "Connection closed; transfer aborted"}; }
+inline Reply syntax_error() { return {500, "Syntax error, command unrecognized"}; }
+inline Reply bad_arguments() { return {501, "Syntax error in parameters"}; }
+inline Reply not_implemented() { return {502, "Command not implemented"}; }
+
+}  // namespace cops::ftp

@@ -1,0 +1,159 @@
+#include "gdp/pattern_template.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace cops::gdp {
+
+std::string GenerationReport::summary() const {
+  std::ostringstream out;
+  out << files.size() << " files, " << totals.classes << " classes, "
+      << totals.methods << " methods, " << totals.ncss << " NCSS";
+  return out.str();
+}
+
+Result<std::map<std::string, std::string>> PatternTemplate::render_all(
+    OptionSet options, const std::map<std::string, std::string>& extras) const {
+  options = options_.with_defaults(std::move(options));
+  const auto problems = options_.validate(options);
+  if (!problems.empty()) {
+    std::string all;
+    for (const auto& p : problems) {
+      if (!all.empty()) all += "; ";
+      all += p;
+    }
+    return Status::invalid_argument(all);
+  }
+
+  std::map<std::string, std::string> rendered;
+  for (const auto& file : files_) {
+    if (!file.condition.empty()) {
+      auto expr = parse_expr(file.condition);
+      if (!expr.is_ok()) {
+        return Status::invalid_argument("file " + file.output_path +
+                                        " condition: " +
+                                        expr.status().message());
+      }
+      if (!expr.value()->evaluate(options)) continue;
+    }
+    auto tmpl = Template::parse(file.source);
+    if (!tmpl.is_ok()) {
+      return Status::invalid_argument("file " + file.output_path + ": " +
+                                      tmpl.status().message());
+    }
+    auto text = tmpl.value().render(options, extras);
+    if (!text.is_ok()) {
+      return Status::invalid_argument("file " + file.output_path + ": " +
+                                      text.status().message());
+    }
+    rendered.emplace(file.output_path, std::move(text).take());
+  }
+  return rendered;
+}
+
+Result<GenerationReport> PatternTemplate::generate(
+    OptionSet options, const std::string& outdir,
+    const std::map<std::string, std::string>& extras) const {
+  auto rendered = render_all(std::move(options), extras);
+  if (!rendered.is_ok()) return rendered.status();
+
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(outdir, ec);
+  if (ec) return Status::io_error("mkdir " + outdir + ": " + ec.message());
+
+  GenerationReport report;
+  for (const auto& [path, contents] : rendered.value()) {
+    const fs::path full = fs::path(outdir) / path;
+    fs::create_directories(full.parent_path(), ec);
+    std::ofstream out(full, std::ios::binary);
+    if (!out) return Status::io_error("cannot write " + full.string());
+    out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+    GeneratedFile generated;
+    generated.path = full.string();
+    generated.bytes = contents.size();
+    const auto ext = full.extension().string();
+    if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc" ||
+        ext == ".inc") {
+      generated.stats = analyze_source(contents);
+    }
+    report.totals += generated.stats;
+    report.files.push_back(std::move(generated));
+  }
+  return report;
+}
+
+Result<std::map<std::string, std::map<std::string, CrosscutCell>>>
+PatternTemplate::crosscut() const {
+  std::map<std::string, std::map<std::string, CrosscutCell>> matrix;
+  for (const auto& file : files_) {
+    auto& row = matrix[file.unit_name];
+    if (!file.condition.empty()) {
+      auto expr = parse_expr(file.condition);
+      if (!expr.is_ok()) return expr.status();
+      std::set<std::string> keys;
+      expr.value()->collect_keys(keys);
+      for (const auto& key : keys) row[key].existence = true;
+    }
+    auto tmpl = Template::parse(file.source);
+    if (!tmpl.is_ok()) return tmpl.status();
+    for (const auto& key : tmpl.value().condition_keys()) {
+      if (options_.find(key) != nullptr) row[key].body = true;
+    }
+    for (const auto& key : tmpl.value().substitution_keys()) {
+      if (options_.find(key) != nullptr) row[key].body = true;
+    }
+  }
+  return matrix;
+}
+
+Result<std::string> PatternTemplate::format_crosscut_table() const {
+  auto matrix = crosscut();
+  if (!matrix.is_ok()) return matrix.status();
+
+  // Column order = declaration order of the option table (O1..O12).
+  std::vector<std::string> columns;
+  for (const auto& spec : options_.specs()) columns.push_back(spec.key);
+
+  size_t name_width = 10;
+  // Preserve template declaration order for rows.
+  std::vector<std::string> rows;
+  for (const auto& file : files_) {
+    if (std::find(rows.begin(), rows.end(), file.unit_name) == rows.end()) {
+      rows.push_back(file.unit_name);
+      name_width = std::max(name_width, file.unit_name.size());
+    }
+  }
+
+  std::ostringstream out;
+  out << std::string(name_width, ' ') << " |";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    out << " O" << (i + 1 < 10 ? " " : "") << (i + 1) << " |";
+  }
+  out << "\n";
+  out << std::string(name_width, '-') << "-+";
+  for (size_t i = 0; i < columns.size(); ++i) out << "-----+";
+  out << "\n";
+  for (const auto& unit : rows) {
+    out << unit << std::string(name_width - unit.size(), ' ') << " |";
+    const auto& row = matrix.value().at(unit);
+    for (const auto& key : columns) {
+      auto it = row.find(key);
+      char mark = ' ';
+      if (it != row.end()) {
+        if (it->second.existence) {
+          mark = 'o';
+        } else if (it->second.body) {
+          mark = '+';
+        }
+      }
+      out << "  " << mark << "  |";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace cops::gdp

@@ -1,0 +1,108 @@
+// PatternTemplate — a generative design pattern: an option table plus a set
+// of conditional template files that, instantiated under concrete option
+// values, emit a custom application framework (CO₂P₃S's core mechanism).
+//
+// The crosscut analysis reproduces Table 2 of the paper: for each generated
+// unit (row) and each option (column),
+//   'o' — the option decides whether the unit exists at all
+//         (the file's inclusion condition references it), and
+//   '+' — the code generated for the unit depends on the option value
+//         (directives or substitutions in its body reference it).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/source_stats.hpp"
+#include "common/status.hpp"
+#include "gdp/option.hpp"
+#include "gdp/template_lang.hpp"
+
+namespace cops::gdp {
+
+struct TemplateFile {
+  std::string output_path;  // relative path in the generated tree
+  std::string unit_name;    // row label for the crosscut matrix
+  std::string condition;    // inclusion expression; empty = always generated
+  std::string source;       // template text
+};
+
+struct GeneratedFile {
+  std::string path;  // absolute path written
+  SourceStats stats;
+  size_t bytes = 0;
+};
+
+struct GenerationReport {
+  std::vector<GeneratedFile> files;
+  SourceStats totals;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+struct CrosscutCell {
+  bool existence = false;  // 'o'
+  bool body = false;       // '+'
+};
+
+class PatternTemplate {
+ public:
+  PatternTemplate(std::string name, OptionTable options)
+      : name_(std::move(name)), options_(std::move(options)) {}
+
+  void add_file(TemplateFile file) { files_.push_back(std::move(file)); }
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const OptionTable& options() const { return options_; }
+  [[nodiscard]] const std::vector<TemplateFile>& files() const {
+    return files_;
+  }
+
+  // Validates + fills defaults, then writes the instantiated files under
+  // `outdir` (creating it).  `extras` supplies non-option substitutions
+  // (e.g. the application name).
+  Result<GenerationReport> generate(
+      OptionSet options, const std::string& outdir,
+      const std::map<std::string, std::string>& extras = {}) const;
+
+  // Renders files in memory without touching the filesystem.
+  Result<std::map<std::string, std::string>> render_all(
+      OptionSet options,
+      const std::map<std::string, std::string>& extras = {}) const;
+
+  // unit name → option key → cell (Table 2 analog).
+  [[nodiscard]] Result<std::map<std::string, std::map<std::string, CrosscutCell>>>
+  crosscut() const;
+
+  // Formats the crosscut as a fixed-width text table in Table 1 option
+  // order (columns O1..O12).
+  [[nodiscard]] Result<std::string> format_crosscut_table() const;
+
+ private:
+  std::string name_;
+  OptionTable options_;
+  std::vector<TemplateFile> files_;
+};
+
+// ---- the N-Server pattern template (nserver_template.cpp) -------------------
+
+PatternTemplate make_nserver_template();
+
+// Table 1 presets: the option settings the paper used for each application.
+OptionSet nserver_http_options();  // COPS-HTTP column
+OptionSet nserver_ftp_options();   // COPS-FTP column
+
+// ---- the generic Reactor pattern template (reactor_template.cpp) ------------
+// The paper's generality/efficiency tradeoff (Section IV): "Without the
+// inclusion of the network server application specific code, the N-Server
+// would be a template that instantiates the Reactor design pattern ...
+// [usable] for many types of applications, such as event-driven simulations
+// and graphical user interface frameworks."  This template is that generic
+// form: it generates an event-loop application skeleton with no networking.
+PatternTemplate make_reactor_template();
+
+// Finds a built-in pattern template by name ("nserver", "reactor").
+std::optional<PatternTemplate> find_pattern(const std::string& name);
+
+}  // namespace cops::gdp

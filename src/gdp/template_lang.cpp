@@ -1,0 +1,473 @@
+#include "gdp/template_lang.hpp"
+
+#include <cctype>
+
+#include "common/string_util.hpp"
+
+namespace cops::gdp {
+namespace {
+
+// ---- expression AST ---------------------------------------------------------
+
+class IdentExpr : public Expr {
+ public:
+  explicit IdentExpr(std::string key) : key_(std::move(key)) {}
+  bool evaluate(const OptionSet& options) const override {
+    const auto value = options.get_or(key_, "");
+    if (value.empty() || value == "no" || value == "false" || value == "off" ||
+        value == "0" || value == "none") {
+      return false;
+    }
+    return true;
+  }
+  void collect_keys(std::set<std::string>& out) const override {
+    out.insert(key_);
+  }
+  [[nodiscard]] const std::string& key() const { return key_; }
+
+ private:
+  std::string key_;
+};
+
+class CompareExpr : public Expr {
+ public:
+  CompareExpr(std::string key, std::string literal, bool negated)
+      : key_(std::move(key)), literal_(to_lower(literal)), negated_(negated) {}
+  bool evaluate(const OptionSet& options) const override {
+    const bool equal = options.get_or(key_, "") == literal_;
+    return negated_ ? !equal : equal;
+  }
+  void collect_keys(std::set<std::string>& out) const override {
+    out.insert(key_);
+  }
+
+ private:
+  std::string key_;
+  std::string literal_;
+  bool negated_;
+};
+
+class NotExpr : public Expr {
+ public:
+  explicit NotExpr(std::shared_ptr<Expr> inner) : inner_(std::move(inner)) {}
+  bool evaluate(const OptionSet& options) const override {
+    return !inner_->evaluate(options);
+  }
+  void collect_keys(std::set<std::string>& out) const override {
+    inner_->collect_keys(out);
+  }
+
+ private:
+  std::shared_ptr<Expr> inner_;
+};
+
+class BinaryExpr : public Expr {
+ public:
+  BinaryExpr(bool is_and, std::shared_ptr<Expr> lhs, std::shared_ptr<Expr> rhs)
+      : is_and_(is_and), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+  bool evaluate(const OptionSet& options) const override {
+    return is_and_ ? (lhs_->evaluate(options) && rhs_->evaluate(options))
+                   : (lhs_->evaluate(options) || rhs_->evaluate(options));
+  }
+  void collect_keys(std::set<std::string>& out) const override {
+    lhs_->collect_keys(out);
+    rhs_->collect_keys(out);
+  }
+
+ private:
+  bool is_and_;
+  std::shared_ptr<Expr> lhs_;
+  std::shared_ptr<Expr> rhs_;
+};
+
+// ---- expression parser (recursive descent) ----------------------------------
+
+struct Token {
+  enum Kind { kIdent, kString, kEq, kNe, kNot, kAnd, kOr, kLParen, kRParen,
+              kEnd } kind;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> lex() {
+    std::vector<Token> tokens;
+    size_t i = 0;
+    while (i < text_.size()) {
+      const char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++i;
+        continue;
+      }
+      if (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_') {
+        size_t j = i;
+        while (j < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[j])) != 0 ||
+                text_[j] == '_')) {
+          ++j;
+        }
+        tokens.push_back({Token::kIdent, text_.substr(i, j - i)});
+        i = j;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const size_t close = text_.find(c, i + 1);
+        if (close == std::string::npos) {
+          return Status::invalid_argument("unterminated string literal");
+        }
+        tokens.push_back({Token::kString, text_.substr(i + 1, close - i - 1)});
+        i = close + 1;
+        continue;
+      }
+      auto two = text_.substr(i, 2);
+      if (two == "==") {
+        tokens.push_back({Token::kEq, two});
+        i += 2;
+        continue;
+      }
+      if (two == "!=") {
+        tokens.push_back({Token::kNe, two});
+        i += 2;
+        continue;
+      }
+      if (two == "&&") {
+        tokens.push_back({Token::kAnd, two});
+        i += 2;
+        continue;
+      }
+      if (two == "||") {
+        tokens.push_back({Token::kOr, two});
+        i += 2;
+        continue;
+      }
+      if (c == '!') {
+        tokens.push_back({Token::kNot, "!"});
+        ++i;
+        continue;
+      }
+      if (c == '(') {
+        tokens.push_back({Token::kLParen, "("});
+        ++i;
+        continue;
+      }
+      if (c == ')') {
+        tokens.push_back({Token::kRParen, ")"});
+        ++i;
+        continue;
+      }
+      return Status::invalid_argument(std::string("bad character '") + c +
+                                      "' in expression");
+    }
+    tokens.push_back({Token::kEnd, ""});
+    return tokens;
+  }
+
+ private:
+  const std::string& text_;
+};
+
+class ExprParser {
+ public:
+  explicit ExprParser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<std::shared_ptr<Expr>> parse() {
+    auto expr = parse_or();
+    if (!expr.is_ok()) return expr;
+    if (peek().kind != Token::kEnd) {
+      return Status::invalid_argument("trailing tokens in expression");
+    }
+    return expr;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  Token take() { return tokens_[pos_++]; }
+
+  Result<std::shared_ptr<Expr>> parse_or() {
+    auto lhs = parse_and();
+    if (!lhs.is_ok()) return lhs;
+    auto expr = std::move(lhs).take();
+    while (peek().kind == Token::kOr) {
+      take();
+      auto rhs = parse_and();
+      if (!rhs.is_ok()) return rhs;
+      expr = std::make_shared<BinaryExpr>(false, std::move(expr),
+                                          std::move(rhs).take());
+    }
+    return expr;
+  }
+
+  Result<std::shared_ptr<Expr>> parse_and() {
+    auto lhs = parse_unary();
+    if (!lhs.is_ok()) return lhs;
+    auto expr = std::move(lhs).take();
+    while (peek().kind == Token::kAnd) {
+      take();
+      auto rhs = parse_unary();
+      if (!rhs.is_ok()) return rhs;
+      expr = std::make_shared<BinaryExpr>(true, std::move(expr),
+                                          std::move(rhs).take());
+    }
+    return expr;
+  }
+
+  Result<std::shared_ptr<Expr>> parse_unary() {
+    if (peek().kind == Token::kNot) {
+      take();
+      auto inner = parse_unary();
+      if (!inner.is_ok()) return inner;
+      return std::shared_ptr<Expr>(
+          std::make_shared<NotExpr>(std::move(inner).take()));
+    }
+    return parse_primary();
+  }
+
+  Result<std::shared_ptr<Expr>> parse_primary() {
+    if (peek().kind == Token::kLParen) {
+      take();
+      auto inner = parse_or();
+      if (!inner.is_ok()) return inner;
+      if (peek().kind != Token::kRParen) {
+        return Status::invalid_argument("missing ')'");
+      }
+      take();
+      return inner;
+    }
+    if (peek().kind != Token::kIdent) {
+      return Status::invalid_argument("expected identifier, got '" +
+                                      peek().text + "'");
+    }
+    const std::string key = take().text;
+    if (peek().kind == Token::kEq || peek().kind == Token::kNe) {
+      const bool negated = take().kind == Token::kNe;
+      if (peek().kind != Token::kIdent && peek().kind != Token::kString) {
+        return Status::invalid_argument("expected literal after comparison");
+      }
+      const std::string literal = take().text;
+      return std::shared_ptr<Expr>(
+          std::make_shared<CompareExpr>(key, literal, negated));
+    }
+    return std::shared_ptr<Expr>(std::make_shared<IdentExpr>(key));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<std::shared_ptr<Expr>> parse_expr(const std::string& text) {
+  auto tokens = Lexer(text).lex();
+  if (!tokens.is_ok()) return tokens.status();
+  return ExprParser(std::move(tokens).take()).parse();
+}
+
+// ---- template nodes ----------------------------------------------------------
+
+struct Template::Node {
+  // Text node when expr-less leaf; otherwise a conditional with branches.
+  std::string text;  // literal chunk (may contain ${...})
+  struct Branch {
+    std::shared_ptr<Expr> condition;  // nullptr = else
+    std::vector<std::shared_ptr<Node>> children;
+  };
+  std::vector<Branch> branches;  // empty for text nodes
+  [[nodiscard]] bool is_text() const { return branches.empty(); }
+};
+
+namespace {
+
+// Returns the directive body if the line is `//% ...`, else nullopt.
+std::optional<std::string> directive_of(std::string_view line) {
+  auto trimmed = trim(line);
+  if (!starts_with(trimmed, "//%")) return std::nullopt;
+  return std::string(trim(trimmed.substr(3)));
+}
+
+Status substitute(const std::string& text, const OptionSet& options,
+                  const std::map<std::string, std::string>& extras,
+                  std::string& out) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t open = text.find("${", pos);
+    if (open == std::string::npos) {
+      out.append(text, pos, std::string::npos);
+      return Status::ok();
+    }
+    out.append(text, pos, open - pos);
+    const size_t close = text.find('}', open + 2);
+    if (close == std::string::npos) {
+      return Status::invalid_argument("unterminated ${...}");
+    }
+    const std::string key = text.substr(open + 2, close - open - 2);
+    if (auto value = options.get(key)) {
+      out += *value;
+    } else if (auto it = extras.find(key); it != extras.end()) {
+      out += it->second;
+    } else {
+      // Unknown keys pass through verbatim so generated files (e.g.
+      // CMakeLists.txt) can use their own ${VAR} syntax.
+      out.append(text, open, close - open + 1);
+    }
+    pos = close + 1;
+  }
+  return Status::ok();
+}
+
+void collect_substitution_keys(const std::string& text,
+                               std::set<std::string>& out) {
+  size_t pos = 0;
+  while ((pos = text.find("${", pos)) != std::string::npos) {
+    const size_t close = text.find('}', pos + 2);
+    if (close == std::string::npos) return;
+    out.insert(text.substr(pos + 2, close - pos - 2));
+    pos = close + 1;
+  }
+}
+
+}  // namespace
+
+Result<Template> Template::parse(const std::string& source) {
+  Template tmpl;
+  // Stack of open conditional scopes: target vectors to append nodes to.
+  struct Scope {
+    std::shared_ptr<Node> cond_node;  // the conditional being built
+  };
+  std::vector<Scope> stack;
+
+  auto current_children = [&]() -> std::vector<std::shared_ptr<Node>>& {
+    if (stack.empty()) return tmpl.nodes_;
+    return stack.back().cond_node->branches.back().children;
+  };
+
+  auto append_text = [&](const std::string& line) {
+    auto& children = current_children();
+    if (!children.empty() && children.back()->is_text()) {
+      children.back()->text += line;
+    } else {
+      auto node = std::make_shared<Node>();
+      node->text = line;
+      children.push_back(std::move(node));
+    }
+    collect_substitution_keys(line, tmpl.substitution_keys_);
+  };
+
+  size_t start = 0;
+  int line_no = 0;
+  while (start <= source.size()) {
+    ++line_no;
+    size_t end = source.find('\n', start);
+    const bool last = end == std::string::npos;
+    std::string line =
+        source.substr(start, last ? std::string::npos : end - start + 1);
+    start = last ? source.size() + 1 : end + 1;
+    if (line.empty() && last) break;
+
+    auto directive = directive_of(line);
+    if (!directive) {
+      append_text(line);
+      continue;
+    }
+    const std::string& body = *directive;
+    if (starts_with(body, "if ")) {
+      auto expr = parse_expr(body.substr(3));
+      if (!expr.is_ok()) {
+        return Status::invalid_argument("line " + std::to_string(line_no) +
+                                        ": " + expr.status().message());
+      }
+      auto node = std::make_shared<Node>();
+      node->branches.push_back({std::move(expr).take(), {}});
+      node->branches.back().condition->collect_keys(tmpl.condition_keys_);
+      current_children().push_back(node);
+      stack.push_back({node});
+    } else if (starts_with(body, "elif ")) {
+      if (stack.empty()) {
+        return Status::invalid_argument("line " + std::to_string(line_no) +
+                                        ": elif without if");
+      }
+      auto expr = parse_expr(body.substr(5));
+      if (!expr.is_ok()) {
+        return Status::invalid_argument("line " + std::to_string(line_no) +
+                                        ": " + expr.status().message());
+      }
+      auto& node = stack.back().cond_node;
+      if (!node->branches.back().condition) {
+        return Status::invalid_argument("line " + std::to_string(line_no) +
+                                        ": elif after else");
+      }
+      node->branches.push_back({std::move(expr).take(), {}});
+      node->branches.back().condition->collect_keys(tmpl.condition_keys_);
+    } else if (body == "else") {
+      if (stack.empty()) {
+        return Status::invalid_argument("line " + std::to_string(line_no) +
+                                        ": else without if");
+      }
+      auto& node = stack.back().cond_node;
+      if (!node->branches.back().condition) {
+        return Status::invalid_argument("line " + std::to_string(line_no) +
+                                        ": duplicate else");
+      }
+      node->branches.push_back({nullptr, {}});
+    } else if (body == "end") {
+      if (stack.empty()) {
+        return Status::invalid_argument("line " + std::to_string(line_no) +
+                                        ": end without if");
+      }
+      stack.pop_back();
+    } else {
+      return Status::invalid_argument("line " + std::to_string(line_no) +
+                                      ": unknown directive '" + body + "'");
+    }
+  }
+  if (!stack.empty()) {
+    return Status::invalid_argument("unterminated //% if");
+  }
+  return tmpl;
+}
+
+namespace {
+
+Status render_nodes(const std::vector<std::shared_ptr<Template::Node>>& nodes,
+                    const OptionSet& options,
+                    const std::map<std::string, std::string>& extras,
+                    std::string& out);
+
+}  // namespace
+
+Result<std::string> Template::render(
+    const OptionSet& options,
+    const std::map<std::string, std::string>& extras) const {
+  std::string out;
+  auto status = render_nodes(nodes_, options, extras, out);
+  if (!status.is_ok()) return status;
+  return out;
+}
+
+namespace {
+
+Status render_nodes(const std::vector<std::shared_ptr<Template::Node>>& nodes,
+                    const OptionSet& options,
+                    const std::map<std::string, std::string>& extras,
+                    std::string& out) {
+  for (const auto& node : nodes) {
+    if (node->is_text()) {
+      auto status = substitute(node->text, options, extras, out);
+      if (!status.is_ok()) return status;
+      continue;
+    }
+    for (const auto& branch : node->branches) {
+      if (branch.condition == nullptr || branch.condition->evaluate(options)) {
+        auto status = render_nodes(branch.children, options, extras, out);
+        if (!status.is_ok()) return status;
+        break;
+      }
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+}  // namespace cops::gdp

@@ -1,0 +1,76 @@
+// The template language of the generative pattern engine.
+//
+// CO₂P₃S generates framework code by instantiating templates under the
+// chosen option values, including or excluding feature code at generation
+// time — "application code underlying each feature can be included or
+// excluded at code generation time, based on the corresponding option
+// settings" (paper, Section III).  This processor implements that with
+// line-oriented directives embedded in otherwise ordinary source text:
+//
+//   //% if scheduling
+//   int priority_ = 0;                 // only emitted when O8 is on
+//   //% elif mode == "debug"
+//   ...
+//   //% else
+//   ...
+//   //% end
+//
+// and `${key}` value substitution.  Expressions support identifiers (option
+// keys, truthy when yes/true/on/1 or non-empty non-"no"), `==`/`!=` against
+// quoted strings or barewords, `!`, `&&`, `||`, and parentheses.
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "gdp/option.hpp"
+
+namespace cops::gdp {
+
+// A parsed boolean expression over option values.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  [[nodiscard]] virtual bool evaluate(const OptionSet& options) const = 0;
+  virtual void collect_keys(std::set<std::string>& out) const = 0;
+};
+
+// Parses an expression; error status on bad syntax.
+Result<std::shared_ptr<Expr>> parse_expr(const std::string& text);
+
+// A parsed template, renderable against any OptionSet.
+class Template {
+ public:
+  static Result<Template> parse(const std::string& source);
+
+  // Renders with option values; `${key}` falls back to `extras` when the
+  // key is not an option.
+  [[nodiscard]] Result<std::string> render(
+      const OptionSet& options,
+      const std::map<std::string, std::string>& extras = {}) const;
+
+  // Option keys referenced by condition directives (drives Table 2's 'o'/'+'
+  // crosscut analysis).
+  [[nodiscard]] const std::set<std::string>& condition_keys() const {
+    return condition_keys_;
+  }
+  // Keys referenced via ${...} substitution.
+  [[nodiscard]] const std::set<std::string>& substitution_keys() const {
+    return substitution_keys_;
+  }
+
+  // Parse-tree node; public so the out-of-line renderer can traverse it.
+  struct Node;
+
+ private:
+  Template() = default;
+
+  std::vector<std::shared_ptr<Node>> nodes_;
+  std::set<std::string> condition_keys_;
+  std::set<std::string> substitution_keys_;
+};
+
+}  // namespace cops::gdp

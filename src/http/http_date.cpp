@@ -1,0 +1,40 @@
+#include "http/http_date.hpp"
+
+#include <ctime>
+#include <mutex>
+
+namespace cops::http {
+
+std::string format_http_date(int64_t unix_seconds) {
+  const time_t t = static_cast<time_t>(unix_seconds);
+  tm utc{};
+  gmtime_r(&t, &utc);
+  char buf[64];
+  std::strftime(buf, sizeof(buf), "%a, %d %b %Y %H:%M:%S GMT", &utc);
+  return buf;
+}
+
+int64_t parse_http_date(const std::string& value) {
+  tm parsed{};
+  // strptime handles the fixed IMF format; reject trailing garbage.
+  const char* end = ::strptime(value.c_str(), "%a, %d %b %Y %H:%M:%S GMT",
+                               &parsed);
+  if (end == nullptr || *end != '\0') return -1;
+  const time_t t = ::timegm(&parsed);
+  return t < 0 ? -1 : static_cast<int64_t>(t);
+}
+
+std::string now_http_date() {
+  static std::mutex mutex;
+  static time_t cached_second = 0;
+  static std::string cached_value;
+  const time_t t = ::time(nullptr);
+  std::lock_guard lock(mutex);
+  if (t != cached_second) {
+    cached_second = t;
+    cached_value = format_http_date(static_cast<int64_t>(t));
+  }
+  return cached_value;
+}
+
+}  // namespace cops::http

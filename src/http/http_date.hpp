@@ -1,0 +1,19 @@
+// RFC 7231 (IMF-fixdate) date formatting, e.g. "Sun, 06 Nov 1994 08:49:37 GMT".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cops::http {
+
+// Formats a UNIX timestamp; `now_http_date()` uses the current time (cached
+// per second — a Date header is emitted on every reply, and strftime on the
+// hot path would be a measurable cost).
+[[nodiscard]] std::string format_http_date(int64_t unix_seconds);
+[[nodiscard]] std::string now_http_date();
+
+// Parses an IMF-fixdate ("Sun, 06 Nov 1994 08:49:37 GMT") back to a UNIX
+// timestamp; -1 on malformed input.  Used for If-Modified-Since.
+[[nodiscard]] int64_t parse_http_date(const std::string& value);
+
+}  // namespace cops::http

@@ -1,0 +1,35 @@
+// HTTP method enumeration.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace cops::http {
+
+enum class Method { kGet, kHead, kPost, kPut, kDelete, kOptions, kTrace };
+
+[[nodiscard]] constexpr const char* to_string(Method m) {
+  switch (m) {
+    case Method::kGet: return "GET";
+    case Method::kHead: return "HEAD";
+    case Method::kPost: return "POST";
+    case Method::kPut: return "PUT";
+    case Method::kDelete: return "DELETE";
+    case Method::kOptions: return "OPTIONS";
+    case Method::kTrace: return "TRACE";
+  }
+  return "?";
+}
+
+[[nodiscard]] inline std::optional<Method> parse_method(std::string_view s) {
+  if (s == "GET") return Method::kGet;
+  if (s == "HEAD") return Method::kHead;
+  if (s == "POST") return Method::kPost;
+  if (s == "PUT") return Method::kPut;
+  if (s == "DELETE") return Method::kDelete;
+  if (s == "OPTIONS") return Method::kOptions;
+  if (s == "TRACE") return Method::kTrace;
+  return std::nullopt;
+}
+
+}  // namespace cops::http

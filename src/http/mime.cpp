@@ -1,0 +1,39 @@
+#include "http/mime.hpp"
+
+#include <unordered_map>
+
+#include "common/string_util.hpp"
+
+namespace cops::http {
+
+std::string_view mime_type_for(std::string_view path) {
+  static const std::unordered_map<std::string, std::string_view> kTypes = {
+      {"html", "text/html"},
+      {"htm", "text/html"},
+      {"txt", "text/plain"},
+      {"css", "text/css"},
+      {"js", "application/javascript"},
+      {"json", "application/json"},
+      {"xml", "application/xml"},
+      {"png", "image/png"},
+      {"jpg", "image/jpeg"},
+      {"jpeg", "image/jpeg"},
+      {"gif", "image/gif"},
+      {"svg", "image/svg+xml"},
+      {"ico", "image/x-icon"},
+      {"pdf", "application/pdf"},
+      {"zip", "application/zip"},
+      {"gz", "application/gzip"},
+      {"tar", "application/x-tar"},
+      {"mp4", "video/mp4"},
+      {"mp3", "audio/mpeg"},
+      {"wasm", "application/wasm"},
+  };
+  const size_t dot = path.rfind('.');
+  if (dot == std::string_view::npos) return "application/octet-stream";
+  const auto ext = cops::to_lower(path.substr(dot + 1));
+  auto it = kTypes.find(ext);
+  return it == kTypes.end() ? "application/octet-stream" : it->second;
+}
+
+}  // namespace cops::http

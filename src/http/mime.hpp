@@ -1,0 +1,13 @@
+// File-extension → MIME type mapping.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace cops::http {
+
+// Returns the MIME type for a path's extension; "application/octet-stream"
+// when unknown.
+[[nodiscard]] std::string_view mime_type_for(std::string_view path);
+
+}  // namespace cops::http

@@ -1,0 +1,16 @@
+#include "http/request.hpp"
+
+#include "common/string_util.hpp"
+
+namespace cops::http {
+
+bool HttpRequest::keep_alive() const {
+  const auto connection = cops::to_lower(header_or("connection"));
+  if (version_major == 1 && version_minor >= 1) {
+    return connection.find("close") == std::string::npos;
+  }
+  // HTTP/1.0: persistent only with an explicit keep-alive token.
+  return connection.find("keep-alive") != std::string::npos;
+}
+
+}  // namespace cops::http

@@ -1,0 +1,35 @@
+// Parsed HTTP request.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "http/method.hpp"
+
+namespace cops::http {
+
+struct HttpRequest {
+  Method method = Method::kGet;
+  std::string target;       // raw request-target, e.g. "/dir0/file3.html?x=1"
+  std::string path;         // decoded, query stripped
+  std::string query;        // after '?', raw
+  int version_major = 1;
+  int version_minor = 1;
+  // Header names lower-cased at parse time.
+  std::map<std::string, std::string> headers;
+  std::string body;
+
+  [[nodiscard]] bool has_header(const std::string& name) const {
+    return headers.count(name) != 0;
+  }
+  [[nodiscard]] std::string header_or(const std::string& name,
+                                      std::string fallback = {}) const {
+    auto it = headers.find(name);
+    return it == headers.end() ? std::move(fallback) : it->second;
+  }
+  // HTTP/1.1 defaults to persistent connections; "Connection: close"
+  // (or HTTP/1.0 without keep-alive) ends the connection after the reply.
+  [[nodiscard]] bool keep_alive() const;
+};
+
+}  // namespace cops::http

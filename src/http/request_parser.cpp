@@ -1,0 +1,158 @@
+#include "http/request_parser.hpp"
+
+#include <vector>
+
+#include "common/string_util.hpp"
+
+namespace cops::http {
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+bool parse_request_line(std::string_view line, HttpRequest& out) {
+  // METHOD SP request-target SP HTTP/x.y
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string_view::npos) return false;
+  const size_t sp2 = line.rfind(' ');
+  if (sp2 == sp1) return false;
+  auto method = parse_method(line.substr(0, sp1));
+  if (!method) return false;
+  out.method = *method;
+  out.target = std::string(cops::trim(line.substr(sp1 + 1, sp2 - sp1 - 1)));
+  if (out.target.empty()) return false;
+  auto version = line.substr(sp2 + 1);
+  if (!cops::starts_with(version, "HTTP/") || version.size() != 8 ||
+      version[6] != '.') {
+    return false;
+  }
+  if (version[5] < '0' || version[5] > '9' || version[7] < '0' ||
+      version[7] > '9') {
+    return false;
+  }
+  out.version_major = version[5] - '0';
+  out.version_minor = version[7] - '0';
+
+  // Split target into path + query.
+  const size_t q = out.target.find('?');
+  const std::string raw_path =
+      q == std::string::npos ? out.target : out.target.substr(0, q);
+  out.query = q == std::string::npos ? "" : out.target.substr(q + 1);
+  out.path = sanitize_path(raw_path);
+  return true;
+}
+
+bool parse_header_line(std::string_view line, HttpRequest& out) {
+  const size_t colon = line.find(':');
+  if (colon == std::string_view::npos || colon == 0) return false;
+  auto name = cops::to_lower(cops::trim(line.substr(0, colon)));
+  auto value = std::string(cops::trim(line.substr(colon + 1)));
+  // Repeated headers: combine with a comma per RFC 7230 §3.2.2.
+  auto [it, inserted] = out.headers.emplace(std::move(name), std::move(value));
+  if (!inserted) {
+    it->second += ", ";
+    it->second += cops::trim(line.substr(colon + 1));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string sanitize_path(std::string_view raw_path) {
+  // Percent-decode.
+  std::string decoded;
+  decoded.reserve(raw_path.size());
+  for (size_t i = 0; i < raw_path.size(); ++i) {
+    if (raw_path[i] == '%') {
+      if (i + 2 >= raw_path.size()) return {};
+      const int hi = hex_digit(raw_path[i + 1]);
+      const int lo = hex_digit(raw_path[i + 2]);
+      if (hi < 0 || lo < 0) return {};
+      decoded.push_back(static_cast<char>(hi * 16 + lo));
+      i += 2;
+    } else {
+      decoded.push_back(raw_path[i]);
+    }
+  }
+  if (decoded.empty() || decoded.front() != '/') return {};
+  if (decoded.find('\0') != std::string::npos) return {};
+
+  // Normalize segments; refuse traversal above the root.
+  std::vector<std::string> segments;
+  for (const auto& seg : cops::split(decoded.substr(1), '/')) {
+    if (seg.empty() || seg == ".") continue;
+    if (seg == "..") {
+      if (segments.empty()) return {};  // escaping the document root
+      segments.pop_back();
+      continue;
+    }
+    segments.push_back(seg);
+  }
+  std::string out = "/";
+  for (size_t i = 0; i < segments.size(); ++i) {
+    out += segments[i];
+    if (i + 1 < segments.size()) out += '/';
+  }
+  // Preserve a trailing slash (directory request).
+  if (decoded.size() > 1 && decoded.back() == '/' && out.back() != '/') {
+    out += '/';
+  }
+  return out;
+}
+
+ParseOutcome parse_request(cops::ByteBuffer& in, HttpRequest& out,
+                           const ParseLimits& limits) {
+  const auto view = in.view();
+  const size_t header_end = view.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) {
+    if (view.size() > limits.max_header_bytes) return ParseOutcome::kMalformed;
+    return ParseOutcome::kIncomplete;
+  }
+  if (header_end > limits.max_header_bytes) return ParseOutcome::kMalformed;
+
+  HttpRequest request;
+  const auto header_block = view.substr(0, header_end);
+  size_t line_start = 0;
+  bool first = true;
+  while (line_start <= header_block.size()) {
+    size_t line_end = header_block.find("\r\n", line_start);
+    if (line_end == std::string_view::npos) line_end = header_block.size();
+    const auto line = header_block.substr(line_start, line_end - line_start);
+    if (first) {
+      if (!parse_request_line(line, request)) return ParseOutcome::kMalformed;
+      first = false;
+    } else if (!line.empty()) {
+      if (!parse_header_line(line, request)) return ParseOutcome::kMalformed;
+    }
+    if (line_end == header_block.size()) break;
+    line_start = line_end + 2;
+  }
+  if (first) return ParseOutcome::kMalformed;
+  if (request.path.empty() && request.target != "*") {
+    return ParseOutcome::kMalformed;
+  }
+
+  // Body (Content-Length only; chunked uploads are out of scope for a
+  // static-content server, as in COPS-HTTP).
+  size_t body_len = 0;
+  if (auto it = request.headers.find("content-length");
+      it != request.headers.end()) {
+    const long n = cops::parse_non_negative(it->second);
+    if (n < 0 || static_cast<size_t>(n) > limits.max_body_bytes) {
+      return ParseOutcome::kMalformed;
+    }
+    body_len = static_cast<size_t>(n);
+  }
+  const size_t total = header_end + 4 + body_len;
+  if (view.size() < total) return ParseOutcome::kIncomplete;
+  request.body = std::string(view.substr(header_end + 4, body_len));
+  in.consume(total);
+  out = std::move(request);
+  return ParseOutcome::kComplete;
+}
+
+}  // namespace cops::http

@@ -1,0 +1,37 @@
+// Incremental HTTP/1.x request parser.
+//
+// Feed it a ByteBuffer; it consumes exactly one complete request (headers +
+// Content-Length body) per call, leaving pipelined follow-up requests in the
+// buffer — the contract the N-Server Decode step needs.
+#pragma once
+
+#include <cstddef>
+
+#include "common/byte_buffer.hpp"
+#include "http/request.hpp"
+
+namespace cops::http {
+
+enum class ParseOutcome {
+  kIncomplete,  // need more bytes
+  kComplete,    // one request parsed and consumed
+  kMalformed,
+};
+
+struct ParseLimits {
+  size_t max_header_bytes = 16 * 1024;
+  size_t max_body_bytes = 1 * 1024 * 1024;
+};
+
+// Parses one request from `in`.  On kComplete the request is stored in
+// `out` and its bytes consumed; on kIncomplete nothing is consumed; on
+// kMalformed the buffer state is unspecified (the caller closes).
+ParseOutcome parse_request(cops::ByteBuffer& in, HttpRequest& out,
+                           const ParseLimits& limits = {});
+
+// Percent-decodes and normalizes a request path.  Returns an empty string
+// for traversal attempts ("..") or malformed escapes — callers must treat
+// that as Forbidden.
+[[nodiscard]] std::string sanitize_path(std::string_view raw_path);
+
+}  // namespace cops::http

@@ -1,0 +1,56 @@
+#include "http/response.hpp"
+
+#include "http/http_date.hpp"
+
+namespace cops::http {
+
+std::string HttpResponse::serialize() const {
+  std::string out;
+  out.reserve(256 + (head_only ? 0 : body_size()));
+  out += "HTTP/1.1 ";
+  out += std::to_string(static_cast<int>(status));
+  out += ' ';
+  out += reason_phrase(status);
+  out += "\r\n";
+  if (headers.count("Server") == 0) out += "Server: COPS-HTTP/1.0\r\n";
+  if (headers.count("Date") == 0) {
+    out += "Date: ";
+    out += now_http_date();
+    out += "\r\n";
+  }
+  if (headers.count("Content-Length") == 0) {
+    out += "Content-Length: ";
+    out += std::to_string(body_size());
+    out += "\r\n";
+  }
+  for (const auto& [name, value] : headers) {
+    out += name;
+    out += ": ";
+    out += value;
+    out += "\r\n";
+  }
+  out += "\r\n";
+  if (!head_only) {
+    if (file) {
+      out += file->bytes;
+    } else {
+      out += body;
+    }
+  }
+  return out;
+}
+
+HttpResponse make_error_response(StatusCode status, bool keep_alive) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.body = std::string("<html><head><title>") +
+              std::to_string(static_cast<int>(status)) + " " +
+              reason_phrase(status) + "</title></head><body><h1>" +
+              std::to_string(static_cast<int>(status)) + " " +
+              reason_phrase(status) + "</h1></body></html>\n";
+  resp.set_header("Content-Type", "text/html");
+  resp.set_header("Connection", keep_alive ? "keep-alive" : "close");
+  return resp;
+}
+
+}  // namespace cops::http

@@ -1,0 +1,37 @@
+// HTTP response builder (the Encode Reply step's output format).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "http/status_code.hpp"
+#include "nserver/file_io_service.hpp"
+
+namespace cops::http {
+
+struct HttpResponse {
+  StatusCode status = StatusCode::kOk;
+  std::map<std::string, std::string> headers;
+  // Body either inline or as a shared file snapshot (zero-copy from cache).
+  std::string body;
+  cops::nserver::FileDataPtr file;
+  bool head_only = false;  // HEAD: emit headers, suppress body bytes
+
+  void set_header(std::string name, std::string value) {
+    headers[std::move(name)] = std::move(value);
+  }
+  [[nodiscard]] size_t body_size() const {
+    return file ? file->size() : body.size();
+  }
+
+  // Serializes status line + headers + body.  Adds Content-Length, Server,
+  // and Date headers if absent.
+  [[nodiscard]] std::string serialize() const;
+};
+
+// Builds a simple HTML error page response.
+[[nodiscard]] HttpResponse make_error_response(StatusCode status,
+                                               bool keep_alive);
+
+}  // namespace cops::http

@@ -1,0 +1,46 @@
+// HTTP status codes and reason phrases.
+#pragma once
+
+namespace cops::http {
+
+enum class StatusCode : int {
+  kOk = 200,
+  kNoContent = 204,
+  kMovedPermanently = 301,
+  kNotModified = 304,
+  kBadRequest = 400,
+  kForbidden = 403,
+  kNotFound = 404,
+  kMethodNotAllowed = 405,
+  kRequestTimeout = 408,
+  kPayloadTooLarge = 413,
+  kUriTooLong = 414,
+  kInternalServerError = 500,
+  kNotImplemented = 501,
+  kServiceUnavailable = 503,
+  kHttpVersionNotSupported = 505,
+};
+
+[[nodiscard]] constexpr const char* reason_phrase(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kNoContent: return "No Content";
+    case StatusCode::kMovedPermanently: return "Moved Permanently";
+    case StatusCode::kNotModified: return "Not Modified";
+    case StatusCode::kBadRequest: return "Bad Request";
+    case StatusCode::kForbidden: return "Forbidden";
+    case StatusCode::kNotFound: return "Not Found";
+    case StatusCode::kMethodNotAllowed: return "Method Not Allowed";
+    case StatusCode::kRequestTimeout: return "Request Timeout";
+    case StatusCode::kPayloadTooLarge: return "Payload Too Large";
+    case StatusCode::kUriTooLong: return "URI Too Long";
+    case StatusCode::kInternalServerError: return "Internal Server Error";
+    case StatusCode::kNotImplemented: return "Not Implemented";
+    case StatusCode::kServiceUnavailable: return "Service Unavailable";
+    case StatusCode::kHttpVersionNotSupported:
+      return "HTTP Version Not Supported";
+  }
+  return "Unknown";
+}
+
+}  // namespace cops::http

@@ -1,0 +1,89 @@
+#include "loadgen/fileset.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+namespace cops::loadgen {
+
+std::string file_url(size_t dir, int size_class, int index) {
+  return "/dir" + std::to_string(dir) + "/class" + std::to_string(size_class) +
+         "_" + std::to_string(index) + ".html";
+}
+
+size_t directory_bytes() {
+  size_t total = 0;
+  for (int c = 0; c < kClassesPerDir; ++c) {
+    for (int f = 0; f < kFilesPerClass; ++f) {
+      total += file_size_bytes(c, f);
+    }
+  }
+  return total;
+}
+
+size_t fileset_bytes(const FilesetConfig& config) {
+  return directory_bytes() * config.directories;
+}
+
+Status generate_fileset(const FilesetConfig& config) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(config.root, ec);
+  if (ec) return Status::io_error("mkdir " + config.root + ": " + ec.message());
+
+  std::mt19937 rng(config.seed);
+  std::uniform_int_distribution<int> letter('a', 'z');
+  for (size_t d = 0; d < config.directories; ++d) {
+    const fs::path dir = fs::path(config.root) / ("dir" + std::to_string(d));
+    fs::create_directories(dir, ec);
+    if (ec) return Status::io_error("mkdir: " + ec.message());
+    for (int c = 0; c < kClassesPerDir; ++c) {
+      for (int f = 0; f < kFilesPerClass; ++f) {
+        const size_t size = file_size_bytes(c, f);
+        const fs::path file =
+            dir / ("class" + std::to_string(c) + "_" + std::to_string(f) +
+                   ".html");
+        if (fs::exists(file, ec) && fs::file_size(file, ec) == size) continue;
+        std::ofstream out(file, std::ios::binary);
+        if (!out) return Status::io_error("cannot create " + file.string());
+        std::string chunk(4096, 'x');
+        size_t remaining = size;
+        while (remaining > 0) {
+          for (auto& ch : chunk) ch = static_cast<char>(letter(rng));
+          const size_t n = remaining < chunk.size() ? remaining : chunk.size();
+          out.write(chunk.data(), static_cast<std::streamsize>(n));
+          remaining -= n;
+        }
+      }
+    }
+  }
+  return Status::ok();
+}
+
+WorkloadSampler::WorkloadSampler(const FilesetConfig& config)
+    : directories_(config.directories),
+      dir_zipf_(config.directories, config.dir_zipf_skew),
+      file_zipf_(kFilesPerClass, config.file_zipf_skew) {}
+
+std::string WorkloadSampler::sample(std::mt19937& rng) const {
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  return sample(uniform(rng), uniform(rng), uniform(rng));
+}
+
+std::string WorkloadSampler::sample(double u_dir, double u_class,
+                                    double u_file) const {
+  const size_t dir = dir_zipf_.sample(u_dir);
+  int size_class = 0;
+  double acc = 0.0;
+  for (int c = 0; c < kClassesPerDir; ++c) {
+    acc += kClassWeights[c];
+    if (u_class < acc) {
+      size_class = c;
+      break;
+    }
+    size_class = c;
+  }
+  const int file = static_cast<int>(file_zipf_.sample(u_file));
+  return file_url(dir, size_class, file);
+}
+
+}  // namespace cops::loadgen

@@ -1,0 +1,76 @@
+// SpecWeb99-style file set and access distribution.
+//
+// The paper's workload follows the SpecWeb99 benchmark: "A file set of size
+// 204.8 MB is created using the SpecWeb99 suite, with an average file size
+// of 16 KB."  SpecWeb99 organizes files into directories of 36 files across
+// four size classes:
+//   class 0:  0.1–0.9 KB  (9 files, ~35 % of accesses)
+//   class 1:    1–9 KB    (9 files, ~50 % of accesses)
+//   class 2:  10–90 KB    (9 files, ~14 % of accesses)
+//   class 3: 100–900 KB   (9 files,  ~1 % of accesses)
+// Directory popularity is Zipf; within a class, file popularity is Zipf as
+// well (an approximation of SpecWeb99's table-driven distribution).
+// Each directory holds ~5 MB, so the paper's 204.8 MB ≈ 41 directories; the
+// default here is scaled down (DESIGN.md, substitutions).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+#include "common/status.hpp"
+#include "common/zipf.hpp"
+
+namespace cops::loadgen {
+
+struct FilesetConfig {
+  std::string root;        // directory to create files under
+  size_t directories = 8;  // ~5 MB each
+  double dir_zipf_skew = 1.0;
+  double file_zipf_skew = 1.0;
+  unsigned seed = 42;      // content fill seed
+};
+
+inline constexpr int kClassesPerDir = 4;
+inline constexpr int kFilesPerClass = 9;
+// Access probability of each size class (SpecWeb99).
+inline constexpr double kClassWeights[kClassesPerDir] = {0.35, 0.50, 0.14,
+                                                         0.01};
+
+// Size in bytes of file `index` (0..8) in `size_class` (0..3).
+[[nodiscard]] constexpr size_t file_size_bytes(int size_class, int index) {
+  size_t base = 100;  // class 0: 100..900 bytes
+  for (int c = 0; c < size_class; ++c) base *= 10;
+  return base * static_cast<size_t>(index + 1);
+}
+
+// URL path (relative, leading '/') of a file.
+[[nodiscard]] std::string file_url(size_t dir, int size_class, int index);
+
+// Total bytes of one directory / of the whole set.
+[[nodiscard]] size_t directory_bytes();
+[[nodiscard]] size_t fileset_bytes(const FilesetConfig& config);
+
+// Creates the files on disk (idempotent: existing files of the right size
+// are kept).
+Status generate_fileset(const FilesetConfig& config);
+
+// Samples request paths with the SpecWeb99 distribution.
+class WorkloadSampler {
+ public:
+  explicit WorkloadSampler(const FilesetConfig& config);
+
+  // Thread-compatible: callers supply their own RNG.
+  [[nodiscard]] std::string sample(std::mt19937& rng) const;
+
+  // Deterministic variant used by tests: u* in [0,1).
+  [[nodiscard]] std::string sample(double u_dir, double u_class,
+                                   double u_file) const;
+
+ private:
+  size_t directories_;
+  ZipfDistribution dir_zipf_;
+  ZipfDistribution file_zipf_;
+};
+
+}  // namespace cops::loadgen

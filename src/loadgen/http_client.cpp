@@ -1,0 +1,364 @@
+#include "loadgen/http_client.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/jain.hpp"
+#include "common/string_util.hpp"
+#include "net/reactor.hpp"
+#include "net/socket.hpp"
+
+namespace cops::loadgen {
+
+double ClientStats::jain_fairness() const {
+  return cops::jain_fairness(responses_per_client);
+}
+
+namespace {
+
+// Minimal incremental HTTP response reader: headers + Content-Length body.
+class ResponseReader {
+ public:
+  void reset() {
+    buffer_.clear();
+    total_needed_ = 0;
+  }
+
+  // Returns +1 when a full response has been consumed, 0 when more bytes
+  // are needed, -1 on a malformed response.
+  int feed(const uint8_t* data, size_t len, size_t& response_bytes) {
+    buffer_.append(data, len);
+    if (total_needed_ == 0) {
+      const size_t header_end = buffer_.find("\r\n\r\n");
+      if (header_end == std::string_view::npos) {
+        return buffer_.readable() > 64 * 1024 ? -1 : 0;
+      }
+      const auto headers = buffer_.view().substr(0, header_end);
+      size_t body_len = 0;
+      // Scan for Content-Length (case-insensitive).
+      size_t pos = 0;
+      while (pos < headers.size()) {
+        size_t eol = headers.find("\r\n", pos);
+        if (eol == std::string_view::npos) eol = headers.size();
+        const auto line = headers.substr(pos, eol - pos);
+        const size_t colon = line.find(':');
+        if (colon != std::string_view::npos &&
+            cops::iequals(cops::trim(line.substr(0, colon)),
+                          "content-length")) {
+          const long n = cops::parse_non_negative(
+              cops::trim(line.substr(colon + 1)));
+          if (n < 0) return -1;
+          body_len = static_cast<size_t>(n);
+        }
+        pos = eol + 2;
+      }
+      total_needed_ = header_end + 4 + body_len;
+    }
+    if (buffer_.readable() >= total_needed_) {
+      response_bytes = total_needed_;
+      buffer_.consume(total_needed_);
+      const bool leftover = buffer_.readable() > 0;
+      total_needed_ = 0;
+      // Leftover bytes would be a pipelined response we never asked for.
+      return leftover ? -1 : 1;
+    }
+    return 0;
+  }
+
+ private:
+  ByteBuffer buffer_;
+  size_t total_needed_ = 0;
+};
+
+class Engine;
+
+// One simulated Web client: connect → 5 requests with think pauses → close
+// → repeat.
+class VirtualClient : public net::EventHandler {
+ public:
+  VirtualClient(Engine& engine, size_t index)
+      : engine_(engine), index_(index) {}
+
+  void begin();
+  void handle_event(int fd, uint32_t readiness) override;
+  void shutdown();
+
+  [[nodiscard]] uint64_t responses() const { return responses_; }
+
+ private:
+  enum class State { kIdle, kConnecting, kSending, kReceiving, kThinking };
+
+  void start_connect(bool fresh_attempt);
+  void on_connected();
+  void send_request();
+  void on_response_complete(size_t bytes);
+  void fail_connection(bool was_connecting);
+  void teardown_socket();
+  void schedule(Duration delay, std::function<void()> fn);
+  void cancel_timer();
+
+  Engine& engine_;
+  size_t index_;
+  State state_ = State::kIdle;
+  net::TcpSocket socket_;
+  ResponseReader reader_;
+  std::string outbound_;
+  size_t outbound_sent_ = 0;
+  int requests_on_connection_ = 0;
+  Duration backoff_{};
+  TimePoint connect_attempt_start_{};
+  TimePoint request_start_{};
+  bool first_request_on_connection_ = false;
+  uint64_t responses_ = 0;
+  net::TimerQueue::TimerId timer_ = 0;
+  bool timer_armed_ = false;
+};
+
+class Engine {
+ public:
+  explicit Engine(const ClientConfig& config)
+      : config_(config), rng_(config.seed) {
+    clients_.reserve(config.num_clients);
+    for (size_t i = 0; i < config.num_clients; ++i) {
+      clients_.push_back(std::make_unique<VirtualClient>(*this, i));
+    }
+    stats_.responses_per_client.assign(config.num_clients, 0);
+  }
+
+  ClientStats run() {
+    const auto start = now();
+    for (auto& client : clients_) client->begin();
+    const auto deadline = start + config_.duration;
+    while (now() < deadline) {
+      const auto remaining = deadline - now();
+      const int cap = static_cast<int>(
+          std::min<int64_t>(20, std::max<int64_t>(1, to_millis(remaining))));
+      reactor_.run_once(cap);
+    }
+    for (auto& client : clients_) client->shutdown();
+    stats_.elapsed_seconds = to_seconds(now() - start);
+    for (size_t i = 0; i < clients_.size(); ++i) {
+      stats_.responses_per_client[i] = clients_[i]->responses();
+    }
+    return std::move(stats_);
+  }
+
+  const ClientConfig& config() const { return config_; }
+  net::Reactor& reactor() { return reactor_; }
+  std::mt19937& rng() { return rng_; }
+  ClientStats& stats() { return stats_; }
+
+  std::string next_path(size_t client_index) {
+    if (config_.path_for) return config_.path_for(client_index, rng_);
+    return "/";
+  }
+  Duration jitter(Duration max) {
+    std::uniform_int_distribution<int64_t> dist(0, to_micros(max));
+    return std::chrono::microseconds(dist(rng_));
+  }
+
+ private:
+  ClientConfig config_;
+  net::Reactor reactor_;
+  std::mt19937 rng_;
+  ClientStats stats_;
+  std::vector<std::unique_ptr<VirtualClient>> clients_;
+};
+
+void VirtualClient::schedule(Duration delay, std::function<void()> fn) {
+  cancel_timer();
+  timer_ = engine_.reactor().run_after(delay, [this, fn = std::move(fn)] {
+    timer_armed_ = false;
+    fn();
+  });
+  timer_armed_ = true;
+}
+
+void VirtualClient::cancel_timer() {
+  if (timer_armed_) {
+    engine_.reactor().cancel_timer(timer_);
+    timer_armed_ = false;
+  }
+}
+
+void VirtualClient::begin() {
+  backoff_ = engine_.config().backoff_initial;
+  // Stagger client start-up so all N clients do not SYN simultaneously.
+  Duration spread = engine_.config().start_spread;
+  if (spread <= Duration::zero()) {
+    spread = engine_.config().think_time + std::chrono::milliseconds(1);
+  }
+  schedule(engine_.jitter(spread),
+           [this] { start_connect(/*fresh_attempt=*/true); });
+}
+
+void VirtualClient::start_connect(bool fresh_attempt) {
+  if (fresh_attempt) connect_attempt_start_ = now();
+  auto sock = net::TcpSocket::connect(engine_.config().server);
+  if (!sock.is_ok()) {
+    fail_connection(/*was_connecting=*/true);
+    return;
+  }
+  socket_ = std::move(sock).take();
+  state_ = State::kConnecting;
+  auto status = engine_.reactor().register_handler(socket_.fd(), this,
+                                                   net::kWritable);
+  if (!status.is_ok()) {
+    fail_connection(true);
+    return;
+  }
+  // Connect timeout — models the SYN retransmission clock.
+  schedule(engine_.config().connect_timeout, [this] {
+    if (state_ == State::kConnecting) fail_connection(true);
+  });
+}
+
+void VirtualClient::on_connected() {
+  cancel_timer();
+  backoff_ = engine_.config().backoff_initial;
+  requests_on_connection_ = 0;
+  first_request_on_connection_ = true;
+  socket_.set_nodelay(true);
+  send_request();
+}
+
+void VirtualClient::send_request() {
+  const std::string path = engine_.next_path(index_);
+  outbound_ = "GET " + path +
+              " HTTP/1.1\r\nHost: loadgen\r\nConnection: keep-alive\r\n\r\n";
+  outbound_sent_ = 0;
+  reader_.reset();
+  request_start_ = now();
+  state_ = State::kSending;
+  engine_.reactor().update_interest(socket_.fd(), net::kWritable);
+  // Try an immediate write; short requests normally fit in one syscall.
+  handle_event(socket_.fd(), net::kWritable);
+}
+
+void VirtualClient::handle_event(int /*fd*/, uint32_t readiness) {
+  if ((readiness & net::kErrored) != 0 && state_ != State::kConnecting) {
+    fail_connection(false);
+    return;
+  }
+  switch (state_) {
+    case State::kConnecting: {
+      auto status = socket_.finish_connect();
+      if (!status.is_ok()) {
+        fail_connection(true);
+        return;
+      }
+      on_connected();
+      return;
+    }
+    case State::kSending: {
+      if ((readiness & net::kWritable) == 0) return;
+      auto n = socket_.write(std::string_view(outbound_).substr(outbound_sent_));
+      if (!n.is_ok()) {
+        if (n.status().code() == StatusCode::kWouldBlock) return;
+        fail_connection(false);
+        return;
+      }
+      outbound_sent_ += n.value();
+      if (outbound_sent_ >= outbound_.size()) {
+        state_ = State::kReceiving;
+        engine_.reactor().update_interest(socket_.fd(), net::kReadable);
+      }
+      return;
+    }
+    case State::kReceiving: {
+      if ((readiness & net::kReadable) == 0) return;
+      ByteBuffer chunk;
+      auto n = socket_.read(chunk);
+      if (!n.is_ok()) {
+        if (n.status().code() == StatusCode::kWouldBlock) return;
+        fail_connection(false);
+        return;
+      }
+      size_t response_bytes = 0;
+      const int rc =
+          reader_.feed(chunk.read_ptr(), chunk.readable(), response_bytes);
+      if (rc < 0) {
+        fail_connection(false);
+      } else if (rc > 0) {
+        on_response_complete(response_bytes);
+      }
+      return;
+    }
+    case State::kIdle:
+    case State::kThinking:
+      return;
+  }
+}
+
+void VirtualClient::on_response_complete(size_t bytes) {
+  const auto at = now();
+  ++responses_;
+  auto& stats = engine_.stats();
+  stats.total_responses += 1;
+  stats.total_bytes += bytes;
+  const int64_t response_us = to_micros(at - request_start_);
+  stats.response_time.record(response_us);
+  // Combined time folds in the connection-establishment wait for the first
+  // request of each connection (paper, Fig. 6 discussion).
+  const int64_t combined_us =
+      first_request_on_connection_ ? to_micros(at - connect_attempt_start_)
+                                   : response_us;
+  stats.combined_time.record(combined_us);
+  first_request_on_connection_ = false;
+
+  ++requests_on_connection_;
+  state_ = State::kThinking;
+  const bool connection_done =
+      requests_on_connection_ >= engine_.config().requests_per_connection;
+  if (connection_done) teardown_socket();
+  // Think time after every page (the paper's simulated wide-area delay).
+  schedule(engine_.config().think_time, [this, connection_done] {
+    if (connection_done) {
+      start_connect(/*fresh_attempt=*/true);
+    } else {
+      state_ = State::kSending;  // restored by send_request
+      send_request();
+    }
+  });
+}
+
+void VirtualClient::fail_connection(bool was_connecting) {
+  auto& stats = engine_.stats();
+  if (was_connecting) {
+    stats.connect_failures += 1;
+  } else {
+    stats.connection_resets += 1;
+  }
+  teardown_socket();
+  state_ = State::kIdle;
+  // Exponential backoff before the retry (TCP SYN retransmission model);
+  // a retry does NOT reset connect_attempt_start_, so combined time sees
+  // the full wait.
+  const Duration wait = backoff_;
+  backoff_ = std::min(backoff_ * 2, engine_.config().backoff_max);
+  schedule(wait, [this, was_connecting] {
+    start_connect(/*fresh_attempt=*/!was_connecting);
+  });
+}
+
+void VirtualClient::teardown_socket() {
+  if (socket_.valid()) {
+    engine_.reactor().deregister(socket_.fd());
+    socket_.close();
+  }
+}
+
+void VirtualClient::shutdown() {
+  cancel_timer();
+  teardown_socket();
+  state_ = State::kIdle;
+}
+
+}  // namespace
+
+ClientStats run_clients(const ClientConfig& config) {
+  Engine engine(config);
+  return engine.run();
+}
+
+}  // namespace cops::loadgen

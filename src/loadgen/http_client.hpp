@@ -1,0 +1,74 @@
+// Concurrent HTTP workload generator.
+//
+// Reproduces the paper's client behaviour (Section V.B): each simulated Web
+// client repeatedly (1) establishes a connection, (2) issues 5 HTTP requests
+// on it (HTTP/1.1 persistent connections), pausing a think time after each
+// page "to simulate the wide-area transfer delay", then (3) terminates the
+// connection and starts over.
+//
+// The paper drove up to 1024 clients from 16 workstations; here all clients
+// are simulated by one epoll loop (a single thread multiplexing non-blocking
+// sockets), which keeps the generator itself off the server's CPU profile.
+//
+// Failed connects retry with exponential backoff — this models TCP SYN
+// retransmission, the mechanism behind Apache's fairness collapse in Fig. 4
+// (Solaris caps the retransmit timeout at 1 minute; backoff_max scales that
+// down along with everything else).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/histogram.hpp"
+#include "net/inet_address.hpp"
+
+namespace cops::loadgen {
+
+struct ClientConfig {
+  net::InetAddress server;
+  size_t num_clients = 1;
+  int requests_per_connection = 5;
+  Duration think_time = std::chrono::milliseconds(5);
+  Duration duration = std::chrono::seconds(2);
+
+  // Request path for client `client_index`'s next request.
+  std::function<std::string(size_t client_index, std::mt19937& rng)> path_for;
+
+  Duration connect_timeout = std::chrono::milliseconds(500);
+  Duration backoff_initial = std::chrono::milliseconds(50);
+  Duration backoff_max = std::chrono::seconds(6);
+
+  // Window over which the clients' initial connects are spread (zero =
+  // a think-time-sized jitter).  Models gradual arrival instead of an
+  // all-at-once SYN burst; the overload experiment (Fig. 6) relies on it.
+  Duration start_spread = Duration::zero();
+
+  unsigned seed = 7;
+};
+
+struct ClientStats {
+  std::vector<uint64_t> responses_per_client;
+  Histogram response_time;  // request sent → response fully received
+  Histogram combined_time;  // + connection-establishment wait (Fig. 6)
+  uint64_t total_responses = 0;
+  uint64_t total_bytes = 0;
+  uint64_t connect_failures = 0;  // timeouts / refusals (before a retry)
+  uint64_t connection_resets = 0;
+  double elapsed_seconds = 0.0;
+
+  [[nodiscard]] double throughput_rps() const {
+    return elapsed_seconds > 0
+               ? static_cast<double>(total_responses) / elapsed_seconds
+               : 0.0;
+  }
+  [[nodiscard]] double jain_fairness() const;
+};
+
+// Runs the workload on the calling thread until `duration` elapses.
+ClientStats run_clients(const ClientConfig& config);
+
+}  // namespace cops::loadgen

@@ -1,0 +1,60 @@
+#include "net/acceptor.hpp"
+
+#include "common/logging.hpp"
+
+namespace cops::net {
+
+Acceptor::~Acceptor() { close(); }
+
+Status Acceptor::open(const InetAddress& addr, int backlog) {
+  auto listener = TcpListener::listen(addr, backlog);
+  if (!listener.is_ok()) return listener.status();
+  listener_ = std::move(listener).take();
+  auto status =
+      reactor_.register_handler(listener_.fd(), this, kReadable);
+  if (!status.is_ok()) return status;
+  registered_ = true;
+  return Status::ok();
+}
+
+Status Acceptor::suspend() {
+  if (!registered_ || suspended_) return Status::ok();
+  auto status = reactor_.deregister(listener_.fd());
+  if (!status.is_ok()) return status;
+  suspended_ = true;
+  return Status::ok();
+}
+
+Status Acceptor::resume() {
+  if (!registered_ || !suspended_) return Status::ok();
+  auto status = reactor_.register_handler(listener_.fd(), this, kReadable);
+  if (!status.is_ok()) return status;
+  suspended_ = false;
+  return Status::ok();
+}
+
+void Acceptor::close() {
+  if (registered_ && !suspended_) {
+    reactor_.deregister(listener_.fd());
+  }
+  registered_ = false;
+  listener_.close();
+}
+
+void Acceptor::handle_event(int /*fd*/, uint32_t /*readiness*/) {
+  // Accept everything available; the listener is edge-insensitive (level-
+  // triggered epoll) but draining here saves wakeups.
+  while (true) {
+    auto sock = listener_.accept();
+    if (!sock.is_ok()) {
+      if (sock.status().code() != StatusCode::kWouldBlock) {
+        COPS_WARN("accept failed: " << sock.status().to_string());
+      }
+      return;
+    }
+    ++accepted_;
+    on_accept_(std::move(sock).take());
+  }
+}
+
+}  // namespace cops::net

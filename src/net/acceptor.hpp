@@ -1,0 +1,58 @@
+// Acceptor — the passive half of the Acceptor-Connector pattern (Schmidt,
+// 1997): decouples connection establishment from the service performed on
+// the established connection.  The N-Server registers an Acceptor with the
+// Reactor; every accepted socket is handed to a user-supplied factory.
+//
+// suspend()/resume() are the lever the overload controller (option O9)
+// pulls: suspending deregisters the listening socket from the Reactor so
+// new connection requests queue in the kernel (and are eventually dropped),
+// exactly as the paper's second overload-control mechanism postpones
+// connection acceptance.
+#pragma once
+
+#include <functional>
+
+#include "net/event_handler.hpp"
+#include "net/reactor.hpp"
+#include "net/socket.hpp"
+
+namespace cops::net {
+
+class Acceptor : public EventHandler {
+ public:
+  using AcceptCallback = std::function<void(TcpSocket)>;
+
+  Acceptor(Reactor& reactor, AcceptCallback on_accept)
+      : reactor_(reactor), on_accept_(std::move(on_accept)) {}
+  ~Acceptor() override;
+
+  // Binds and registers with the reactor.  Must run on the reactor thread
+  // (or before the loop starts).
+  Status open(const InetAddress& addr, int backlog = 128);
+
+  // The bound address (resolves port 0).
+  [[nodiscard]] Result<InetAddress> local_address() const {
+    return listener_.local_address();
+  }
+
+  // Overload control: stop/restart accepting new connections.
+  Status suspend();
+  Status resume();
+  [[nodiscard]] bool suspended() const { return suspended_; }
+
+  void close();
+
+  [[nodiscard]] uint64_t accepted_count() const { return accepted_; }
+
+  void handle_event(int fd, uint32_t readiness) override;
+
+ private:
+  Reactor& reactor_;
+  AcceptCallback on_accept_;
+  TcpListener listener_;
+  bool registered_ = false;
+  bool suspended_ = false;
+  uint64_t accepted_ = 0;
+};
+
+}  // namespace cops::net

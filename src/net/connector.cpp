@@ -1,0 +1,42 @@
+#include "net/connector.hpp"
+
+namespace cops::net {
+
+Connector::~Connector() {
+  for (auto& [fd, pending] : pending_) {
+    reactor_.deregister(fd);
+  }
+}
+
+Status Connector::connect(const InetAddress& peer, ConnectCallback on_done) {
+  auto sock = TcpSocket::connect(peer);
+  if (!sock.is_ok()) return sock.status();
+  auto pending = std::make_unique<Pending>(*this, std::move(sock).take(),
+                                           std::move(on_done));
+  const int fd = pending->socket.fd();
+  // Writability signals connect completion (success or failure).
+  auto status = reactor_.register_handler(fd, pending.get(), kWritable);
+  if (!status.is_ok()) return status;
+  pending_.emplace(fd, std::move(pending));
+  return Status::ok();
+}
+
+void Connector::Pending::handle_event(int fd, uint32_t /*readiness*/) {
+  owner.finish(fd);
+}
+
+void Connector::finish(int fd) {
+  auto it = pending_.find(fd);
+  if (it == pending_.end()) return;
+  auto pending = std::move(it->second);
+  pending_.erase(it);
+  reactor_.deregister(fd);
+  auto status = pending->socket.finish_connect();
+  if (status.is_ok()) {
+    pending->callback(std::move(pending->socket));
+  } else {
+    pending->callback(status);
+  }
+}
+
+}  // namespace cops::net

@@ -1,0 +1,50 @@
+// Connector — the active half of the Acceptor-Connector pattern.
+// Initiates a non-blocking connect and invokes the completion callback on
+// the reactor thread once the connection is established (or fails).
+// Used by the FTP server for active-mode (PORT) data connections and by
+// tests.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "net/event_handler.hpp"
+#include "net/reactor.hpp"
+#include "net/socket.hpp"
+
+namespace cops::net {
+
+class Connector {
+ public:
+  using ConnectCallback = std::function<void(Result<TcpSocket>)>;
+
+  explicit Connector(Reactor& reactor) : reactor_(reactor) {}
+  ~Connector();
+
+  // Starts a non-blocking connect to `peer`; `on_done` runs on the reactor
+  // thread with the connected socket or an error status.  Must be called
+  // from the reactor thread.
+  Status connect(const InetAddress& peer, ConnectCallback on_done);
+
+  [[nodiscard]] size_t pending() const { return pending_.size(); }
+
+ private:
+  // One in-flight connect; owns its socket until completion.
+  struct Pending : EventHandler {
+    Pending(Connector& owner, TcpSocket sock, ConnectCallback cb)
+        : owner(owner), socket(std::move(sock)), callback(std::move(cb)) {}
+    void handle_event(int fd, uint32_t readiness) override;
+
+    Connector& owner;
+    TcpSocket socket;
+    ConnectCallback callback;
+  };
+
+  void finish(int fd);
+
+  Reactor& reactor_;
+  std::unordered_map<int, std::unique_ptr<Pending>> pending_;
+};
+
+}  // namespace cops::net

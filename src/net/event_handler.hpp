@@ -1,0 +1,20 @@
+// EventHandler — the Reactor pattern participant that encapsulates
+// application-specific logic for one kind of I/O event (Schmidt, 1995).
+// Concrete handlers in this repository: AcceptorEventHandler,
+// ConnectorEventHandler, and the per-connection Communicator handler.
+#pragma once
+
+#include <cstdint>
+
+namespace cops::net {
+
+class EventHandler {
+ public:
+  virtual ~EventHandler() = default;
+
+  // Called by the Event Dispatcher with the readiness mask (kReadable /
+  // kWritable / kErrored) for the descriptor the handler registered.
+  virtual void handle_event(int fd, uint32_t readiness) = 0;
+};
+
+}  // namespace cops::net

@@ -1,0 +1,73 @@
+#include "net/poller.hpp"
+
+#include <sys/epoll.h>
+
+#include <array>
+#include <cerrno>
+
+namespace cops::net {
+namespace {
+
+uint32_t to_epoll(uint32_t interest) {
+  uint32_t ev = 0;
+  if ((interest & kReadable) != 0) ev |= EPOLLIN;
+  if ((interest & kWritable) != 0) ev |= EPOLLOUT;
+  return ev;
+}
+
+uint32_t from_epoll(uint32_t ev) {
+  uint32_t out = 0;
+  if ((ev & (EPOLLIN | EPOLLRDHUP)) != 0) out |= kReadable;
+  if ((ev & EPOLLOUT) != 0) out |= kWritable;
+  if ((ev & (EPOLLERR | EPOLLHUP)) != 0) out |= kErrored;
+  return out;
+}
+
+}  // namespace
+
+Poller::Poller() : epoll_fd_(::epoll_create1(0)) {}
+
+Status Poller::add(int fd, uint32_t interest) {
+  epoll_event ev{};
+  ev.events = to_epoll(interest);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+    return Status::from_errno("epoll_ctl(ADD)");
+  }
+  return Status::ok();
+}
+
+Status Poller::modify(int fd, uint32_t interest) {
+  epoll_event ev{};
+  ev.events = to_epoll(interest);
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) < 0) {
+    return Status::from_errno("epoll_ctl(MOD)");
+  }
+  return Status::ok();
+}
+
+Status Poller::remove(int fd) {
+  if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr) < 0) {
+    return Status::from_errno("epoll_ctl(DEL)");
+  }
+  return Status::ok();
+}
+
+Result<size_t> Poller::wait(std::vector<ReadyFd>& out, int timeout_ms) {
+  std::array<epoll_event, 256> events;  // NOLINT
+  const int n =
+      ::epoll_wait(epoll_fd_.get(), events.data(),
+                   static_cast<int>(events.size()), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return size_t{0};
+    return Status::from_errno("epoll_wait");
+  }
+  for (int i = 0; i < n; ++i) {
+    out.push_back({events[static_cast<size_t>(i)].data.fd,
+                   from_epoll(events[static_cast<size_t>(i)].events)});
+  }
+  return static_cast<size_t>(n);
+}
+
+}  // namespace cops::net

@@ -1,0 +1,45 @@
+// Thin epoll wrapper — the OS event-demultiplexing mechanism underneath the
+// Reactor (the paper's Java implementation sits on java.nio Selector; on
+// Linux that is epoll).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.hpp"
+#include "net/socket.hpp"
+
+namespace cops::net {
+
+// Interest/readiness flags (mirrored onto EPOLLIN/EPOLLOUT internally).
+inline constexpr uint32_t kReadable = 0x1;
+inline constexpr uint32_t kWritable = 0x2;
+inline constexpr uint32_t kErrored = 0x4;
+
+struct ReadyFd {
+  int fd = -1;
+  uint32_t events = 0;
+};
+
+class Poller {
+ public:
+  Poller();
+  ~Poller() = default;
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  Status add(int fd, uint32_t interest);
+  Status modify(int fd, uint32_t interest);
+  Status remove(int fd);
+
+  // Waits up to timeout_ms (-1 = forever); appends ready fds to `out` and
+  // returns the number of ready descriptors.
+  Result<size_t> wait(std::vector<ReadyFd>& out, int timeout_ms);
+
+  [[nodiscard]] bool valid() const { return epoll_fd_.valid(); }
+
+ private:
+  Fd epoll_fd_;
+};
+
+}  // namespace cops::net

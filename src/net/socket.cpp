@@ -1,0 +1,161 @@
+#include "net/socket.hpp"
+
+#include <fcntl.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace cops::net {
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Status::from_errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::from_errno("fcntl(F_SETFL)");
+  }
+  return Status::ok();
+}
+
+Result<TcpSocket> TcpSocket::connect(const InetAddress& peer) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0));
+  if (!fd.valid()) return Status::from_errno("socket");
+  const auto& raw = peer.raw();
+  const int rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&raw),
+                           sizeof(raw));
+  if (rc == 0) return TcpSocket(std::move(fd));
+  if (errno == EINPROGRESS) {
+    TcpSocket sock(std::move(fd));
+    // Caller must wait for writability; signal with kWouldBlock... but we
+    // still need to hand the socket back.  Convention: return the socket;
+    // callers treat a valid socket whose connect may be pending uniformly
+    // and call finish_connect() on writability.
+    return sock;
+  }
+  return Status::from_errno("connect");
+}
+
+Status TcpSocket::finish_connect() const {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd_.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
+    return Status::from_errno("getsockopt(SO_ERROR)");
+  }
+  if (err != 0) {
+    errno = err;
+    return Status::from_errno("connect");
+  }
+  return Status::ok();
+}
+
+Result<size_t> TcpSocket::read(ByteBuffer& buf, size_t max_bytes) {
+  uint8_t* dst = buf.prepare(max_bytes);
+  const ssize_t n = ::read(fd_.get(), dst, max_bytes);
+  if (n > 0) {
+    buf.commit(static_cast<size_t>(n));
+    return static_cast<size_t>(n);
+  }
+  buf.commit(0);
+  if (n == 0) return Status::closed();
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::would_block();
+  if (errno == ECONNRESET) return Status::closed();
+  return Status::from_errno("read");
+}
+
+Result<size_t> TcpSocket::write(ByteBuffer& buf) {
+  size_t total = 0;
+  while (buf.readable() > 0) {
+    const ssize_t n =
+        ::send(fd_.get(), buf.read_ptr(), buf.readable(), MSG_NOSIGNAL);
+    if (n > 0) {
+      buf.consume(static_cast<size_t>(n));
+      total += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (total > 0) return total;
+      return Status::would_block();
+    }
+    if (errno == EPIPE || errno == ECONNRESET) return Status::closed();
+    return Status::from_errno("send");
+  }
+  return total;
+}
+
+Result<size_t> TcpSocket::write(std::string_view data) {
+  const ssize_t n = ::send(fd_.get(), data.data(), data.size(), MSG_NOSIGNAL);
+  if (n >= 0) return static_cast<size_t>(n);
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::would_block();
+  if (errno == EPIPE || errno == ECONNRESET) return Status::closed();
+  return Status::from_errno("send");
+}
+
+Status TcpSocket::set_nodelay(bool on) {
+  const int flag = on ? 1 : 0;
+  if (::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag)) <
+      0) {
+    return Status::from_errno("setsockopt(TCP_NODELAY)");
+  }
+  return Status::ok();
+}
+
+void TcpSocket::shutdown_write() { ::shutdown(fd_.get(), SHUT_WR); }
+
+Result<InetAddress> TcpSocket::local_address() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return Status::from_errno("getsockname");
+  }
+  return InetAddress(addr);
+}
+
+Result<InetAddress> TcpSocket::peer_address() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getpeername(fd_.get(), reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return Status::from_errno("getpeername");
+  }
+  return InetAddress(addr);
+}
+
+Result<TcpListener> TcpListener::listen(const InetAddress& addr, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0));
+  if (!fd.valid()) return Status::from_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  const auto& raw = addr.raw();
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&raw), sizeof(raw)) <
+      0) {
+    return Status::from_errno("bind");
+  }
+  if (::listen(fd.get(), backlog) < 0) return Status::from_errno("listen");
+  return TcpListener(std::move(fd));
+}
+
+Result<TcpSocket> TcpListener::accept() {
+  const int client = ::accept4(fd_.get(), nullptr, nullptr, SOCK_NONBLOCK);
+  if (client >= 0) return TcpSocket(Fd(client));
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::would_block();
+  if (errno == ECONNABORTED || errno == EINTR) return Status::would_block();
+  return Status::from_errno("accept");
+}
+
+Result<InetAddress> TcpListener::local_address() const {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    return Status::from_errno("getsockname");
+  }
+  return InetAddress(addr);
+}
+
+}  // namespace cops::net

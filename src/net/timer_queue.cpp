@@ -1,0 +1,45 @@
+#include "net/timer_queue.hpp"
+
+#include <algorithm>
+
+namespace cops::net {
+
+TimerQueue::TimerId TimerQueue::schedule_at(TimePoint deadline,
+                                            std::function<void()> fn) {
+  const TimerId id = next_id_++;
+  heap_.push({deadline, id});
+  callbacks_.emplace(id, std::move(fn));
+  return id;
+}
+
+void TimerQueue::cancel(TimerId id) { callbacks_.erase(id); }
+
+int TimerQueue::next_timeout_ms(int cap_ms) const {
+  if (callbacks_.empty()) return cap_ms;
+  // The heap top may be a tombstone of a cancelled timer; that only causes
+  // an early wakeup, which is harmless.
+  const auto delta = heap_.top().deadline - now();
+  auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(delta).count();
+  if (ms < 0) ms = 0;
+  ++ms;  // round up so a wakeup does not land just before the deadline
+  if (cap_ms >= 0 && ms > cap_ms) return cap_ms;
+  return static_cast<int>(std::min<long long>(ms, 60'000));
+}
+
+size_t TimerQueue::run_due(TimePoint at) {
+  size_t fired = 0;
+  while (!heap_.empty() && heap_.top().deadline <= at) {
+    const Entry top = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(top.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    auto fn = std::move(it->second);
+    callbacks_.erase(it);
+    fn();
+    ++fired;
+  }
+  return fired;
+}
+
+}  // namespace cops::net

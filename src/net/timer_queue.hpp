@@ -1,0 +1,54 @@
+// Min-heap timer queue used by the Timer event source (idle-connection
+// reaping, client think time, retry backoff...).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.hpp"
+
+namespace cops::net {
+
+class TimerQueue {
+ public:
+  using TimerId = uint64_t;
+
+  // Schedules `fn` at `deadline`; returns an id usable with cancel().
+  TimerId schedule_at(TimePoint deadline, std::function<void()> fn);
+  TimerId schedule_after(Duration delay, std::function<void()> fn) {
+    return schedule_at(now() + delay, std::move(fn));
+  }
+
+  // Cancels a pending timer (no-op if already fired).  Lazy: the heap entry
+  // is tombstoned and skipped when popped.
+  void cancel(TimerId id);
+
+  // Milliseconds until the next timer, clamped to `cap_ms`; returns cap_ms
+  // when no timers are pending (-1 cap means "block forever").
+  [[nodiscard]] int next_timeout_ms(int cap_ms) const;
+
+  // Runs all timers whose deadline has passed; returns how many fired.
+  size_t run_due(TimePoint at);
+  size_t run_due() { return run_due(now()); }
+
+  [[nodiscard]] size_t pending() const { return callbacks_.size(); }
+
+ private:
+  struct Entry {
+    TimePoint deadline;
+    TimerId id;
+    bool operator>(const Entry& other) const {
+      if (deadline != other.deadline) return deadline > other.deadline;
+      return id > other.id;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_map<TimerId, std::function<void()>> callbacks_;
+  TimerId next_id_ = 1;
+};
+
+}  // namespace cops::net

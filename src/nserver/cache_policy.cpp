@@ -1,0 +1,170 @@
+#include "nserver/cache_policy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace cops::nserver {
+namespace {
+
+// Shared bookkeeping: every policy below keeps the live entry table and
+// derives its victim choice from it.  O(n) victim scans are acceptable for
+// web-cache entry counts (thousands); the paper's policies are defined by
+// *what* they evict, not by their asymptotics.
+class TableBackedPolicy : public CachePolicy {
+ public:
+  void on_insert(const CacheEntryInfo& info) override {
+    entries_[info.key] = info;
+  }
+  void on_access(const CacheEntryInfo& info) override {
+    entries_[info.key] = info;
+  }
+  void on_erase(const std::string& key) override { entries_.erase(key); }
+
+ protected:
+  std::unordered_map<std::string, CacheEntryInfo> entries_;
+};
+
+// Least Recently Used.
+class LruPolicy : public TableBackedPolicy {
+ public:
+  std::optional<std::string> choose_victim(size_t) override {
+    const CacheEntryInfo* victim = nullptr;
+    for (const auto& [key, info] : entries_) {
+      if (victim == nullptr || info.last_access_seq < victim->last_access_seq) {
+        victim = &info;
+      }
+    }
+    if (victim == nullptr) return std::nullopt;
+    return victim->key;
+  }
+  [[nodiscard]] const char* name() const override { return "LRU"; }
+};
+
+// Least Frequently Used; LRU tie-break.
+class LfuPolicy : public TableBackedPolicy {
+ public:
+  std::optional<std::string> choose_victim(size_t) override {
+    const CacheEntryInfo* victim = nullptr;
+    for (const auto& [key, info] : entries_) {
+      if (victim == nullptr || info.access_count < victim->access_count ||
+          (info.access_count == victim->access_count &&
+           info.last_access_seq < victim->last_access_seq)) {
+        victim = &info;
+      }
+    }
+    if (victim == nullptr) return std::nullopt;
+    return victim->key;
+  }
+  [[nodiscard]] const char* name() const override { return "LFU"; }
+};
+
+// LRU-MIN (Abrams et al., 1995): prefer evicting *large* documents so many
+// small popular ones survive.  To admit an object of size S, evict the
+// least-recently-used entry among those of size >= S; if none qualifies,
+// halve S and retry.
+class LruMinPolicy : public TableBackedPolicy {
+ public:
+  std::optional<std::string> choose_victim(size_t incoming_size) override {
+    if (entries_.empty()) return std::nullopt;
+    size_t threshold = std::max<size_t>(incoming_size, 1);
+    while (true) {
+      const CacheEntryInfo* victim = nullptr;
+      for (const auto& [key, info] : entries_) {
+        if (info.size >= threshold &&
+            (victim == nullptr ||
+             info.last_access_seq < victim->last_access_seq)) {
+          victim = &info;
+        }
+      }
+      if (victim != nullptr) return victim->key;
+      if (threshold <= 1) break;
+      threshold /= 2;
+    }
+    // Degenerate: everything is smaller than 1 byte threshold — plain LRU.
+    const CacheEntryInfo* victim = nullptr;
+    for (const auto& [key, info] : entries_) {
+      if (victim == nullptr || info.last_access_seq < victim->last_access_seq) {
+        victim = &info;
+      }
+    }
+    return victim == nullptr ? std::nullopt
+                             : std::optional<std::string>(victim->key);
+  }
+  [[nodiscard]] const char* name() const override { return "LRU-MIN"; }
+};
+
+// LRU-Threshold (Abrams et al., 1995): plain LRU, but objects above a size
+// threshold are never cached at all.
+class LruThresholdPolicy : public LruPolicy {
+ public:
+  explicit LruThresholdPolicy(size_t threshold) : threshold_(threshold) {}
+  [[nodiscard]] bool admit(const std::string&, size_t size) const override {
+    return size <= threshold_;
+  }
+  [[nodiscard]] const char* name() const override { return "LRU-Threshold"; }
+
+ private:
+  size_t threshold_;
+};
+
+// Hyper-G (Williams et al., 1996): evict by least frequency, breaking ties
+// by least recent use, breaking remaining ties by largest size.
+class HyperGPolicy : public TableBackedPolicy {
+ public:
+  std::optional<std::string> choose_victim(size_t) override {
+    const CacheEntryInfo* victim = nullptr;
+    for (const auto& [key, info] : entries_) {
+      if (victim == nullptr) {
+        victim = &info;
+        continue;
+      }
+      if (info.access_count != victim->access_count) {
+        if (info.access_count < victim->access_count) victim = &info;
+      } else if (info.last_access_seq != victim->last_access_seq) {
+        if (info.last_access_seq < victim->last_access_seq) victim = &info;
+      } else if (info.size > victim->size) {
+        victim = &info;
+      }
+    }
+    if (victim == nullptr) return std::nullopt;
+    return victim->key;
+  }
+  [[nodiscard]] const char* name() const override { return "Hyper-G"; }
+};
+
+// Custom: delegates the victim choice to the user hook (the N-Server's
+// "implement a different cache replacement policy by simply adding code to
+// a hook method").
+class CustomPolicy : public TableBackedPolicy {
+ public:
+  explicit CustomPolicy(CustomEvictionHook hook) : hook_(std::move(hook)) {}
+  std::optional<std::string> choose_victim(size_t incoming_size) override {
+    if (!hook_) return std::nullopt;
+    return hook_(entries_, incoming_size);
+  }
+  [[nodiscard]] const char* name() const override { return "Custom"; }
+
+ private:
+  CustomEvictionHook hook_;
+};
+
+}  // namespace
+
+std::unique_ptr<CachePolicy> make_cache_policy(CachePolicyKind kind,
+                                               size_t size_threshold,
+                                               CustomEvictionHook hook) {
+  switch (kind) {
+    case CachePolicyKind::kNone: return nullptr;
+    case CachePolicyKind::kLru: return std::make_unique<LruPolicy>();
+    case CachePolicyKind::kLfu: return std::make_unique<LfuPolicy>();
+    case CachePolicyKind::kLruMin: return std::make_unique<LruMinPolicy>();
+    case CachePolicyKind::kLruThreshold:
+      return std::make_unique<LruThresholdPolicy>(size_threshold);
+    case CachePolicyKind::kHyperG: return std::make_unique<HyperGPolicy>();
+    case CachePolicyKind::kCustom:
+      return std::make_unique<CustomPolicy>(std::move(hook));
+  }
+  return nullptr;
+}
+
+}  // namespace cops::nserver

@@ -1,0 +1,167 @@
+#include "nserver/connection.hpp"
+
+#include "common/logging.hpp"
+#include "nserver/server.hpp"
+
+namespace cops::nserver {
+
+std::atomic<uint64_t> Connection::next_generation_{1};
+
+Connection::Connection(Server& server, net::Reactor& reactor,
+                       net::TcpSocket socket, uint64_t id, size_t shard_index)
+    : server_(server),
+      reactor_(reactor),
+      socket_(std::move(socket)),
+      id_(id),
+      generation_(next_generation_.fetch_add(1)),
+      shard_index_(shard_index),
+      last_activity_(now()) {
+  socket_.set_nodelay(true);
+  if (auto addr = socket_.peer_address(); addr.is_ok()) {
+    peer_ = addr.value().to_string();
+  }
+}
+
+Connection::~Connection() = default;
+
+void Connection::start() {
+  want_read_ = true;
+  auto status = reactor_.register_handler(socket_.fd(), this, net::kReadable);
+  if (!status.is_ok()) {
+    COPS_WARN("connection " << id_ << ": register failed: "
+                            << status.to_string());
+    close("register-failed");
+    return;
+  }
+  registered_ = true;
+  // on_connect hook: greeting etc.  Runs on the dispatcher; any send() it
+  // performs is posted back to this reactor and ordered before request
+  // replies.
+  auto ctx = std::make_shared<RequestContext>(server_, shared_from_this());
+  server_.hooks_->on_connect(*ctx);
+}
+
+void Connection::handle_event(int /*fd*/, uint32_t readiness) {
+  // Keep *this alive across user-triggered close() paths.
+  auto self = shared_from_this();
+  if (closed()) return;
+  if ((readiness & net::kErrored) != 0) {
+    close("socket-error");
+    return;
+  }
+  if ((readiness & net::kWritable) != 0) on_writable();
+  if (closed()) return;
+  if ((readiness & net::kReadable) != 0 && want_read_) on_readable();
+}
+
+void Connection::on_readable() {
+  auto n = socket_.read(in_);
+  if (!n.is_ok()) {
+    if (n.status().code() == StatusCode::kWouldBlock) return;
+    // Orderly EOF or reset: the peer is gone.
+    close(n.status().code() == StatusCode::kClosed ? "peer-closed"
+                                                   : "read-error");
+    return;
+  }
+  last_activity_ = now();
+  server_.note_event(EventKind::kRead, id_, "bytes");
+  if (server_.options_.profiling) profiler_bytes_read(n.value());
+  start_pipeline();
+}
+
+void Connection::profiler_bytes_read(size_t n) {  // small indirection helper
+  server_.profiler_.count_bytes_read(n);
+}
+
+void Connection::start_pipeline() {
+  // Pipeline token moves from the socket to the Event Processor: stop
+  // reading until this request cycle resolves.
+  want_read_ = false;
+  pipeline_active_ = true;
+  update_interest();
+  server_.submit_decode(shared_from_this());
+}
+
+void Connection::resume_reading() {
+  if (closed()) return;
+  pipeline_active_ = false;
+  // Data may already be buffered in the kernel; with level-triggered epoll
+  // re-arming read interest is sufficient to get a new readable event.
+  want_read_ = true;
+  update_interest();
+  last_activity_ = now();
+}
+
+void Connection::continue_pipeline() {
+  if (closed()) return;
+  if (close_after_reply_) {
+    close("close-after-reply");
+    return;
+  }
+  // More pipelined requests may already sit in the in-buffer; go around the
+  // Decode loop again before re-arming the socket.
+  pipeline_active_ = true;
+  server_.submit_decode(shared_from_this());
+}
+
+void Connection::queue_send(std::string bytes, bool completes_request) {
+  if (closed()) return;
+  out_.append(bytes);
+  if (completes_request) reply_pending_drain_ = true;
+  flush_out();
+}
+
+void Connection::flush_out() {
+  if (out_.readable() > 0) {
+    auto n = socket_.write(out_);
+    if (!n.is_ok() && n.status().code() != StatusCode::kWouldBlock) {
+      close("write-error");
+      return;
+    }
+    if (n.is_ok() && server_.options_.profiling) {
+      server_.profiler_.count_bytes_sent(n.value());
+    }
+    last_activity_ = now();
+  }
+  const bool drained = out_.readable() == 0;
+  if (drained && reply_pending_drain_) {
+    reply_pending_drain_ = false;
+    after_reply_sent();
+    if (closed()) return;
+  }
+  const bool need_write = out_.readable() > 0;
+  if (need_write != want_write_) {
+    want_write_ = need_write;
+    update_interest();
+  }
+}
+
+void Connection::on_writable() { flush_out(); }
+
+void Connection::after_reply_sent() {
+  server_.note_event(EventKind::kSend, id_, "reply-drained");
+  if (server_.options_.profiling) server_.profiler_.count_reply();
+  continue_pipeline();
+}
+
+void Connection::update_interest() {
+  if (!registered_ || closed()) return;
+  uint32_t interest = 0;
+  if (want_read_) interest |= net::kReadable;
+  if (want_write_) interest |= net::kWritable;
+  reactor_.update_interest(socket_.fd(), interest);
+}
+
+void Connection::close(const std::string& reason) {
+  bool expected = false;
+  if (!closed_.compare_exchange_strong(expected, true)) return;
+  if (registered_) {
+    reactor_.deregister(socket_.fd());
+    registered_ = false;
+  }
+  socket_.close();
+  server_.note_event(EventKind::kShutdown, id_, reason.c_str());
+  server_.remove_connection(*this);
+}
+
+}  // namespace cops::nserver

@@ -1,0 +1,71 @@
+// Events and Asynchronous Completion Tokens.
+//
+// The N-Server's unit of work.  Each of the five request-handling steps and
+// every service completion is packaged as an Event and flows through an
+// EventProcessor.  The priority field exists for option O8 (event
+// scheduling): the paper notes this field crosscuts the Event and
+// Communicator classes when scheduling is generated.
+//
+// The Asynchronous Completion Token (Harrison & Schmidt, 1997) is the
+// {connection id, generation} pair: a service response (e.g. a completed
+// file read) is matched back to the connection that issued it, and a stale
+// token (connection closed or recycled meanwhile) is detected and dropped
+// instead of touching freed state.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace cops::nserver {
+
+enum class EventKind : uint8_t {
+  kAccept,      // new connection admitted
+  kRead,        // socket readable (dispatcher-side, Read Request step)
+  kDecode,      // Decode Request step
+  kCompute,     // Handle Request step
+  kEncode,      // Encode Reply step
+  kSend,        // Send Reply step (dispatcher-side)
+  kCompletion,  // asynchronous operation completed (file open/read, ...)
+  kTimer,
+  kUser,
+  kShutdown,
+};
+
+[[nodiscard]] constexpr const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kAccept: return "Accept";
+    case EventKind::kRead: return "Read";
+    case EventKind::kDecode: return "Decode";
+    case EventKind::kCompute: return "Compute";
+    case EventKind::kEncode: return "Encode";
+    case EventKind::kSend: return "Send";
+    case EventKind::kCompletion: return "Completion";
+    case EventKind::kTimer: return "Timer";
+    case EventKind::kUser: return "User";
+    case EventKind::kShutdown: return "Shutdown";
+  }
+  return "?";
+}
+
+// Asynchronous Completion Token: identifies the issuing connection
+// generation-safely.
+struct CompletionToken {
+  uint64_t connection_id = 0;
+  uint64_t generation = 0;
+
+  friend bool operator==(const CompletionToken&,
+                         const CompletionToken&) = default;
+};
+
+// A schedulable unit of work.  The action carries the bound step logic; the
+// kind and token exist for scheduling, overload accounting, tracing, and
+// completion matching.
+struct Event {
+  EventKind kind = EventKind::kUser;
+  int priority = 0;  // 0 = highest; used only with event scheduling (O8)
+  CompletionToken token;
+  std::function<void()> action;
+};
+
+}  // namespace cops::nserver

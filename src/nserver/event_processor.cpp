@@ -1,0 +1,123 @@
+#include "nserver/event_processor.hpp"
+
+namespace cops::nserver {
+
+EventProcessor::EventProcessor(EventProcessorConfig config)
+    : config_(std::move(config)), inline_mode_(config_.threads == 0) {
+  if (config_.scheduling) {
+    prio_ = std::make_unique<QuotaPriorityQueue<Event>>(config_.priority_quotas);
+  } else {
+    fifo_ = std::make_unique<MpmcQueue<Event>>();
+  }
+  if (!inline_mode_) {
+    std::lock_guard lock(mutex_);
+    spawn_locked(config_.threads);
+  }
+}
+
+EventProcessor::~EventProcessor() { stop(); }
+
+bool EventProcessor::submit(Event event) {
+  if (stopped_.load(std::memory_order_acquire)) return false;
+  if (inline_mode_) {
+    event.action();
+    processed_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  if (prio_) {
+    return prio_->push(std::move(event),
+                       static_cast<size_t>(event.priority < 0 ? 0
+                                                              : event.priority));
+  }
+  return fifo_->push(std::move(event));
+}
+
+size_t EventProcessor::queue_depth() const {
+  return prio_ ? prio_->size() : fifo_->size();
+}
+
+std::optional<Event> EventProcessor::pop() {
+  if (prio_) return prio_->pop();
+  return fifo_->pop();
+}
+
+void EventProcessor::worker_loop(std::shared_ptr<std::atomic<bool>> retired) {
+  while (!retired->load(std::memory_order_acquire)) {
+    auto event = pop();
+    if (!event) return;  // shut down and drained
+    event->action();
+    processed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void EventProcessor::spawn_locked(size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    auto retired = std::make_shared<std::atomic<bool>>(false);
+    workers_.push_back(
+        {std::thread([this, retired] { worker_loop(retired); }), retired});
+  }
+}
+
+void EventProcessor::resize(size_t threads) {
+  if (inline_mode_ || stopped_.load()) return;
+  std::lock_guard lock(mutex_);
+  // Reap previously retired workers.
+  for (auto it = workers_.begin(); it != workers_.end();) {
+    if (it->retired->load() && it->thread.joinable()) {
+      it->thread.detach();
+      it = workers_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  const size_t current = workers_.size();
+  if (threads > current) {
+    spawn_locked(threads - current);
+  } else if (threads < current) {
+    size_t to_retire = current - threads;
+    for (auto it = workers_.rbegin(); it != workers_.rend() && to_retire > 0;
+         ++it) {
+      if (!it->retired->load()) {
+        it->retired->store(true, std::memory_order_release);
+        --to_retire;
+        // Wake a sleeper so it can observe the retire flag.
+        Event nudge;
+        nudge.kind = EventKind::kUser;
+        nudge.action = [] {};
+        if (prio_) {
+          prio_->push(std::move(nudge), 0);
+        } else {
+          fifo_->push(std::move(nudge));
+        }
+      }
+    }
+  }
+}
+
+size_t EventProcessor::num_threads() const {
+  std::lock_guard lock(mutex_);
+  size_t alive = 0;
+  for (const auto& w : workers_) {
+    if (!w.retired->load()) ++alive;
+  }
+  return alive;
+}
+
+void EventProcessor::stop() {
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true)) {
+    // Already stopped; still make sure threads are joined (idempotent).
+  }
+  if (prio_) prio_->shutdown();
+  if (fifo_) fifo_->shutdown();
+  std::vector<Worker> workers;
+  {
+    std::lock_guard lock(mutex_);
+    workers.swap(workers_);
+  }
+  for (auto& w : workers) {
+    if (w.thread.joinable()) w.thread.join();
+  }
+}
+
+}  // namespace cops::nserver

@@ -1,0 +1,85 @@
+// EventProcessor — the participant the N-Server adds to the Reactor so the
+// pattern scales beyond one processor (paper, Section IV): "An Event
+// Processor contains an event queue and a pool of threads that operate
+// collaboratively to process ready events."
+//
+// The queue discipline is fixed at construction (generation time in
+// CO₂P₃S terms): a plain FIFO, or — when option O8 (event scheduling) is
+// on — a quota-based priority queue, the structural variation the paper
+// describes replacing "a normal event queue ... by a priority queue".
+//
+// With zero threads the processor degenerates to inline execution on the
+// submitting (dispatcher) thread — option O2 = No, the classic
+// single-process event-driven (SPED) structure.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_queue.hpp"
+#include "common/quota_priority_queue.hpp"
+#include "nserver/event.hpp"
+
+namespace cops::nserver {
+
+struct EventProcessorConfig {
+  std::string name = "processor";
+  size_t threads = 2;  // 0 = inline execution on the submitter
+  bool scheduling = false;
+  std::vector<size_t> priority_quotas = {8, 1};
+};
+
+class EventProcessor {
+ public:
+  explicit EventProcessor(EventProcessorConfig config);
+  ~EventProcessor();
+  EventProcessor(const EventProcessor&) = delete;
+  EventProcessor& operator=(const EventProcessor&) = delete;
+
+  // Enqueues (or, with zero threads, runs) an event.  Returns false after
+  // stop().
+  bool submit(Event event);
+
+  // Current queue depth — the signal the overload controller watches.
+  [[nodiscard]] size_t queue_depth() const;
+
+  // Dynamic thread allocation (option O5): grow/shrink the worker pool.
+  void resize(size_t threads);
+  [[nodiscard]] size_t num_threads() const;
+
+  // Drains and joins.  Safe to call twice.
+  void stop();
+
+  [[nodiscard]] uint64_t processed() const { return processed_.load(); }
+  [[nodiscard]] const std::string& name() const { return config_.name; }
+  [[nodiscard]] bool inline_mode() const { return inline_mode_; }
+
+ private:
+  struct Worker {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> retired;
+  };
+
+  std::optional<Event> pop();
+  void worker_loop(std::shared_ptr<std::atomic<bool>> retired);
+  void spawn_locked(size_t count);
+
+  EventProcessorConfig config_;
+  bool inline_mode_;
+  // Exactly one of the two queues is used, chosen at construction.
+  std::unique_ptr<MpmcQueue<Event>> fifo_;
+  std::unique_ptr<QuotaPriorityQueue<Event>> prio_;
+
+  mutable std::mutex mutex_;
+  std::vector<Worker> workers_;
+  std::atomic<bool> stopped_{false};
+  std::atomic<uint64_t> processed_{0};
+};
+
+}  // namespace cops::nserver

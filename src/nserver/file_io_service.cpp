@@ -1,0 +1,50 @@
+#include "nserver/file_io_service.hpp"
+
+#include <sys/stat.h>
+
+#include <fstream>
+
+namespace cops::nserver {
+
+FileIoService::FileIoService(size_t threads) : pool_(threads) {}
+
+FileIoService::~FileIoService() { stop(); }
+
+void FileIoService::stop() { pool_.stop(); }
+
+Result<FileDataPtr> FileIoService::read_file(const std::string& path) {
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::not_found(path);
+  }
+  if (!S_ISREG(st.st_mode)) {
+    return Status::invalid_argument(path + " is not a regular file");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::not_found(path);
+  auto data = std::make_shared<FileData>();
+  data->path = path;
+  data->mtime_seconds = static_cast<int64_t>(st.st_mtime);
+  data->bytes.resize(static_cast<size_t>(st.st_size));
+  in.read(data->bytes.data(), st.st_size);
+  if (in.gcount() != st.st_size) {
+    return Status::io_error("short read on " + path);
+  }
+  return FileDataPtr(std::move(data));
+}
+
+void FileIoService::async_read(std::string path, CompletionToken token,
+                               FileCallback callback,
+                               CompletionExecutor executor) {
+  (void)token;  // carried by the caller's closure; see header
+  pool_.submit([this, path = std::move(path), callback = std::move(callback),
+                executor = std::move(executor)]() mutable {
+    auto result = read_file(path);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    executor([callback = std::move(callback), result = std::move(result)] {
+      callback(result);
+    });
+  });
+}
+
+}  // namespace cops::nserver

@@ -1,0 +1,66 @@
+// FileIoService — non-blocking file I/O emulation (Proactor pattern).
+//
+// Java (and POSIX, practically) offers no non-blocking file reads, so the
+// paper emulates them: a pool of threads performs the blocking operation and
+// the result comes back as a Completion Event carrying an Asynchronous
+// Completion Token (paper, Sections I/II: "non-blocking file I/O operations
+// are emulated using a pool of threads").
+//
+// The caller provides an executor — typically EventProcessor::submit bound
+// with EventKind::kCompletion and the issuing connection's priority — so the
+// completion re-enters the normal event flow instead of running on the I/O
+// thread.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+#include "common/thread_pool.hpp"
+#include "nserver/event.hpp"
+
+namespace cops::nserver {
+
+// An open-and-read file snapshot ("File Handle" + contents in one immutable
+// object; shared by the cache and in-flight replies).
+struct FileData {
+  std::string path;
+  std::string bytes;
+  int64_t mtime_seconds = 0;
+
+  [[nodiscard]] size_t size() const { return bytes.size(); }
+};
+
+using FileDataPtr = std::shared_ptr<const FileData>;
+using FileCallback = std::function<void(Result<FileDataPtr>)>;
+// Runs a completion on the appropriate event flow (see class comment).
+using CompletionExecutor = std::function<void(std::function<void()>)>;
+
+class FileIoService {
+ public:
+  explicit FileIoService(size_t threads);
+  ~FileIoService();
+
+  // Blocking read of a whole file (used in synchronous completion mode O4,
+  // and internally by the async path).
+  static Result<FileDataPtr> read_file(const std::string& path);
+
+  // Asynchronous read: performs the blocking I/O on the pool, then invokes
+  // `callback` via `executor`.  `token` travels with the request purely for
+  // the caller's correlation (ACT pattern); this service does not interpret
+  // it.
+  void async_read(std::string path, CompletionToken token,
+                  FileCallback callback, CompletionExecutor executor);
+
+  void stop();
+
+  [[nodiscard]] size_t pending() const { return pool_.queue_depth(); }
+  [[nodiscard]] uint64_t completed() const { return completed_.load(); }
+
+ private:
+  ThreadPool pool_;
+  std::atomic<uint64_t> completed_{0};
+};
+
+}  // namespace cops::nserver

@@ -1,0 +1,71 @@
+#include "nserver/options.hpp"
+
+namespace cops::nserver {
+
+const char* to_string(CompletionMode mode) {
+  return mode == CompletionMode::kAsynchronous ? "Asynchronous" : "Synchronous";
+}
+
+const char* to_string(ThreadAllocation alloc) {
+  return alloc == ThreadAllocation::kStatic ? "Static" : "Dynamic";
+}
+
+const char* to_string(CachePolicyKind kind) {
+  switch (kind) {
+    case CachePolicyKind::kNone: return "None";
+    case CachePolicyKind::kLru: return "LRU";
+    case CachePolicyKind::kLfu: return "LFU";
+    case CachePolicyKind::kLruMin: return "LRU-MIN";
+    case CachePolicyKind::kLruThreshold: return "LRU-Threshold";
+    case CachePolicyKind::kHyperG: return "Hyper-G";
+    case CachePolicyKind::kCustom: return "Custom";
+  }
+  return "?";
+}
+
+const char* to_string(ServerMode mode) {
+  return mode == ServerMode::kProduction ? "Production" : "Debug";
+}
+
+std::string ServerOptions::validate() const {
+  if (dispatcher_threads < 1) {
+    return "O1: dispatcher_threads must be >= 1";
+  }
+  if (separate_processor_pool && processor_threads == 0 &&
+      thread_allocation == ThreadAllocation::kStatic) {
+    return "O2/O5: a static separate processor pool needs >= 1 thread";
+  }
+  if (!separate_processor_pool && event_scheduling) {
+    return "O2/O8: event scheduling requires a separate processor pool "
+           "(events must queue to be reordered)";
+  }
+  if (!separate_processor_pool &&
+      completion == CompletionMode::kSynchronous) {
+    return "O2/O4: synchronous completions would block the dispatcher; "
+           "use a separate processor pool or asynchronous completions";
+  }
+  if (thread_allocation == ThreadAllocation::kDynamic &&
+      (min_processor_threads == 0 ||
+       min_processor_threads > max_processor_threads)) {
+    return "O5: dynamic allocation needs 1 <= min <= max processor threads";
+  }
+  if (completion == CompletionMode::kAsynchronous && file_io_threads == 0) {
+    return "O4: asynchronous completions need >= 1 file I/O thread";
+  }
+  if (cache_policy != CachePolicyKind::kNone && cache_capacity_bytes == 0) {
+    return "O6: file cache enabled with zero capacity";
+  }
+  if (event_scheduling && priority_quotas.empty()) {
+    return "O8: event scheduling needs at least one priority level";
+  }
+  if (overload_control &&
+      queue_low_watermark >= queue_high_watermark) {
+    return "O9: low watermark must be below the high watermark";
+  }
+  if (shutdown_long_idle && idle_timeout.count() <= 0) {
+    return "O7: idle timeout must be positive";
+  }
+  return {};
+}
+
+}  // namespace cops::nserver

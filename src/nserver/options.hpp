@@ -1,0 +1,118 @@
+// ServerOptions — the runtime image of the N-Server pattern template options
+// (Table 1 of the paper).
+//
+// In CO₂P₃S the options are chosen in the pattern GUI and the framework is
+// *generated* with feature code included or excluded.  In this library the
+// same twelve options configure the framework at construction time; the
+// copsgen generator (src/gdp) emits a scaffold that pins them as constants
+// (plus a constexpr traits header used by the generative-vs-dynamic ablation
+// bench).  Option numbering follows Table 1.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cops::nserver {
+
+// O4: how slow operations (file I/O, ...) complete.
+enum class CompletionMode {
+  kAsynchronous,  // proactor emulation: worker pool + completion events
+  kSynchronous,   // hooks block their event-processor thread
+};
+
+// O5: event-processor thread allocation.
+enum class ThreadAllocation {
+  kStatic,   // fixed pool size
+  kDynamic,  // ProcessorController resizes the pool with load
+};
+
+// O6: file cache replacement policies (five built in + custom hook).
+enum class CachePolicyKind {
+  kNone,
+  kLru,
+  kLfu,
+  kLruMin,
+  kLruThreshold,
+  kHyperG,
+  kCustom,
+};
+
+// O10: generation mode.
+enum class ServerMode {
+  kProduction,
+  kDebug,  // every internal event is traced to a file
+};
+
+[[nodiscard]] const char* to_string(CompletionMode mode);
+[[nodiscard]] const char* to_string(ThreadAllocation alloc);
+[[nodiscard]] const char* to_string(CachePolicyKind kind);
+[[nodiscard]] const char* to_string(ServerMode mode);
+
+struct ServerOptions {
+  // O1: # of dispatcher threads (1, or 2..N reactors sharding connections).
+  int dispatcher_threads = 1;
+
+  // O2: separate thread pool for event handling.  When false the dispatcher
+  // processes events inline (classic single-threaded Reactor / SPED).
+  bool separate_processor_pool = true;
+  size_t processor_threads = 2;
+
+  // O3: encoding/decoding required.  When false the Decode and Encode steps
+  // are skipped (Fig. 2 structural variant) and handle() sees raw bytes.
+  bool encode_decode = true;
+
+  // O4: completion events.
+  CompletionMode completion = CompletionMode::kAsynchronous;
+  size_t file_io_threads = 2;  // proactor-emulation pool (async mode)
+
+  // O5: event thread allocation.
+  ThreadAllocation thread_allocation = ThreadAllocation::kStatic;
+  size_t min_processor_threads = 1;
+  size_t max_processor_threads = 8;
+
+  // O6: file cache.
+  CachePolicyKind cache_policy = CachePolicyKind::kNone;
+  size_t cache_capacity_bytes = 20 * 1024 * 1024;  // paper: 20 MB for COPS-HTTP
+  size_t cache_size_threshold = 64 * 1024;         // LRU-Threshold parameter
+
+  // O7: shutdown long-idle connections.
+  bool shutdown_long_idle = false;
+  std::chrono::milliseconds idle_timeout{30'000};
+
+  // O8: event scheduling.
+  bool event_scheduling = false;
+  // quotas[i] = events level i may consume per scheduling round (level 0 is
+  // the highest priority).
+  std::vector<size_t> priority_quotas = {8, 1};
+
+  // O9: overload control.
+  bool overload_control = false;
+  size_t queue_high_watermark = 20;  // paper's Fig. 6 settings
+  size_t queue_low_watermark = 5;
+  size_t max_connections = 0;  // 0 = unlimited (mechanism 1 disabled)
+
+  // O10: mode.
+  ServerMode mode = ServerMode::kProduction;
+  std::string debug_trace_path = "nserver_debug_trace.log";
+
+  // O11: performance profiling.
+  bool profiling = false;
+
+  // O12: logging.
+  bool logging = false;
+
+  // --- non-option runtime knobs -----------------------------------------
+  std::string listen_host = "127.0.0.1";
+  uint16_t listen_port = 0;  // 0 = kernel-assigned
+  int listen_backlog = 512;
+  std::chrono::milliseconds housekeeping_interval{200};
+
+  // Validates cross-option constraints; returns an empty string when valid,
+  // else a description of the violation.
+  [[nodiscard]] std::string validate() const;
+};
+
+}  // namespace cops::nserver

@@ -1,0 +1,32 @@
+#include "nserver/overload_control.hpp"
+
+namespace cops::nserver {
+
+void OverloadController::watch_queue(std::string name,
+                                     std::function<size_t()> depth) {
+  queues_.emplace_back(std::move(name), std::move(depth));
+}
+
+OverloadController::Decision OverloadController::evaluate() {
+  size_t max_depth = 0;
+  for (const auto& [name, depth_fn] : queues_) {
+    const size_t depth = depth_fn();
+    if (depth > max_depth) max_depth = depth;
+  }
+  if (!overloaded_) {
+    if (max_depth > high_) {
+      overloaded_ = true;
+      ++suspends_;
+      return Decision::kSuspend;
+    }
+  } else {
+    // Resume only when *every* queue is below the low watermark.
+    if (max_depth < low_) {
+      overloaded_ = false;
+      return Decision::kResume;
+    }
+  }
+  return Decision::kNoChange;
+}
+
+}  // namespace cops::nserver

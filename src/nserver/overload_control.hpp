@@ -1,0 +1,48 @@
+// OverloadController — automatic overload control (option O9).
+//
+// The paper's second (non-trivial) mechanism: "the N-Server is configured to
+// generate code that queries the length of multiple queues ... If there is a
+// queue whose length exceeds its specified high watermark, then new
+// connection requests are postponed until the length drops below a specified
+// low watermark."  Watching *multiple* queues handles multi-bottleneck
+// overload (CPU and disk) per Voigt & Gunningburg.
+//
+// The controller is polled from the Server's housekeeping timer; when it
+// flips state the Server suspends/resumes the Acceptor.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cops::nserver {
+
+class OverloadController {
+ public:
+  OverloadController(size_t high_watermark, size_t low_watermark)
+      : high_(high_watermark), low_(low_watermark) {}
+
+  // Registers a queue to watch (e.g. the reactive Event Processor's queue
+  // and the file-I/O queue).  `depth` is sampled on every evaluation.
+  void watch_queue(std::string name, std::function<size_t()> depth);
+
+  enum class Decision { kNoChange, kSuspend, kResume };
+
+  // Evaluates all watched queues against the watermarks.
+  Decision evaluate();
+
+  [[nodiscard]] bool overloaded() const { return overloaded_; }
+  [[nodiscard]] uint64_t suspend_count() const { return suspends_; }
+  [[nodiscard]] size_t high_watermark() const { return high_; }
+  [[nodiscard]] size_t low_watermark() const { return low_; }
+
+ private:
+  size_t high_;
+  size_t low_;
+  bool overloaded_ = false;
+  uint64_t suspends_ = 0;
+  std::vector<std::pair<std::string, std::function<size_t()>>> queues_;
+};
+
+}  // namespace cops::nserver

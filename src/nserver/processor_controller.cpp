@@ -1,0 +1,28 @@
+#include "nserver/processor_controller.hpp"
+
+namespace cops::nserver {
+
+int ProcessorController::tick() {
+  const size_t depth = processor_.queue_depth();
+  const size_t threads = processor_.num_threads();
+  if (depth > config_.grow_threshold && threads < config_.max_threads) {
+    idle_ticks_ = 0;
+    processor_.resize(threads + 1);
+    ++grows_;
+    return 1;
+  }
+  if (depth == 0) {
+    if (++idle_ticks_ >= config_.shrink_after_ticks &&
+        threads > config_.min_threads) {
+      idle_ticks_ = 0;
+      processor_.resize(threads - 1);
+      ++shrinks_;
+      return -1;
+    }
+  } else {
+    idle_ticks_ = 0;
+  }
+  return 0;
+}
+
+}  // namespace cops::nserver

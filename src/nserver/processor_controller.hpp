@@ -1,0 +1,51 @@
+// ProcessorController — dynamic event-thread allocation (option O5).
+//
+// The paper's Table 2 lists a Processor Controller class whose existence is
+// governed by O5: with Dynamic allocation the controller watches an Event
+// Processor's queue and grows or shrinks its thread pool.  COPS-FTP used
+// dynamic allocation (bursty command traffic); COPS-HTTP used static.
+//
+// Policy: sampled every tick —
+//   * queue depth > grow_threshold  and threads < max  → add a thread
+//   * queue empty for shrink_after consecutive ticks and threads > min
+//     → retire a thread
+#pragma once
+
+#include <cstddef>
+
+#include "nserver/event_processor.hpp"
+
+namespace cops::nserver {
+
+struct ProcessorControllerConfig {
+  size_t min_threads = 1;
+  size_t max_threads = 8;
+  size_t grow_threshold = 4;   // queue depth that triggers growth
+  int shrink_after_ticks = 10; // consecutive idle ticks before shrinking
+};
+
+class ProcessorController {
+ public:
+  ProcessorController(EventProcessor& processor,
+                      ProcessorControllerConfig config)
+      : processor_(processor), config_(config) {}
+
+  // One control decision; call periodically (the Server drives this from
+  // its housekeeping timer).  Returns the thread-count delta applied.
+  int tick();
+
+  [[nodiscard]] const ProcessorControllerConfig& config() const {
+    return config_;
+  }
+  [[nodiscard]] uint64_t grow_count() const { return grows_; }
+  [[nodiscard]] uint64_t shrink_count() const { return shrinks_; }
+
+ private:
+  EventProcessor& processor_;
+  ProcessorControllerConfig config_;
+  int idle_ticks_ = 0;
+  uint64_t grows_ = 0;
+  uint64_t shrinks_ = 0;
+};
+
+}  // namespace cops::nserver

@@ -1,0 +1,53 @@
+#include "nserver/profiler.hpp"
+
+#include <sstream>
+
+namespace cops::nserver {
+
+std::string ProfilerSnapshot::to_string() const {
+  std::ostringstream out;
+  out << "accepted=" << connections_accepted
+      << " closed=" << connections_closed
+      << " rejected=" << connections_rejected
+      << " bytes_read=" << bytes_read << " bytes_sent=" << bytes_sent
+      << " requests=" << requests_decoded << " replies=" << replies_sent
+      << " decode_errors=" << decode_errors
+      << " events=" << events_processed
+      << " idle_shutdowns=" << idle_shutdowns
+      << " overload_suspensions=" << overload_suspensions
+      << " cache_hit_rate=" << cache_hit_rate;
+  return out.str();
+}
+
+ProfilerSnapshot Profiler::snapshot(uint64_t events_processed,
+                                    double cache_hit_rate) const {
+  ProfilerSnapshot s;
+  s.connections_accepted = accepts_.load();
+  s.connections_closed = closes_.load();
+  s.connections_rejected = rejects_.load();
+  s.bytes_read = bytes_read_.load();
+  s.bytes_sent = bytes_sent_.load();
+  s.requests_decoded = requests_.load();
+  s.replies_sent = replies_.load();
+  s.decode_errors = decode_errors_.load();
+  s.idle_shutdowns = idle_shutdowns_.load();
+  s.overload_suspensions = suspensions_.load();
+  s.events_processed = events_processed;
+  s.cache_hit_rate = cache_hit_rate;
+  return s;
+}
+
+void Profiler::reset() {
+  accepts_.store(0);
+  closes_.store(0);
+  rejects_.store(0);
+  bytes_read_.store(0);
+  bytes_sent_.store(0);
+  requests_.store(0);
+  replies_.store(0);
+  decode_errors_.store(0);
+  idle_shutdowns_.store(0);
+  suspensions_.store(0);
+}
+
+}  // namespace cops::nserver

@@ -1,0 +1,64 @@
+// Profiler — performance profiling (option O11).
+//
+// "Important statistical information of the server application can be
+// automatically gathered ... the number of connections accepted, the number
+// of bytes read, the number of bytes sent, the file cache hit rate, etc."
+// (paper, Section IV).  Counters are relaxed atomics: profiling must not
+// serialize the hot path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace cops::nserver {
+
+struct ProfilerSnapshot {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t connections_rejected = 0;  // max-connections limiter (O9)
+  uint64_t bytes_read = 0;
+  uint64_t bytes_sent = 0;
+  uint64_t requests_decoded = 0;
+  uint64_t replies_sent = 0;
+  uint64_t decode_errors = 0;
+  uint64_t events_processed = 0;
+  uint64_t idle_shutdowns = 0;        // O7 reaper
+  uint64_t overload_suspensions = 0;  // O9 watermark trips
+  double cache_hit_rate = 0.0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+class Profiler {
+ public:
+  void count_accept() { accepts_.fetch_add(1, kRelaxed); }
+  void count_close() { closes_.fetch_add(1, kRelaxed); }
+  void count_reject() { rejects_.fetch_add(1, kRelaxed); }
+  void count_bytes_read(uint64_t n) { bytes_read_.fetch_add(n, kRelaxed); }
+  void count_bytes_sent(uint64_t n) { bytes_sent_.fetch_add(n, kRelaxed); }
+  void count_request() { requests_.fetch_add(1, kRelaxed); }
+  void count_reply() { replies_.fetch_add(1, kRelaxed); }
+  void count_decode_error() { decode_errors_.fetch_add(1, kRelaxed); }
+  void count_idle_shutdown() { idle_shutdowns_.fetch_add(1, kRelaxed); }
+  void count_overload_suspension() { suspensions_.fetch_add(1, kRelaxed); }
+
+  [[nodiscard]] ProfilerSnapshot snapshot(uint64_t events_processed = 0,
+                                          double cache_hit_rate = 0.0) const;
+  void reset();
+
+ private:
+  static constexpr auto kRelaxed = std::memory_order_relaxed;
+  std::atomic<uint64_t> accepts_{0};
+  std::atomic<uint64_t> closes_{0};
+  std::atomic<uint64_t> rejects_{0};
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> replies_{0};
+  std::atomic<uint64_t> decode_errors_{0};
+  std::atomic<uint64_t> idle_shutdowns_{0};
+  std::atomic<uint64_t> suspensions_{0};
+};
+
+}  // namespace cops::nserver

@@ -1,0 +1,89 @@
+#include "nserver/request_context.hpp"
+
+#include "common/logging.hpp"
+#include "nserver/connection.hpp"
+#include "nserver/server.hpp"
+
+namespace cops::nserver {
+
+RequestContext::RequestContext(Server& server, std::shared_ptr<Connection> conn)
+    : server_(server), conn_(std::move(conn)) {}
+
+uint64_t RequestContext::connection_id() const { return conn_->id(); }
+
+const std::string& RequestContext::peer() const { return conn_->peer(); }
+
+std::shared_ptr<void>& RequestContext::app_state() {
+  return conn_->app_state();
+}
+
+bool RequestContext::connection_closed() const { return conn_->closed(); }
+
+void RequestContext::set_priority(int priority) {
+  priority_ = priority;
+  conn_->set_priority(priority);
+}
+
+void RequestContext::fetch_file(std::string path, FetchCallback done) {
+  server_.fetch_file(shared_from_this(), std::move(path), std::move(done));
+}
+
+Result<FileDataPtr> RequestContext::read_file_sync(const std::string& path) {
+  return FileIoService::read_file(path);
+}
+
+ProfilerSnapshot RequestContext::server_profile() const {
+  return server_.profile();
+}
+
+size_t RequestContext::server_connection_count() const {
+  return server_.connection_count();
+}
+
+bool RequestContext::mark_resolved() {
+  bool expected = false;
+  if (!resolved_.compare_exchange_strong(expected, true)) {
+    COPS_WARN("request on connection " << conn_->id()
+                                       << " resolved more than once");
+    return false;
+  }
+  return true;
+}
+
+void RequestContext::send(std::string bytes) {
+  auto conn = conn_;
+  conn->reactor().post([conn, bytes = std::move(bytes)]() mutable {
+    conn->queue_send(std::move(bytes), /*completes_request=*/false);
+  });
+}
+
+void RequestContext::reply(std::any response) {
+  server_.resolve_with_reply(*this, std::move(response));
+}
+
+void RequestContext::reply_raw(std::string bytes) {
+  if (!mark_resolved()) return;
+  auto conn = conn_;
+  conn->reactor().post([conn, bytes = std::move(bytes)]() mutable {
+    conn->queue_send(std::move(bytes), /*completes_request=*/true);
+  });
+}
+
+void RequestContext::finish() {
+  if (!mark_resolved()) return;
+  auto conn = conn_;
+  conn->reactor().post([conn] { conn->continue_pipeline(); });
+}
+
+void RequestContext::close_after_reply() {
+  auto conn = conn_;
+  conn->reactor().post([conn] { conn->set_close_after_reply(); });
+}
+
+void RequestContext::close() {
+  mark_resolved();
+  auto conn = conn_;
+  conn->reactor().post([conn] { conn->close("hook-close"); });
+}
+
+}  // namespace cops::nserver

@@ -1,0 +1,476 @@
+#include "nserver/server.hpp"
+
+#include <future>
+
+#include "common/logging.hpp"
+
+namespace cops::nserver {
+
+Server::Server(ServerOptions options, std::shared_ptr<AppHooks> hooks)
+    : options_(std::move(options)), hooks_(std::move(hooks)) {}
+
+Server::~Server() { stop(); }
+
+Status Server::start() {
+  if (started_.exchange(true)) {
+    return Status::invalid_argument("server already started");
+  }
+  if (auto problem = options_.validate(); !problem.empty()) {
+    return Status::invalid_argument(problem);
+  }
+
+  // --- components selected by the options (generation-time in CO2P3S) ----
+  if (options_.mode == ServerMode::kDebug) {
+    tracer_ = std::make_unique<DebugTracer>(options_.debug_trace_path);
+  }
+  if (options_.cache_policy != CachePolicyKind::kNone) {
+    cache_ = std::make_unique<FileCache>(
+        make_cache_policy(options_.cache_policy, options_.cache_size_threshold,
+                          custom_eviction_),
+        options_.cache_capacity_bytes);
+  }
+  if (options_.completion == CompletionMode::kAsynchronous) {
+    file_service_ = std::make_unique<FileIoService>(options_.file_io_threads);
+  }
+
+  EventProcessorConfig pcfg;
+  pcfg.name = "reactive";
+  pcfg.threads = options_.separate_processor_pool
+                     ? (options_.thread_allocation == ThreadAllocation::kDynamic
+                            ? options_.min_processor_threads
+                            : options_.processor_threads)
+                     : 0;
+  pcfg.scheduling = options_.event_scheduling;
+  pcfg.priority_quotas = options_.priority_quotas;
+  processor_ = std::make_unique<EventProcessor>(pcfg);
+
+  if (options_.thread_allocation == ThreadAllocation::kDynamic &&
+      options_.separate_processor_pool) {
+    ProcessorControllerConfig ccfg;
+    ccfg.min_threads = options_.min_processor_threads;
+    ccfg.max_threads = options_.max_processor_threads;
+    controller_ = std::make_unique<ProcessorController>(*processor_, ccfg);
+  }
+
+  if (options_.overload_control) {
+    overload_ = std::make_unique<OverloadController>(
+        options_.queue_high_watermark, options_.queue_low_watermark);
+    overload_->watch_queue("reactive",
+                           [this] { return processor_->queue_depth(); });
+    if (file_service_) {
+      overload_->watch_queue("file-io",
+                             [this] { return file_service_->pending(); });
+    }
+  }
+
+  // --- dispatchers (O1) ----------------------------------------------------
+  const int n_reactors = options_.dispatcher_threads;
+  for (int i = 0; i < n_reactors; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->reactor = std::make_unique<net::Reactor>();
+    shards_.push_back(std::move(shard));
+  }
+
+  // --- connector (Client Component) on dispatcher 0 -------------------------
+  connector_ = std::make_unique<net::Connector>(*shards_[0]->reactor);
+
+  // --- acceptor on dispatcher 0 -------------------------------------------
+  acceptor_ = std::make_unique<net::Acceptor>(
+      *shards_[0]->reactor,
+      [this](net::TcpSocket socket) { on_accept(std::move(socket)); });
+  auto addr_result =
+      net::InetAddress::parse(options_.listen_host, options_.listen_port);
+  if (!addr_result.is_ok()) return addr_result.status();
+  auto status = acceptor_->open(addr_result.value(), options_.listen_backlog);
+  if (!status.is_ok()) return status;
+  auto bound = acceptor_->local_address();
+  if (!bound.is_ok()) return bound.status();
+  port_ = bound.value().port();
+
+  // --- housekeeping on dispatcher 0 ----------------------------------------
+  shards_[0]->reactor->run_after(options_.housekeeping_interval,
+                                 [this] { housekeeping(); });
+
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i]->reactor->start_thread("dispatch-" + std::to_string(i));
+  }
+  launched_.store(true);
+  if (options_.logging) {
+    COPS_INFO("N-Server listening on " << options_.listen_host << ":"
+                                       << port_ << " with "
+                                       << shards_.size() << " dispatcher(s)");
+  }
+  return Status::ok();
+}
+
+void Server::stop() {
+  // A failed start() never launched the dispatchers; posting to them and
+  // waiting on the future would deadlock.
+  if (!launched_.load() || stopping_.exchange(true)) return;
+
+  // Close acceptor + every connection on each shard's own thread.
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    auto& shard = *shards_[i];
+    std::promise<void> done;
+    auto fut = done.get_future();
+    shard.reactor->post([this, i, &shard, &done] {
+      if (i == 0 && acceptor_) acceptor_->close();
+      // close() mutates the map via remove_connection; copy first.
+      std::vector<std::shared_ptr<Connection>> conns;
+      conns.reserve(shard.connections.size());
+      for (auto& [id, conn] : shard.connections) conns.push_back(conn);
+      for (auto& conn : conns) conn->close("server-stop");
+      done.set_value();
+    });
+    fut.wait();
+  }
+  for (auto& shard : shards_) {
+    shard->reactor->stop();
+    shard->reactor->join();
+  }
+  processor_->stop();
+  if (file_service_) file_service_->stop();
+  if (tracer_) tracer_->dump();
+}
+
+size_t Server::count_active_pipelines() {
+  size_t total = 0;
+  for (auto& shard_ptr : shards_) {
+    auto& shard = *shard_ptr;
+    std::promise<size_t> count;
+    auto fut = count.get_future();
+    shard.reactor->post([&shard, &count] {
+      size_t active = 0;
+      for (const auto& [id, conn] : shard.connections) {
+        if (conn->pipeline_active()) ++active;
+      }
+      count.set_value(active);
+    });
+    total += fut.get();
+  }
+  return total;
+}
+
+bool Server::drain(std::chrono::milliseconds timeout) {
+  if (!launched_.load() || stopping_.load()) return true;
+  // Step 1: no new connections.
+  {
+    std::promise<void> done;
+    auto fut = done.get_future();
+    shards_[0]->reactor->post([this, &done] {
+      if (acceptor_) acceptor_->close();
+      done.set_value();
+    });
+    fut.wait();
+  }
+  // Step 2: wait for in-flight work to resolve.
+  const auto deadline = now() + timeout;
+  bool idle = false;
+  while (now() < deadline) {
+    const bool queues_empty =
+        processor_->queue_depth() == 0 &&
+        (!file_service_ || file_service_->pending() == 0);
+    if (queues_empty && count_active_pipelines() == 0) {
+      idle = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  stop();
+  return idle;
+}
+
+// ---- accept path -----------------------------------------------------------
+
+void Server::on_accept(net::TcpSocket socket) {
+  if (options_.max_connections != 0 &&
+      num_connections_.load() >= options_.max_connections) {
+    // Overload mechanism 1: bounded simultaneous connections.
+    if (options_.profiling) profiler_.count_reject();
+    note_event(EventKind::kAccept, 0, "rejected-max-connections");
+    return;  // socket destructor sends RST/close
+  }
+  const size_t shard_index =
+      next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+  if (options_.profiling) profiler_.count_accept();
+  if (shard_index == 0) {
+    add_connection(0, std::move(socket));
+  } else {
+    // Hand the socket to its shard's dispatcher thread.
+    auto* raw = new net::TcpSocket(std::move(socket));
+    shards_[shard_index]->reactor->post([this, shard_index, raw] {
+      net::TcpSocket sock(std::move(*raw));
+      delete raw;
+      add_connection(shard_index, std::move(sock));
+    });
+  }
+}
+
+uint64_t Server::add_connection(size_t shard_index, net::TcpSocket socket) {
+  const uint64_t id = next_conn_id_.fetch_add(1);
+  auto& shard = *shards_[shard_index];
+  auto conn = std::make_shared<Connection>(*this, *shard.reactor,
+                                           std::move(socket), id, shard_index);
+  shard.connections.emplace(id, conn);
+  num_connections_.fetch_add(1);
+  note_event(EventKind::kAccept, id, "accepted");
+  if (options_.logging) {
+    COPS_INFO("accepted connection " << id << " from " << conn->peer());
+  }
+  conn->start();
+  return id;
+}
+
+void Server::connect_peer(const net::InetAddress& peer,
+                          ConnectCallback on_done) {
+  if (!launched_.load() || stopping_.load()) {
+    on_done(Status::unavailable("server not running"));
+    return;
+  }
+  // The Connector lives on dispatcher 0; hop there to initiate.
+  shards_[0]->reactor->post([this, peer,
+                             on_done = std::move(on_done)]() mutable {
+    auto status = connector_->connect(
+        peer,
+        [this, on_done = std::move(on_done)](
+            Result<net::TcpSocket> socket) mutable {
+          if (!socket.is_ok()) {
+            on_done(socket.status());
+            return;
+          }
+          const size_t shard_index =
+              next_shard_.fetch_add(1, std::memory_order_relaxed) %
+              shards_.size();
+          if (options_.profiling) profiler_.count_accept();
+          if (shard_index == 0) {
+            on_done(add_connection(0, std::move(socket).take()));
+            return;
+          }
+          auto* raw = new net::TcpSocket(std::move(socket).take());
+          shards_[shard_index]->reactor->post(
+              [this, shard_index, raw, on_done = std::move(on_done)] {
+                net::TcpSocket sock(std::move(*raw));
+                delete raw;
+                on_done(add_connection(shard_index, std::move(sock)));
+              });
+        });
+    if (!status.is_ok()) on_done(status);
+  });
+}
+
+void Server::remove_connection(Connection& conn) {
+  auto& shard = *shards_[conn.shard_index()];
+  if (shard.connections.erase(conn.id()) > 0) {
+    num_connections_.fetch_sub(1);
+    if (options_.profiling) profiler_.count_close();
+    if (options_.logging) {
+      COPS_INFO("closed connection " << conn.id());
+    }
+    hooks_->on_close(conn.id());
+  }
+}
+
+// ---- pipeline ---------------------------------------------------------------
+
+void Server::submit_decode(const std::shared_ptr<Connection>& conn) {
+  note_event(EventKind::kDecode, conn->id(), "queued");
+  Event event;
+  event.kind = EventKind::kDecode;
+  event.priority = conn->priority();
+  event.token = {conn->id(), conn->generation()};
+  event.action = [this, conn] { run_decode(conn); };
+  processor_->submit(std::move(event));
+}
+
+void Server::run_decode(const std::shared_ptr<Connection>& conn) {
+  if (conn->closed()) return;
+  DecodeResult result;
+  if (options_.encode_decode) {
+    auto ctx = std::make_shared<RequestContext>(*this, conn);
+    try {
+      result = hooks_->decode(*ctx, conn->in_buffer());
+    } catch (const std::exception& e) {
+      COPS_WARN("decode hook threw: " << e.what());
+      result = DecodeResult::error();
+    }
+  } else {
+    // Fig. 2 variant: no Decode step — raw chunks go straight to Handle.
+    if (conn->in_buffer().empty()) {
+      result = DecodeResult::need_more();
+    } else {
+      result = DecodeResult::request_ready(conn->in_buffer().take_string());
+    }
+  }
+
+  switch (result.status) {
+    case DecodeStatus::kNeedMore:
+      conn->reactor().post([conn] { conn->resume_reading(); });
+      return;
+    case DecodeStatus::kError:
+      if (options_.profiling) profiler_.count_decode_error();
+      conn->reactor().post([conn] { conn->close("decode-error"); });
+      return;
+    case DecodeStatus::kRequest:
+      break;
+  }
+
+  if (options_.profiling) profiler_.count_request();
+  conn->set_priority(result.priority);
+  if (options_.event_scheduling) {
+    // Scheduling generates a distinct Compute event so the priority queue
+    // can reorder requests between Decode and Handle.
+    note_event(EventKind::kCompute, conn->id(), "queued");
+    Event event;
+    event.kind = EventKind::kCompute;
+    event.priority = result.priority;
+    event.token = {conn->id(), conn->generation()};
+    auto request = std::make_shared<std::any>(std::move(result.request));
+    const int priority = result.priority;
+    event.action = [this, conn, request, priority] {
+      run_handle(conn, std::move(*request), priority);
+    };
+    processor_->submit(std::move(event));
+  } else {
+    run_handle(conn, std::move(result.request), result.priority);
+  }
+}
+
+void Server::run_handle(const std::shared_ptr<Connection>& conn,
+                        std::any request, int priority) {
+  if (conn->closed()) return;
+  note_event(EventKind::kCompute, conn->id(), "handle");
+  auto ctx = std::make_shared<RequestContext>(*this, conn);
+  ctx->priority_ = priority;
+  try {
+    hooks_->handle(*ctx, std::move(request));
+  } catch (const std::exception& e) {
+    COPS_WARN("handle hook threw: " << e.what());
+    ctx->close();
+  }
+}
+
+void Server::resolve_with_reply(RequestContext& ctx, std::any response) {
+  if (!ctx.mark_resolved()) return;
+  std::string bytes;
+  if (options_.encode_decode) {
+    note_event(EventKind::kEncode, ctx.conn_->id(), "encode");
+    try {
+      bytes = hooks_->encode(ctx, std::move(response));
+    } catch (const std::exception& e) {
+      COPS_WARN("encode hook threw: " << e.what());
+      auto conn = ctx.conn_;
+      conn->reactor().post([conn] { conn->close("encode-error"); });
+      return;
+    }
+  } else {
+    bytes = std::any_cast<std::string>(std::move(response));
+  }
+  auto conn = ctx.conn_;
+  conn->reactor().post([conn, bytes = std::move(bytes)]() mutable {
+    conn->queue_send(std::move(bytes), /*completes_request=*/true);
+  });
+}
+
+// ---- services ---------------------------------------------------------------
+
+void Server::fetch_file(RequestContextPtr ctx, std::string path,
+                        RequestContext::FetchCallback done) {
+  if (cache_) {
+    if (auto hit = cache_->lookup(path)) {
+      done(*ctx, hit);
+      return;
+    }
+  }
+  if (options_.completion == CompletionMode::kAsynchronous && file_service_) {
+    CompletionToken token{ctx->conn_->id(), ctx->conn_->generation()};
+    const int priority = ctx->priority();
+    auto executor = [this, priority, token](std::function<void()> fn) {
+      note_event(EventKind::kCompletion, token.connection_id, "file");
+      Event event;
+      event.kind = EventKind::kCompletion;
+      event.priority = priority;
+      event.token = token;
+      event.action = std::move(fn);
+      processor_->submit(std::move(event));
+    };
+    file_service_->async_read(
+        path, token,
+        [this, ctx, done = std::move(done)](Result<FileDataPtr> result) {
+          if (result.is_ok() && cache_) {
+            cache_->insert(result.value()->path, result.value());
+          }
+          if (ctx->connection_closed()) return;  // stale completion token
+          done(*ctx, std::move(result));
+        },
+        std::move(executor));
+  } else {
+    // Synchronous completions (O4): block this processor thread.
+    auto result = FileIoService::read_file(path);
+    if (result.is_ok() && cache_) cache_->insert(path, result.value());
+    done(*ctx, std::move(result));
+  }
+}
+
+// ---- housekeeping ------------------------------------------------------------
+
+void Server::housekeeping() {
+  if (stopping_.load()) return;
+
+  if (overload_ && acceptor_) {
+    switch (overload_->evaluate()) {
+      case OverloadController::Decision::kSuspend:
+        acceptor_->suspend();
+        accept_suspended_ = true;
+        if (options_.profiling) profiler_.count_overload_suspension();
+        note_event(EventKind::kUser, 0, "overload-suspend");
+        break;
+      case OverloadController::Decision::kResume:
+        acceptor_->resume();
+        accept_suspended_ = false;
+        note_event(EventKind::kUser, 0, "overload-resume");
+        break;
+      case OverloadController::Decision::kNoChange:
+        break;
+    }
+  }
+
+  if (controller_) controller_->tick();
+
+  if (options_.shutdown_long_idle) {
+    reap_idle(*shards_[0]);
+    for (size_t i = 1; i < shards_.size(); ++i) {
+      auto* shard = shards_[i].get();
+      shard->reactor->post([this, shard] { reap_idle(*shard); });
+    }
+  }
+
+  shards_[0]->reactor->run_after(options_.housekeeping_interval,
+                                 [this] { housekeeping(); });
+}
+
+void Server::reap_idle(Shard& shard) {
+  const auto deadline = now() - options_.idle_timeout;
+  std::vector<std::shared_ptr<Connection>> idle;
+  for (auto& [id, conn] : shard.connections) {
+    if (!conn->pipeline_active() && conn->last_activity() < deadline) {
+      idle.push_back(conn);
+    }
+  }
+  for (auto& conn : idle) {
+    if (options_.profiling) profiler_.count_idle_shutdown();
+    conn->close("idle-timeout");
+  }
+}
+
+// ---- misc ---------------------------------------------------------------------
+
+void Server::note_event(EventKind kind, uint64_t conn_id, const char* detail) {
+  if (tracer_) tracer_->record(kind, conn_id, detail);
+}
+
+ProfilerSnapshot Server::profile() const {
+  return profiler_.snapshot(processor_ ? processor_->processed() : 0,
+                            cache_ ? cache_->hit_rate() : 0.0);
+}
+
+}  // namespace cops::nserver

@@ -1,0 +1,150 @@
+// Server — the N-Server façade: everything the pattern template generates,
+// assembled according to the twelve options.
+//
+// Structure (paper, Section IV):
+//
+//   Acceptor ── Reactor(s) [Event Dispatcher + decorated Event Sources]
+//                  │ ready events
+//                  ▼
+//            EventProcessor  [queue (FIFO | quota-priority) + thread pool]
+//                  │ Decode / Handle / Encode hook steps
+//                  ▼
+//            FileIoService   [proactor-emulated non-blocking file I/O]
+//            FileCache       [transparent caching, 5 policies + custom]
+//            OverloadController / ProcessorController / Profiler /
+//            DebugTracer / idle reaper
+//
+// Option O1 (dispatcher threads) instantiates N reactors; connections are
+// sharded round-robin and each shard's state is confined to its reactor
+// thread (no locks on the connection path).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/acceptor.hpp"
+#include "net/connector.hpp"
+#include "net/reactor.hpp"
+#include "nserver/connection.hpp"
+#include "nserver/debug_trace.hpp"
+#include "nserver/event_processor.hpp"
+#include "nserver/file_cache.hpp"
+#include "nserver/file_io_service.hpp"
+#include "nserver/hooks.hpp"
+#include "nserver/options.hpp"
+#include "nserver/overload_control.hpp"
+#include "nserver/processor_controller.hpp"
+#include "nserver/profiler.hpp"
+#include "nserver/request_context.hpp"
+
+namespace cops::nserver {
+
+class Server {
+ public:
+  Server(ServerOptions options, std::shared_ptr<AppHooks> hooks);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds the listener, starts dispatcher and processor threads.
+  Status start();
+  // Stops accepting, closes connections, joins every thread.  Idempotent.
+  void stop();
+  // Graceful shutdown: stops accepting, waits until every in-flight
+  // request pipeline has resolved and drained (or `timeout` passes), then
+  // stops.  Returns true when the server went idle before the timeout.
+  bool drain(std::chrono::milliseconds timeout);
+
+  // ---- observability ----------------------------------------------------
+  [[nodiscard]] uint16_t port() const { return port_; }
+  [[nodiscard]] const ServerOptions& options() const { return options_; }
+  [[nodiscard]] size_t connection_count() const { return num_connections_; }
+  [[nodiscard]] bool accepting() const { return !accept_suspended_; }
+  [[nodiscard]] ProfilerSnapshot profile() const;
+  [[nodiscard]] FileCache* cache() { return cache_.get(); }
+  [[nodiscard]] EventProcessor& processor() { return *processor_; }
+  [[nodiscard]] FileIoService* file_service() { return file_service_.get(); }
+  [[nodiscard]] DebugTracer* tracer() { return tracer_.get(); }
+
+  // Installs the Custom cache-eviction hook (O6 = Custom) — must be called
+  // before start().
+  void set_custom_eviction_hook(CustomEvictionHook hook) {
+    custom_eviction_ = std::move(hook);
+  }
+
+  // ---- Client Component (Acceptor-Connector's active side) ---------------
+  // Initiates an outbound connection; once established it becomes a regular
+  // Communicator driven by the same hooks and five-step pipeline (the
+  // on_connect hook typically sends the first request).  `on_done` runs on
+  // a dispatcher thread with the new connection id, or the failure.
+  // Thread-safe; requires a started server.
+  using ConnectCallback = std::function<void(Result<uint64_t>)>;
+  void connect_peer(const net::InetAddress& peer, ConnectCallback on_done);
+
+ private:
+  friend class Connection;
+  friend class RequestContext;
+
+  struct Shard {
+    std::unique_ptr<net::Reactor> reactor;
+    // Confined to the shard's reactor thread.
+    std::unordered_map<uint64_t, std::shared_ptr<Connection>> connections;
+  };
+
+  // ---- accept path (reactor 0) ------------------------------------------
+  void on_accept(net::TcpSocket socket);
+  uint64_t add_connection(size_t shard_index, net::TcpSocket socket);
+
+  // ---- pipeline steps (processor threads unless O2 = No) -----------------
+  void submit_decode(const std::shared_ptr<Connection>& conn);
+  void run_decode(const std::shared_ptr<Connection>& conn);
+  void run_handle(const std::shared_ptr<Connection>& conn, std::any request,
+                  int priority);
+  // Called by RequestContext::reply — applies the Encode hook then sends.
+  void resolve_with_reply(RequestContext& ctx, std::any response);
+
+  // ---- services for RequestContext ---------------------------------------
+  void fetch_file(RequestContextPtr ctx, std::string path,
+                  RequestContext::FetchCallback done);
+
+  // ---- housekeeping (reactor 0 timer) -------------------------------------
+  void housekeeping();
+  void reap_idle(Shard& shard);
+
+  // Internal event accounting: debug trace (O10) + logging (O12).
+  void note_event(EventKind kind, uint64_t conn_id, const char* detail);
+
+  // Counts connections with an active pipeline step (reactor-confined
+  // state, gathered by hopping onto each dispatcher).
+  size_t count_active_pipelines();
+
+  void remove_connection(Connection& conn);
+
+  ServerOptions options_;
+  std::shared_ptr<AppHooks> hooks_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<net::Acceptor> acceptor_;
+  std::unique_ptr<net::Connector> connector_;  // lives on shard 0
+  std::unique_ptr<EventProcessor> processor_;
+  std::unique_ptr<ProcessorController> controller_;
+  std::unique_ptr<FileIoService> file_service_;
+  std::unique_ptr<FileCache> cache_;
+  std::unique_ptr<OverloadController> overload_;
+  std::unique_ptr<DebugTracer> tracer_;
+  Profiler profiler_;
+  CustomEvictionHook custom_eviction_;
+
+  uint16_t port_ = 0;
+  std::atomic<uint64_t> next_conn_id_{1};
+  std::atomic<size_t> num_connections_{0};
+  std::atomic<size_t> next_shard_{0};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> launched_{false};  // dispatcher threads are running
+  std::atomic<bool> stopping_{false};
+  bool accept_suspended_ = false;  // reactor-0 thread only
+};
+
+}  // namespace cops::nserver

@@ -1,0 +1,274 @@
+// Extension-point tests: new Event Source decorators (the paper's "there
+// should be an effective mechanism for new event sources to be added"), the
+// copsgen CLI end-to-end, HTTP auto-index, and FTP rename.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+
+#include "http/http_server.hpp"
+#include "ftp/ftp_server.hpp"
+#include "net/event_source.hpp"
+#include "tests/test_util.hpp"
+
+namespace cops {
+namespace {
+
+// ---- a user-defined Event Source decorator ------------------------------------
+
+// Counts polls and injects a synthetic "heartbeat" ready-event every N
+// polls — the kind of application event source (sensor, internal queue,
+// simulation clock) the Decorator composition exists for.
+class HeartbeatEventSource : public net::EventSourceDecorator {
+ public:
+  HeartbeatEventSource(std::unique_ptr<net::EventSource> inner, int every,
+                       std::function<void()> beat)
+      : EventSourceDecorator(std::move(inner)),
+        every_(every),
+        beat_(std::move(beat)) {}
+
+  Status poll(std::vector<net::ReadyCallback>& out, int timeout_ms) override {
+    auto status = inner().poll(out, timeout_ms);
+    if (!status.is_ok()) return status;
+    if (++polls_ % every_ == 0) out.push_back(beat_);
+    return Status::ok();
+  }
+
+  [[nodiscard]] int polls() const { return polls_; }
+
+ private:
+  int every_;
+  std::function<void()> beat_;
+  int polls_ = 0;
+};
+
+TEST(EventSourceExtension, DecoratorInjectsSyntheticEvents) {
+  auto base = std::make_unique<net::SocketEventSource>();
+  int beats = 0;
+  HeartbeatEventSource source(std::move(base), /*every=*/3,
+                              [&beats] { ++beats; });
+  std::vector<net::ReadyCallback> ready;
+  for (int i = 0; i < 9; ++i) {
+    ready.clear();
+    ASSERT_TRUE(source.poll(ready, 0).is_ok());
+    for (auto& callback : ready) callback();
+  }
+  EXPECT_EQ(beats, 3);
+  EXPECT_EQ(source.polls(), 9);
+}
+
+TEST(EventSourceExtension, DecoratorForwardsRegistration) {
+  auto base = std::make_unique<net::SocketEventSource>();
+  HeartbeatEventSource source(std::move(base), 1000, [] {});
+  // Registration calls pass through the decorator to the socket source.
+  auto listener = net::TcpListener::listen(net::InetAddress::loopback(0));
+  ASSERT_TRUE(listener.is_ok());
+  class NopHandler : public net::EventHandler {
+    void handle_event(int, uint32_t) override {}
+  } handler;
+  EXPECT_TRUE(
+      source.register_handler(listener.value().fd(), &handler, net::kReadable)
+          .is_ok());
+  EXPECT_TRUE(source.update_interest(listener.value().fd(), net::kReadable)
+                  .is_ok());
+  EXPECT_TRUE(source.deregister(listener.value().fd()).is_ok());
+}
+
+// ---- copsgen CLI end-to-end ------------------------------------------------------
+
+class CopsgenCliTest : public ::testing::Test {
+ protected:
+  // The CLI binary lives in the build tree (path baked in at compile time).
+  static std::string binary() { return std::string(COPS_BINARY_DIR) + "/tools/copsgen"; }
+
+  static int run(const std::string& args, const std::string& out_file) {
+    const std::string cmd = binary() + " " + args + " > " + out_file + " 2>&1";
+    return std::system(cmd.c_str());
+  }
+
+  static std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+};
+
+TEST_F(CopsgenCliTest, ListOptionsPrintsAllTwelve) {
+  test::TempDir dir;
+  const auto out = dir.str() + "/out.txt";
+  ASSERT_EQ(run("--list-options", out), 0);
+  const auto text = slurp(out);
+  for (const char* key :
+       {"dispatcher_threads", "separate_pool", "encode_decode", "completion",
+        "thread_alloc", "file_cache", "shutdown_long_idle",
+        "event_scheduling", "overload_control", "mode", "profiling",
+        "logging"}) {
+    EXPECT_NE(text.find(key), std::string::npos) << key;
+  }
+}
+
+TEST_F(CopsgenCliTest, GeneratesFromOptionsFile) {
+  test::TempDir dir;
+  std::ofstream options(dir.str() + "/app.options");
+  options << "file_cache = hyper-g\nevent_scheduling = yes\nmode = debug\n";
+  options.close();
+  const auto out = dir.str() + "/out.txt";
+  ASSERT_EQ(run("--options " + dir.str() + "/app.options --out " + dir.str() +
+                    "/gen --name CliApp",
+                out), 0)
+      << slurp(out);
+  const auto traits = slurp(dir.str() + "/gen/traits.hpp");
+  EXPECT_NE(traits.find("kEventScheduling = true"), std::string::npos);
+  EXPECT_NE(traits.find("kDebugMode = true"), std::string::npos);
+  EXPECT_NE(traits.find("CliApp"), std::string::npos);
+  // hyper-g selects the cache config unit.
+  EXPECT_NE(slurp(dir.str() + "/gen/cache_config.hpp").find("hyper-g"),
+            std::string::npos);
+}
+
+TEST_F(CopsgenCliTest, RejectsIllegalOptionValue) {
+  test::TempDir dir;
+  std::ofstream options(dir.str() + "/bad.options");
+  options << "file_cache = magic\n";
+  options.close();
+  const auto out = dir.str() + "/out.txt";
+  EXPECT_NE(run("--options " + dir.str() + "/bad.options --out " + dir.str() +
+                    "/gen",
+                out), 0);
+  EXPECT_NE(slurp(out).find("illegal value"), std::string::npos);
+}
+
+TEST_F(CopsgenCliTest, PresetGeneratesFtpScaffold) {
+  test::TempDir dir;
+  const auto out = dir.str() + "/out.txt";
+  ASSERT_EQ(run("--preset cops-ftp --out " + dir.str() + "/gen", out), 0);
+  // Dynamic allocation ⇒ controller config exists; sync ⇒ no completion cfg.
+  EXPECT_TRUE(std::ifstream(dir.str() + "/gen/controller_config.hpp").good());
+  EXPECT_FALSE(std::ifstream(dir.str() + "/gen/completion_config.hpp").good());
+}
+
+// ---- HTTP auto-index ----------------------------------------------------------
+
+TEST(AutoIndex, ListsDirectoryAndRedirects) {
+  test::TempDir docs;
+  docs.write_file("photos/a.jpg", "jpegbytes");
+  docs.write_file("photos/b.jpg", "jpegbytes");
+  http::HttpServerConfig config;
+  config.doc_root = docs.str();
+  config.auto_index = true;
+  http::CopsHttpServer server(http::CopsHttpServer::default_options(),
+                              config);
+  ASSERT_TRUE(server.start().is_ok());
+
+  // Slash-less directory path redirects.
+  const auto redirect = test::http_get(server.port(), "/photos");
+  EXPECT_NE(redirect.find("301 Moved Permanently"), std::string::npos);
+  EXPECT_NE(redirect.find("Location: /photos/"), std::string::npos);
+
+  // With the slash: generated listing.
+  const auto listing = test::http_get(server.port(), "/photos/");
+  EXPECT_NE(listing.find("200 OK"), std::string::npos);
+  EXPECT_NE(listing.find("a.jpg"), std::string::npos);
+  EXPECT_NE(listing.find("b.jpg"), std::string::npos);
+
+  server.stop();
+}
+
+TEST(AutoIndex, IndexFileStillWins) {
+  test::TempDir docs;
+  docs.write_file("d/index.html", "real-index");
+  docs.write_file("d/other.txt", "x");
+  http::HttpServerConfig config;
+  config.doc_root = docs.str();
+  config.auto_index = true;
+  http::CopsHttpServer server(http::CopsHttpServer::default_options(),
+                              config);
+  ASSERT_TRUE(server.start().is_ok());
+  const auto response = test::http_get(server.port(), "/d/");
+  EXPECT_NE(response.find("real-index"), std::string::npos);
+  EXPECT_EQ(response.find("other.txt"), std::string::npos);
+  server.stop();
+}
+
+TEST(AutoIndex, DisabledByDefault) {
+  test::TempDir docs;
+  docs.write_file("d/file.txt", "x");
+  http::HttpServerConfig config;
+  config.doc_root = docs.str();
+  http::CopsHttpServer server(http::CopsHttpServer::default_options(),
+                              config);
+  ASSERT_TRUE(server.start().is_ok());
+  const auto response = test::http_get(server.port(), "/d/");
+  EXPECT_NE(response.find("404"), std::string::npos);
+  server.stop();
+}
+
+// ---- FTP rename -----------------------------------------------------------------
+
+TEST(FtpRename, RnfrRntoMovesFile) {
+  test::TempDir root;
+  root.write_file("old.txt", "contents");
+  auto users = std::make_shared<ftp::UserDb>();
+  users->add_user("rw", "pw", /*write_allowed=*/true);
+  ftp::FtpServerConfig config;
+  config.root = root.str();
+  ftp::CopsFtpServer server(ftp::CopsFtpServer::default_options(), config,
+                            users);
+  ASSERT_TRUE(server.start().is_ok());
+
+  test::BlockingClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  client.read_until("220 ");
+  client.send_all("USER rw\r\n");
+  client.read_until("331 ");
+  client.send_all("PASS pw\r\n");
+  client.read_until("230 ");
+  client.send_all("RNFR old.txt\r\n");
+  EXPECT_NE(client.read_until("350 ").find("350"), std::string::npos);
+  client.send_all("RNTO new.txt\r\n");
+  EXPECT_NE(client.read_until("250 ").find("250"), std::string::npos);
+
+  ftp::FsView fs(root.str());
+  EXPECT_FALSE(fs.exists("/old.txt"));
+  EXPECT_TRUE(fs.exists("/new.txt"));
+  server.stop();
+}
+
+TEST(FtpRename, RntoWithoutRnfrRejected) {
+  test::TempDir root;
+  auto users = std::make_shared<ftp::UserDb>();
+  users->add_user("rw", "pw", true);
+  ftp::FtpServerConfig config;
+  config.root = root.str();
+  ftp::CopsFtpServer server(ftp::CopsFtpServer::default_options(), config,
+                            users);
+  ASSERT_TRUE(server.start().is_ok());
+  test::BlockingClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  client.read_until("220 ");
+  client.send_all("USER rw\r\nPASS pw\r\n");
+  client.read_until("230 ");
+  client.send_all("RNTO x\r\n");
+  EXPECT_NE(client.read_until("503 ").find("503"), std::string::npos);
+  server.stop();
+}
+
+TEST(FtpRename, RequiresWritePermission) {
+  test::TempDir root;
+  root.write_file("f", "x");
+  ftp::FtpServerConfig config;
+  config.root = root.str();
+  ftp::CopsFtpServer server(ftp::CopsFtpServer::default_options(), config);
+  ASSERT_TRUE(server.start().is_ok());
+  test::BlockingClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port()));
+  client.read_until("220 ");
+  client.send_all("USER anonymous\r\nPASS x\r\n");
+  client.read_until("230 ");
+  client.send_all("RNFR f\r\n");
+  EXPECT_NE(client.read_until("550 ").find("550"), std::string::npos);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace cops

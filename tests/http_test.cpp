@@ -1,0 +1,246 @@
+// Unit tests for the HTTP protocol library.
+#include <gtest/gtest.h>
+
+#include "common/byte_buffer.hpp"
+#include "http/http_date.hpp"
+#include "http/mime.hpp"
+#include "http/request_parser.hpp"
+#include "http/response.hpp"
+
+namespace cops::http {
+namespace {
+
+ParseOutcome parse(const std::string& wire, HttpRequest& out) {
+  ByteBuffer buf{std::string_view(wire)};
+  return parse_request(buf, out);
+}
+
+// ---------- request parsing ----------------------------------------------------
+
+TEST(RequestParser, SimpleGet) {
+  HttpRequest req;
+  ASSERT_EQ(parse("GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n", req),
+            ParseOutcome::kComplete);
+  EXPECT_EQ(req.method, Method::kGet);
+  EXPECT_EQ(req.path, "/index.html");
+  EXPECT_EQ(req.version_major, 1);
+  EXPECT_EQ(req.version_minor, 1);
+  EXPECT_EQ(req.header_or("host"), "x");
+}
+
+TEST(RequestParser, IncompleteNeedsMoreWithoutConsuming) {
+  ByteBuffer buf{std::string_view("GET / HTTP/1.1\r\nHost: x\r\n")};
+  HttpRequest req;
+  const size_t before = buf.readable();
+  EXPECT_EQ(parse_request(buf, req), ParseOutcome::kIncomplete);
+  EXPECT_EQ(buf.readable(), before);  // untouched
+}
+
+TEST(RequestParser, PipelinedRequestsLeaveTail) {
+  ByteBuffer buf{std::string_view(
+      "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n")};
+  HttpRequest req;
+  ASSERT_EQ(parse_request(buf, req), ParseOutcome::kComplete);
+  EXPECT_EQ(req.path, "/a");
+  ASSERT_EQ(parse_request(buf, req), ParseOutcome::kComplete);
+  EXPECT_EQ(req.path, "/b");
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(RequestParser, QueryStringSplit) {
+  HttpRequest req;
+  ASSERT_EQ(parse("GET /p?a=1&b=2 HTTP/1.1\r\n\r\n", req),
+            ParseOutcome::kComplete);
+  EXPECT_EQ(req.path, "/p");
+  EXPECT_EQ(req.query, "a=1&b=2");
+  EXPECT_EQ(req.target, "/p?a=1&b=2");
+}
+
+TEST(RequestParser, HeaderNamesLowercased) {
+  HttpRequest req;
+  ASSERT_EQ(parse("GET / HTTP/1.1\r\nCoNtEnT-TyPe: text/x\r\n\r\n", req),
+            ParseOutcome::kComplete);
+  EXPECT_EQ(req.header_or("content-type"), "text/x");
+}
+
+TEST(RequestParser, RepeatedHeadersCombined) {
+  HttpRequest req;
+  ASSERT_EQ(parse("GET / HTTP/1.1\r\nX-A: 1\r\nX-A: 2\r\n\r\n", req),
+            ParseOutcome::kComplete);
+  EXPECT_EQ(req.header_or("x-a"), "1, 2");
+}
+
+TEST(RequestParser, BodyViaContentLength) {
+  HttpRequest req;
+  ASSERT_EQ(parse("POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello", req),
+            ParseOutcome::kComplete);
+  EXPECT_EQ(req.body, "hello");
+}
+
+TEST(RequestParser, BodyIncompleteWaits) {
+  HttpRequest req;
+  EXPECT_EQ(parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nhel", req),
+            ParseOutcome::kIncomplete);
+}
+
+TEST(RequestParser, MalformedMethodRejected) {
+  HttpRequest req;
+  EXPECT_EQ(parse("FROB / HTTP/1.1\r\n\r\n", req), ParseOutcome::kMalformed);
+}
+
+TEST(RequestParser, MalformedVersionRejected) {
+  HttpRequest req;
+  EXPECT_EQ(parse("GET / HTTQ/1.1\r\n\r\n", req), ParseOutcome::kMalformed);
+  EXPECT_EQ(parse("GET / HTTP/1.x\r\n\r\n", req), ParseOutcome::kMalformed);
+}
+
+TEST(RequestParser, NegativeContentLengthRejected) {
+  HttpRequest req;
+  EXPECT_EQ(parse("POST / HTTP/1.1\r\nContent-Length: -5\r\n\r\n", req),
+            ParseOutcome::kMalformed);
+}
+
+TEST(RequestParser, OversizedHeadersRejected) {
+  std::string wire = "GET / HTTP/1.1\r\n";
+  wire += "X-Fill: " + std::string(20000, 'a') + "\r\n\r\n";
+  HttpRequest req;
+  EXPECT_EQ(parse(wire, req), ParseOutcome::kMalformed);
+}
+
+TEST(RequestParser, HeadAndVersions) {
+  HttpRequest req;
+  ASSERT_EQ(parse("HEAD /h HTTP/1.0\r\n\r\n", req), ParseOutcome::kComplete);
+  EXPECT_EQ(req.method, Method::kHead);
+  EXPECT_EQ(req.version_minor, 0);
+}
+
+// ---------- path sanitization ----------------------------------------------------
+
+TEST(SanitizePath, PassesNormalPaths) {
+  EXPECT_EQ(sanitize_path("/a/b/c.html"), "/a/b/c.html");
+  EXPECT_EQ(sanitize_path("/"), "/");
+}
+
+TEST(SanitizePath, PercentDecoding) {
+  EXPECT_EQ(sanitize_path("/a%20b.txt"), "/a b.txt");
+  EXPECT_EQ(sanitize_path("/%41"), "/A");
+}
+
+TEST(SanitizePath, RejectsTraversal) {
+  EXPECT_EQ(sanitize_path("/../etc/passwd"), "");
+  EXPECT_EQ(sanitize_path("/a/../../etc"), "");
+  EXPECT_EQ(sanitize_path("/%2e%2e/secret"), "");
+}
+
+TEST(SanitizePath, CollapsesDotAndDoubleSlash) {
+  EXPECT_EQ(sanitize_path("/a/./b//c"), "/a/b/c");
+  EXPECT_EQ(sanitize_path("/a/b/../c"), "/a/c");
+}
+
+TEST(SanitizePath, RejectsBadEscapes) {
+  EXPECT_EQ(sanitize_path("/a%zz"), "");
+  EXPECT_EQ(sanitize_path("/a%2"), "");
+}
+
+TEST(SanitizePath, PreservesTrailingSlash) {
+  EXPECT_EQ(sanitize_path("/dir/"), "/dir/");
+}
+
+TEST(SanitizePath, RejectsRelative) { EXPECT_EQ(sanitize_path("a/b"), ""); }
+
+// ---------- keep-alive semantics ---------------------------------------------------
+
+TEST(KeepAlive, Http11DefaultsOn) {
+  HttpRequest req;
+  ASSERT_EQ(parse("GET / HTTP/1.1\r\n\r\n", req), ParseOutcome::kComplete);
+  EXPECT_TRUE(req.keep_alive());
+}
+
+TEST(KeepAlive, Http11CloseHeaderOff) {
+  HttpRequest req;
+  ASSERT_EQ(parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n", req),
+            ParseOutcome::kComplete);
+  EXPECT_FALSE(req.keep_alive());
+}
+
+TEST(KeepAlive, Http10DefaultsOff) {
+  HttpRequest req;
+  ASSERT_EQ(parse("GET / HTTP/1.0\r\n\r\n", req), ParseOutcome::kComplete);
+  EXPECT_FALSE(req.keep_alive());
+}
+
+TEST(KeepAlive, Http10ExplicitOn) {
+  HttpRequest req;
+  ASSERT_EQ(parse("GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n", req),
+            ParseOutcome::kComplete);
+  EXPECT_TRUE(req.keep_alive());
+}
+
+// ---------- response serialization ---------------------------------------------------
+
+TEST(Response, SerializeBasics) {
+  HttpResponse resp;
+  resp.status = StatusCode::kOk;
+  resp.body = "hello";
+  resp.set_header("Content-Type", "text/plain");
+  const auto wire = resp.serialize();
+  EXPECT_NE(wire.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Type: text/plain\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Server: COPS-HTTP"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\nhello"), std::string::npos);
+}
+
+TEST(Response, HeadSuppressesBodyKeepsLength) {
+  HttpResponse resp;
+  resp.body = "data";
+  resp.head_only = true;
+  const auto wire = resp.serialize();
+  EXPECT_NE(wire.find("Content-Length: 4"), std::string::npos);
+  EXPECT_EQ(wire.find("\r\n\r\ndata"), std::string::npos);
+}
+
+TEST(Response, FileBodyUsed) {
+  auto file = std::make_shared<nserver::FileData>();
+  file->bytes = "file-bytes";
+  HttpResponse resp;
+  resp.file = file;
+  const auto wire = resp.serialize();
+  EXPECT_NE(wire.find("file-bytes"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 10"), std::string::npos);
+}
+
+TEST(Response, ErrorPageContainsCode) {
+  const auto resp = make_error_response(StatusCode::kNotFound, true);
+  EXPECT_EQ(resp.status, StatusCode::kNotFound);
+  EXPECT_NE(resp.body.find("404"), std::string::npos);
+  const auto wire = resp.serialize();
+  EXPECT_NE(wire.find("HTTP/1.1 404 Not Found"), std::string::npos);
+}
+
+// ---------- mime / date ------------------------------------------------------------
+
+TEST(Mime, KnownExtensions) {
+  EXPECT_EQ(mime_type_for("/x/index.html"), "text/html");
+  EXPECT_EQ(mime_type_for("a.PNG"), "image/png");
+  EXPECT_EQ(mime_type_for("style.css"), "text/css");
+}
+
+TEST(Mime, UnknownFallsBack) {
+  EXPECT_EQ(mime_type_for("file.weird"), "application/octet-stream");
+  EXPECT_EQ(mime_type_for("no_extension"), "application/octet-stream");
+}
+
+TEST(HttpDate, FormatsRfc7231) {
+  // 2003-08-04 12:30:45 UTC
+  EXPECT_EQ(format_http_date(1060000245), "Mon, 04 Aug 2003 12:30:45 GMT");
+}
+
+TEST(HttpDate, NowIsParsableShape) {
+  const auto date = now_http_date();
+  EXPECT_EQ(date.size(), 29u);
+  EXPECT_NE(date.find("GMT"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cops::http

@@ -1,0 +1,205 @@
+// Tests for the workload generator: fileset, sampler, client engine.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "baseline/threaded_server.hpp"
+#include "http/http_server.hpp"
+#include "loadgen/fileset.hpp"
+#include "loadgen/http_client.hpp"
+#include "tests/test_util.hpp"
+
+namespace cops::loadgen {
+namespace {
+
+// ---------- fileset ---------------------------------------------------------------
+
+TEST(Fileset, SizeFormula) {
+  EXPECT_EQ(file_size_bytes(0, 0), 100u);    // 0.1 KB
+  EXPECT_EQ(file_size_bytes(0, 8), 900u);    // 0.9 KB
+  EXPECT_EQ(file_size_bytes(1, 0), 1000u);   // 1 KB
+  EXPECT_EQ(file_size_bytes(2, 8), 90000u);  // 90 KB
+  EXPECT_EQ(file_size_bytes(3, 0), 100000u); // 100 KB
+}
+
+TEST(Fileset, DirectoryBytesMatchesSpecShape) {
+  // Per directory: 4.5K + 45K + 450K + 4.5M = 4,999,500 bytes (~5 MB, as in
+  // SpecWeb99).
+  EXPECT_EQ(directory_bytes(), 4999500u);
+}
+
+TEST(Fileset, GenerateCreatesAllFiles) {
+  test::TempDir dir;
+  FilesetConfig config;
+  config.root = dir.str();
+  config.directories = 2;
+  ASSERT_TRUE(generate_fileset(config).is_ok());
+  namespace fs = std::filesystem;
+  size_t count = 0;
+  for (auto& entry : fs::recursive_directory_iterator(dir.str())) {
+    if (entry.is_regular_file()) ++count;
+  }
+  EXPECT_EQ(count, 2u * kClassesPerDir * kFilesPerClass);
+  EXPECT_EQ(fs::file_size(dir.path() / "dir0" / "class1_4.html"), 5000u);
+}
+
+TEST(Fileset, GenerateIsIdempotent) {
+  test::TempDir dir;
+  FilesetConfig config;
+  config.root = dir.str();
+  config.directories = 1;
+  ASSERT_TRUE(generate_fileset(config).is_ok());
+  const auto mtime = std::filesystem::last_write_time(
+      std::filesystem::path(dir.str()) / "dir0" / "class0_0.html");
+  ASSERT_TRUE(generate_fileset(config).is_ok());
+  EXPECT_EQ(std::filesystem::last_write_time(
+                std::filesystem::path(dir.str()) / "dir0" / "class0_0.html"),
+            mtime);
+}
+
+TEST(Sampler, UrlShape) {
+  EXPECT_EQ(file_url(3, 2, 7), "/dir3/class2_7.html");
+}
+
+TEST(Sampler, DeterministicMapping) {
+  FilesetConfig config;
+  config.directories = 4;
+  WorkloadSampler sampler(config);
+  // u_dir=0 → most popular dir (rank 0); u_class small → class 0.
+  EXPECT_EQ(sampler.sample(0.0, 0.0, 0.0), "/dir0/class0_0.html");
+  // u_class beyond 0.85 → class 2 band; beyond 0.99 → class 3.
+  EXPECT_NE(sampler.sample(0.0, 0.90, 0.0).find("class2"), std::string::npos);
+  EXPECT_NE(sampler.sample(0.0, 0.995, 0.0).find("class3"), std::string::npos);
+}
+
+TEST(Sampler, ClassWeightsRoughlyRespected) {
+  FilesetConfig config;
+  config.directories = 4;
+  WorkloadSampler sampler(config);
+  std::mt19937 rng(11);
+  int class_counts[4] = {0, 0, 0, 0};
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const auto path = sampler.sample(rng);
+    const size_t at = path.find("class");
+    class_counts[path[at + 5] - '0']++;
+  }
+  EXPECT_NEAR(class_counts[0] / double(n), 0.35, 0.02);
+  EXPECT_NEAR(class_counts[1] / double(n), 0.50, 0.02);
+  EXPECT_NEAR(class_counts[2] / double(n), 0.14, 0.02);
+  EXPECT_NEAR(class_counts[3] / double(n), 0.01, 0.01);
+}
+
+TEST(Sampler, PopularDirsDominate) {
+  FilesetConfig config;
+  config.directories = 8;
+  WorkloadSampler sampler(config);
+  std::mt19937 rng(13);
+  int dir0 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (sampler.sample(rng).rfind("/dir0/", 0) == 0) ++dir0;
+  }
+  // Zipf(8): rank 0 has ~37 % of the mass.
+  EXPECT_GT(dir0 / double(n), 0.25);
+}
+
+// ---------- client engine end-to-end -------------------------------------------------
+
+class ClientEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    docs_ = std::make_unique<test::TempDir>();
+    docs_->write_file("page.html", std::string(500, 'x'));
+  }
+  std::unique_ptr<test::TempDir> docs_;
+};
+
+TEST_F(ClientEngineTest, DrivesCopsHttpServer) {
+  http::HttpServerConfig config;
+  config.doc_root = docs_->str();
+  http::CopsHttpServer server(http::CopsHttpServer::default_options(), config);
+  ASSERT_TRUE(server.start().is_ok());
+
+  ClientConfig load;
+  load.server = net::InetAddress::loopback(server.port());
+  load.num_clients = 4;
+  load.duration = std::chrono::milliseconds(600);
+  load.think_time = std::chrono::milliseconds(2);
+  load.path_for = [](size_t, std::mt19937&) { return "/page.html"; };
+  const auto stats = run_clients(load);
+  server.stop();
+
+  EXPECT_GT(stats.total_responses, 20u);
+  EXPECT_GT(stats.total_bytes, stats.total_responses * 500);
+  EXPECT_EQ(stats.responses_per_client.size(), 4u);
+  EXPECT_GT(stats.throughput_rps(), 0.0);
+  EXPECT_GT(stats.jain_fairness(), 0.8);
+  EXPECT_EQ(stats.response_time.count(), stats.total_responses);
+  EXPECT_EQ(stats.combined_time.count(), stats.total_responses);
+}
+
+TEST_F(ClientEngineTest, DrivesBaselineServer) {
+  baseline::ThreadedServerConfig config;
+  config.doc_root = docs_->str();
+  config.worker_pool = 4;
+  baseline::ThreadedHttpServer server(config);
+  ASSERT_TRUE(server.start().is_ok());
+
+  ClientConfig load;
+  load.server = net::InetAddress::loopback(server.port());
+  load.num_clients = 3;
+  load.duration = std::chrono::milliseconds(500);
+  load.think_time = std::chrono::milliseconds(2);
+  load.path_for = [](size_t, std::mt19937&) { return "/page.html"; };
+  const auto stats = run_clients(load);
+  server.stop();
+  EXPECT_GT(stats.total_responses, 10u);
+  EXPECT_EQ(stats.connection_resets, 0u);
+}
+
+TEST_F(ClientEngineTest, BacksOffWhenNothingListens) {
+  // Reserve a port with no listener: connects are refused; the engine must
+  // retry with backoff and never crash.
+  uint16_t dead_port = 0;
+  {
+    auto listener = net::TcpListener::listen(net::InetAddress::loopback(0));
+    ASSERT_TRUE(listener.is_ok());
+    dead_port = listener.value().local_address().value().port();
+  }
+  ClientConfig load;
+  load.server = net::InetAddress::loopback(dead_port);
+  load.num_clients = 2;
+  load.duration = std::chrono::milliseconds(300);
+  load.think_time = std::chrono::milliseconds(1);
+  load.backoff_initial = std::chrono::milliseconds(10);
+  load.path_for = [](size_t, std::mt19937&) { return "/"; };
+  const auto stats = run_clients(load);
+  EXPECT_EQ(stats.total_responses, 0u);
+  EXPECT_GT(stats.connect_failures, 0u);
+}
+
+TEST_F(ClientEngineTest, PerClientPathFunction) {
+  http::HttpServerConfig config;
+  config.doc_root = docs_->str();
+  docs_->write_file("a.html", "A");
+  docs_->write_file("b.html", "B");
+  http::CopsHttpServer server(http::CopsHttpServer::default_options(), config);
+  ASSERT_TRUE(server.start().is_ok());
+
+  ClientConfig load;
+  load.server = net::InetAddress::loopback(server.port());
+  load.num_clients = 2;
+  load.duration = std::chrono::milliseconds(400);
+  load.think_time = std::chrono::milliseconds(2);
+  load.path_for = [](size_t index, std::mt19937&) {
+    return index == 0 ? "/a.html" : "/b.html";
+  };
+  const auto stats = run_clients(load);
+  server.stop();
+  EXPECT_GT(stats.responses_per_client[0], 0u);
+  EXPECT_GT(stats.responses_per_client[1], 0u);
+}
+
+}  // namespace
+}  // namespace cops::loadgen

@@ -1,0 +1,349 @@
+// Tests for the networking substrate: sockets, reactor, event sources,
+// timers, acceptor/connector.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "net/acceptor.hpp"
+#include "net/connector.hpp"
+#include "net/event_source.hpp"
+#include "net/reactor.hpp"
+#include "net/socket.hpp"
+#include "net/timer_queue.hpp"
+#include "tests/test_util.hpp"
+
+namespace cops::net {
+namespace {
+
+TEST(InetAddress, ParseAndFormat) {
+  auto addr = InetAddress::parse("127.0.0.1", 8080);
+  ASSERT_TRUE(addr.is_ok());
+  EXPECT_EQ(addr.value().host(), "127.0.0.1");
+  EXPECT_EQ(addr.value().port(), 8080);
+  EXPECT_EQ(addr.value().to_string(), "127.0.0.1:8080");
+}
+
+TEST(InetAddress, LocalhostAlias) {
+  auto addr = InetAddress::parse("localhost", 1);
+  ASSERT_TRUE(addr.is_ok());
+  EXPECT_EQ(addr.value().host(), "127.0.0.1");
+}
+
+TEST(InetAddress, RejectsGarbage) {
+  EXPECT_FALSE(InetAddress::parse("not an ip", 1).is_ok());
+  EXPECT_FALSE(InetAddress::parse("999.1.1.1", 1).is_ok());
+}
+
+TEST(TcpListener, BindsEphemeralPort) {
+  auto listener = TcpListener::listen(InetAddress::loopback(0));
+  ASSERT_TRUE(listener.is_ok());
+  auto addr = listener.value().local_address();
+  ASSERT_TRUE(addr.is_ok());
+  EXPECT_GT(addr.value().port(), 0);
+}
+
+TEST(TcpListener, AcceptWouldBlockWhenNoClient) {
+  auto listener = TcpListener::listen(InetAddress::loopback(0));
+  ASSERT_TRUE(listener.is_ok());
+  auto client = listener.value().accept();
+  EXPECT_FALSE(client.is_ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kWouldBlock);
+}
+
+TEST(TcpSocket, LoopbackRoundTrip) {
+  auto listener = TcpListener::listen(InetAddress::loopback(0));
+  ASSERT_TRUE(listener.is_ok());
+  const uint16_t port = listener.value().local_address().value().port();
+
+  test::BlockingClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", port));
+  // Accept may need a beat for the handshake to complete.
+  Result<TcpSocket> accepted = Status::would_block();
+  for (int i = 0; i < 100; ++i) {
+    accepted = listener.value().accept();
+    if (accepted.is_ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(accepted.is_ok());
+
+  ASSERT_TRUE(client.send_all("ping"));
+  ByteBuffer buf;
+  for (int i = 0; i < 100 && buf.readable() < 4; ++i) {
+    auto n = accepted.value().read(buf);
+    if (!n.is_ok() && n.status().code() != StatusCode::kWouldBlock) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(buf.view(), "ping");
+
+  ByteBuffer out{std::string_view("pong")};
+  auto sent = accepted.value().write(out);
+  ASSERT_TRUE(sent.is_ok());
+  EXPECT_EQ(client.read_some(4), "pong");
+}
+
+TEST(TcpSocket, ReadAfterPeerCloseReturnsClosed) {
+  auto listener = TcpListener::listen(InetAddress::loopback(0));
+  ASSERT_TRUE(listener.is_ok());
+  const uint16_t port = listener.value().local_address().value().port();
+  test::BlockingClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", port));
+  Result<TcpSocket> accepted = Status::would_block();
+  for (int i = 0; i < 100 && !accepted.is_ok(); ++i) {
+    accepted = listener.value().accept();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(accepted.is_ok());
+  client.close();
+  ByteBuffer buf;
+  Status status = Status::ok();
+  for (int i = 0; i < 100; ++i) {
+    auto n = accepted.value().read(buf);
+    if (!n.is_ok() && n.status().code() != StatusCode::kWouldBlock) {
+      status = n.status();
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(status.code(), StatusCode::kClosed);
+}
+
+// ---------- TimerQueue -------------------------------------------------------
+
+TEST(TimerQueue, FiresInDeadlineOrder) {
+  TimerQueue timers;
+  std::vector<int> order;
+  const auto base = now();
+  timers.schedule_at(base + std::chrono::milliseconds(2),
+                     [&] { order.push_back(2); });
+  timers.schedule_at(base + std::chrono::milliseconds(1),
+                     [&] { order.push_back(1); });
+  timers.run_due(base + std::chrono::milliseconds(10));
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(TimerQueue, CancelPreventsFiring) {
+  TimerQueue timers;
+  bool fired = false;
+  const auto id = timers.schedule_after(std::chrono::milliseconds(0),
+                                        [&] { fired = true; });
+  timers.cancel(id);
+  timers.run_due(now() + std::chrono::seconds(1));
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(timers.pending(), 0u);
+}
+
+TEST(TimerQueue, FutureTimerDoesNotFireEarly) {
+  TimerQueue timers;
+  bool fired = false;
+  timers.schedule_after(std::chrono::hours(1), [&] { fired = true; });
+  timers.run_due();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(timers.pending(), 1u);
+}
+
+TEST(TimerQueue, NextTimeoutClampedByCap) {
+  TimerQueue timers;
+  EXPECT_EQ(timers.next_timeout_ms(123), 123);
+  timers.schedule_after(std::chrono::milliseconds(5), [] {});
+  const int timeout = timers.next_timeout_ms(1000);
+  EXPECT_GE(timeout, 0);
+  EXPECT_LE(timeout, 7);
+}
+
+TEST(TimerQueue, TimerCanScheduleAnotherTimer) {
+  TimerQueue timers;
+  int fired = 0;
+  timers.schedule_after(std::chrono::milliseconds(0), [&] {
+    ++fired;
+    timers.schedule_after(std::chrono::milliseconds(0), [&] { ++fired; });
+  });
+  timers.run_due(now() + std::chrono::milliseconds(1));
+  timers.run_due(now() + std::chrono::milliseconds(1));
+  EXPECT_EQ(fired, 2);
+}
+
+// ---------- Reactor ----------------------------------------------------------
+
+TEST(Reactor, PostRunsOnReactorThread) {
+  Reactor reactor;
+  std::atomic<bool> ran{false};
+  std::thread::id loop_id;
+  reactor.post([&] {
+    ran = true;
+    loop_id = std::this_thread::get_id();
+  });
+  reactor.start_thread();
+  for (int i = 0; i < 200 && !ran; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(ran.load());
+  EXPECT_NE(loop_id, std::this_thread::get_id());
+  reactor.stop();
+  reactor.join();
+}
+
+TEST(Reactor, TimerFiresApproximatelyOnTime) {
+  Reactor reactor;
+  std::atomic<bool> fired{false};
+  const auto start = now();
+  std::atomic<int64_t> delay_ms{-1};
+  reactor.post([&] {
+    reactor.run_after(std::chrono::milliseconds(30), [&] {
+      delay_ms = to_millis(now() - start);
+      fired = true;
+    });
+  });
+  reactor.start_thread();
+  for (int i = 0; i < 400 && !fired; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(fired.load());
+  EXPECT_GE(delay_ms.load(), 29);
+  EXPECT_LE(delay_ms.load(), 300);
+  reactor.stop();
+  reactor.join();
+}
+
+TEST(Reactor, StopWakesBlockedLoop) {
+  Reactor reactor;
+  reactor.start_thread();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  const auto begin = now();
+  reactor.stop();
+  reactor.join();
+  EXPECT_LT(to_millis(now() - begin), 600);
+}
+
+TEST(Reactor, PostFromMultipleThreads) {
+  Reactor reactor;
+  reactor.start_thread();
+  std::atomic<int> count{0};
+  std::vector<std::thread> posters;
+  for (int t = 0; t < 4; ++t) {
+    posters.emplace_back([&] {
+      for (int i = 0; i < 500; ++i) {
+        reactor.post([&count] { count.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : posters) t.join();
+  for (int i = 0; i < 500 && count.load() < 2000; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(count.load(), 2000);
+  reactor.stop();
+  reactor.join();
+}
+
+// ---------- Acceptor / Connector ---------------------------------------------
+
+TEST(AcceptorConnector, EstablishesConnection) {
+  Reactor reactor;
+  std::atomic<int> accepted{0};
+  Acceptor acceptor(reactor, [&](TcpSocket sock) {
+    EXPECT_TRUE(sock.valid());
+    accepted.fetch_add(1);
+  });
+  ASSERT_TRUE(acceptor.open(InetAddress::loopback(0)).is_ok());
+  const uint16_t port = acceptor.local_address().value().port();
+
+  Connector connector(reactor);
+  std::atomic<bool> connected{false};
+  reactor.post([&] {
+    connector.connect(InetAddress::loopback(port), [&](Result<TcpSocket> s) {
+      EXPECT_TRUE(s.is_ok());
+      connected = true;
+    });
+  });
+  reactor.start_thread();
+  for (int i = 0; i < 400 && (!connected || accepted == 0); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(connected.load());
+  EXPECT_EQ(accepted.load(), 1);
+  EXPECT_EQ(acceptor.accepted_count(), 1u);
+  reactor.stop();
+  reactor.join();
+}
+
+TEST(Acceptor, SuspendStopsAccepting) {
+  Reactor reactor;
+  std::atomic<int> accepted{0};
+  Acceptor acceptor(reactor, [&](TcpSocket) { accepted.fetch_add(1); });
+  ASSERT_TRUE(acceptor.open(InetAddress::loopback(0), /*backlog=*/64).is_ok());
+  const uint16_t port = acceptor.local_address().value().port();
+  reactor.post([&] { acceptor.suspend(); });
+  reactor.start_thread();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  test::BlockingClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", port));  // lands in kernel backlog
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(accepted.load(), 0);
+
+  std::atomic<bool> resumed{false};
+  reactor.post([&] {
+    acceptor.resume();
+    resumed = true;
+  });
+  for (int i = 0; i < 400 && accepted.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(resumed.load());
+  EXPECT_EQ(accepted.load(), 1);
+  reactor.stop();
+  reactor.join();
+}
+
+TEST(Connector, ReportsRefusedConnection) {
+  Reactor reactor;
+  // Grab a port and close the listener so connects are refused.
+  uint16_t dead_port = 0;
+  {
+    auto listener = TcpListener::listen(InetAddress::loopback(0));
+    ASSERT_TRUE(listener.is_ok());
+    dead_port = listener.value().local_address().value().port();
+  }
+  Connector connector(reactor);
+  std::atomic<bool> failed{false};
+  reactor.post([&] {
+    connector.connect(InetAddress::loopback(dead_port),
+                      [&](Result<TcpSocket> s) {
+                        EXPECT_FALSE(s.is_ok());
+                        failed = true;
+                      });
+  });
+  reactor.start_thread();
+  for (int i = 0; i < 400 && !failed; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(failed.load());
+  reactor.stop();
+  reactor.join();
+}
+
+// ---------- Event source decorators ------------------------------------------
+
+TEST(EventSourceDecorators, UserEventsInterruptBlockedPoll) {
+  Reactor reactor;
+  reactor.start_thread();
+  // With no sockets and no timers the poll would block for its full cap;
+  // a post must still run promptly thanks to the eventfd wakeup.
+  const auto start = now();
+  std::atomic<bool> ran{false};
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // loop parked
+  reactor.post([&] { ran = true; });
+  for (int i = 0; i < 300 && !ran; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(ran.load());
+  EXPECT_LT(to_millis(now() - start), 400);
+  reactor.stop();
+  reactor.join();
+}
+
+}  // namespace
+}  // namespace cops::net

@@ -1,0 +1,279 @@
+// Randomized property tests on core invariants: queues lose nothing, the
+// parser never crashes or over-consumes, buffers preserve byte streams, the
+// cache accounting stays consistent, option files round-trip.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "common/byte_buffer.hpp"
+#include "common/config_file.hpp"
+#include "common/quota_priority_queue.hpp"
+#include "gdp/pattern_template.hpp"
+#include "http/http_date.hpp"
+#include "http/request_parser.hpp"
+#include "tests/test_util.hpp"
+
+namespace cops {
+namespace {
+
+// ---- ByteBuffer stream property ---------------------------------------------
+
+TEST(ByteBufferProperty, RandomAppendConsumePreservesStream) {
+  std::mt19937 rng(1234);
+  std::uniform_int_distribution<int> op(0, 2);
+  std::uniform_int_distribution<size_t> len(1, 300);
+  std::string written;
+  std::string read_back;
+  size_t write_pos = 0;
+  ByteBuffer buf;
+  // Generate the reference stream.
+  std::string stream(20000, '\0');
+  for (auto& c : stream) c = static_cast<char>('a' + rng() % 26);
+
+  while (read_back.size() < stream.size()) {
+    const int which = op(rng);
+    if (which == 0 && write_pos < stream.size()) {
+      const size_t n = std::min(len(rng), stream.size() - write_pos);
+      buf.append(stream.data() + write_pos, n);
+      write_pos += n;
+    } else if (which == 1 && buf.readable() > 0) {
+      const size_t n = std::min(len(rng), buf.readable());
+      read_back.append(buf.view().substr(0, n));
+      buf.consume(n);
+    } else if (which == 2 && write_pos < stream.size()) {
+      // prepare/commit path (socket-style writes).
+      const size_t want = std::min(len(rng), stream.size() - write_pos);
+      uint8_t* dst = buf.prepare(want);
+      const size_t actual = want / 2 + (want % 2);  // partial commit
+      std::memcpy(dst, stream.data() + write_pos, actual);
+      buf.commit(actual);
+      write_pos += actual;
+    }
+  }
+  EXPECT_EQ(read_back, stream);
+}
+
+// ---- QuotaPriorityQueue: nothing lost, nothing fabricated --------------------
+
+class QueueConservationTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(QueueConservationTest, PushPopConserveMultiset) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> prio(0, 3);
+  std::uniform_int_distribution<int> burst(1, 20);
+  QuotaPriorityQueue<int> queue({5, 3, 2, 1});
+  std::multiset<int> outstanding;
+  int next = 0;
+  for (int round = 0; round < 200; ++round) {
+    const int pushes = burst(rng);
+    for (int i = 0; i < pushes; ++i) {
+      queue.push(next, static_cast<size_t>(prio(rng)));
+      outstanding.insert(next);
+      ++next;
+    }
+    const int pops = burst(rng);
+    for (int i = 0; i < pops; ++i) {
+      auto item = queue.try_pop();
+      if (!item) break;
+      auto it = outstanding.find(*item);
+      ASSERT_NE(it, outstanding.end()) << "popped a value never pushed";
+      outstanding.erase(it);
+    }
+    ASSERT_EQ(queue.size(), outstanding.size());
+  }
+  while (auto item = queue.try_pop()) {
+    auto it = outstanding.find(*item);
+    ASSERT_NE(it, outstanding.end());
+    outstanding.erase(it);
+  }
+  EXPECT_TRUE(outstanding.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueConservationTest,
+                         ::testing::Values(1u, 7u, 42u, 1337u, 99991u));
+
+TEST(QueueProperty, SameLevelPreservesFifoOrder) {
+  QuotaPriorityQueue<int> queue({2, 2});
+  std::mt19937 rng(5);
+  std::uniform_int_distribution<int> prio(0, 1);
+  std::vector<int> last_seen{-1, -1};
+  // Encode level in the low bit, sequence in the rest.
+  int seq = 0;
+  for (int i = 0; i < 500; ++i) {
+    const int level = prio(rng);
+    queue.push((seq++ << 1) | level, static_cast<size_t>(level));
+  }
+  while (auto item = queue.try_pop()) {
+    const int level = *item & 1;
+    const int sequence = *item >> 1;
+    EXPECT_GT(sequence, last_seen[static_cast<size_t>(level)])
+        << "FIFO violated within level " << level;
+    last_seen[static_cast<size_t>(level)] = sequence;
+  }
+}
+
+// ---- HTTP parser robustness ----------------------------------------------------
+
+TEST(ParserProperty, RandomBytesNeverCrashNorOverconsume) {
+  std::mt19937 rng(77);
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<size_t> len(0, 400);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string junk(len(rng), '\0');
+    for (auto& c : junk) c = static_cast<char>(byte(rng));
+    ByteBuffer buf{std::string_view(junk)};
+    const size_t before = buf.readable();
+    http::HttpRequest request;
+    const auto outcome = http::parse_request(buf, request);
+    if (outcome == http::ParseOutcome::kIncomplete) {
+      EXPECT_EQ(buf.readable(), before);
+    } else {
+      EXPECT_LE(buf.readable(), before);
+    }
+  }
+}
+
+TEST(ParserProperty, ValidRequestsAlwaysParseBackToTheirFields) {
+  std::mt19937 rng(91);
+  std::uniform_int_distribution<int> seg_len(1, 12);
+  std::uniform_int_distribution<int> segments(1, 5);
+  std::uniform_int_distribution<int> letter('a', 'z');
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string path = "";
+    const int n = segments(rng);
+    for (int i = 0; i < n; ++i) {
+      path += "/";
+      const int l = seg_len(rng);
+      for (int j = 0; j < l; ++j) {
+        path += static_cast<char>(letter(rng));
+      }
+    }
+    const std::string wire =
+        "GET " + path + " HTTP/1.1\r\nHost: prop\r\nX-Trial: " +
+        std::to_string(trial) + "\r\n\r\n";
+    ByteBuffer buf{std::string_view(wire)};
+    http::HttpRequest request;
+    ASSERT_EQ(http::parse_request(buf, request),
+              http::ParseOutcome::kComplete);
+    EXPECT_EQ(request.path, path);
+    EXPECT_EQ(request.header_or("x-trial"), std::to_string(trial));
+    EXPECT_TRUE(buf.empty());
+  }
+}
+
+TEST(ParserProperty, SplitAtEveryBytePositionStillParses) {
+  // Feed a request byte-by-byte: at no prefix may the parser consume, and
+  // at the end it must produce exactly the same request.
+  const std::string wire =
+      "GET /a/b.html HTTP/1.1\r\nHost: x\r\nContent-Length: 3\r\n\r\nxyz";
+  ByteBuffer buf;
+  http::HttpRequest request;
+  for (size_t i = 0; i < wire.size(); ++i) {
+    buf.append(wire.substr(i, 1));
+    const auto outcome = http::parse_request(buf, request);
+    if (i + 1 < wire.size()) {
+      ASSERT_EQ(outcome, http::ParseOutcome::kIncomplete) << "at byte " << i;
+    } else {
+      ASSERT_EQ(outcome, http::ParseOutcome::kComplete);
+    }
+  }
+  EXPECT_EQ(request.path, "/a/b.html");
+  EXPECT_EQ(request.body, "xyz");
+}
+
+// ---- HTTP date round trip -------------------------------------------------------
+
+TEST(HttpDateProperty, FormatParseRoundTrip) {
+  std::mt19937 rng(3);
+  std::uniform_int_distribution<int64_t> ts(0, 4'000'000'000LL);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int64_t t = ts(rng);
+    EXPECT_EQ(http::parse_http_date(http::format_http_date(t)), t);
+  }
+}
+
+TEST(HttpDateProperty, GarbageRejected) {
+  EXPECT_EQ(http::parse_http_date(""), -1);
+  EXPECT_EQ(http::parse_http_date("yesterday"), -1);
+  EXPECT_EQ(http::parse_http_date("Sun, 06 Nov 1994 08:49:37 GMT extra"), -1);
+}
+
+// ---- option presets on disk round-trip through the generator ----------------------
+
+TEST(PresetFiles, OptionsFilesMatchBuiltinPresets) {
+  const std::string presets = std::string(COPS_SOURCE_DIR) + "/presets";
+  const auto tmpl = cops::gdp::make_nserver_template();
+  struct Case {
+    const char* file;
+    cops::gdp::OptionSet builtin;
+  };
+  const Case cases[] = {
+      {"/cops_http.options", cops::gdp::nserver_http_options()},
+      {"/cops_ftp.options", cops::gdp::nserver_ftp_options()},
+  };
+  for (const auto& test_case : cases) {
+    auto config = ConfigFile::load(presets + test_case.file);
+    ASSERT_TRUE(config.is_ok()) << test_case.file;
+    cops::gdp::OptionSet from_file;
+    for (const auto& [key, value] : config.value().entries()) {
+      from_file.set(key, value);
+    }
+    const auto full_file = tmpl.options().with_defaults(from_file);
+    const auto full_builtin =
+        tmpl.options().with_defaults(test_case.builtin);
+    EXPECT_EQ(full_file.values(), full_builtin.values()) << test_case.file;
+    EXPECT_TRUE(tmpl.options().validate(full_file).empty());
+  }
+}
+
+// ---- generator determinism ---------------------------------------------------------
+
+TEST(GeneratorProperty, RenderingIsDeterministic) {
+  const auto tmpl = cops::gdp::make_nserver_template();
+  const std::map<std::string, std::string> extras = {
+      {"app_name", "Det"}, {"listen_port", "0"}};
+  auto first = tmpl.render_all(cops::gdp::nserver_http_options(), extras);
+  auto second = tmpl.render_all(cops::gdp::nserver_http_options(), extras);
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(first.value(), second.value());
+}
+
+TEST(GeneratorProperty, EveryLegalSingleOptionFlipStillRenders) {
+  // Flip each option to each of its legal values from the HTTP baseline;
+  // every combination that passes the constraints must render cleanly.
+  const auto tmpl = cops::gdp::make_nserver_template();
+  const std::map<std::string, std::string> extras = {
+      {"app_name", "Flip"}, {"listen_port", "0"}};
+  int rendered_count = 0;
+  for (const auto& spec : tmpl.options().specs()) {
+    std::vector<std::string> values;
+    switch (spec.type) {
+      case cops::gdp::OptionType::kBool:
+        values = {"yes", "no"};
+        break;
+      case cops::gdp::OptionType::kEnum:
+        values = spec.legal_values;
+        break;
+      case cops::gdp::OptionType::kInt:
+        values = {std::to_string(spec.min_value),
+                  std::to_string(spec.max_value)};
+        break;
+    }
+    for (const auto& value : values) {
+      auto options = cops::gdp::nserver_http_options();
+      options.set(spec.key, value);
+      const auto full = tmpl.options().with_defaults(options);
+      if (!tmpl.options().validate(full).empty()) continue;  // constraint
+      auto rendered = tmpl.render_all(options, extras);
+      ASSERT_TRUE(rendered.is_ok())
+          << spec.key << "=" << value << ": "
+          << rendered.status().to_string();
+      ++rendered_count;
+    }
+  }
+  EXPECT_GT(rendered_count, 20);
+}
+
+}  // namespace
+}  // namespace cops
