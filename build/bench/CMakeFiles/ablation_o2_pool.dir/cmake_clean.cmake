@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_o2_pool.dir/ablation_o2_pool.cpp.o"
+  "CMakeFiles/ablation_o2_pool.dir/ablation_o2_pool.cpp.o.d"
+  "ablation_o2_pool"
+  "ablation_o2_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_o2_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

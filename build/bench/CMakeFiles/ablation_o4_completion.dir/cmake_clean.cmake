@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_o4_completion.dir/ablation_o4_completion.cpp.o"
+  "CMakeFiles/ablation_o4_completion.dir/ablation_o4_completion.cpp.o.d"
+  "ablation_o4_completion"
+  "ablation_o4_completion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_o4_completion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

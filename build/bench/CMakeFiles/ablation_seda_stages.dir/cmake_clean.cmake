@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_seda_stages.dir/ablation_seda_stages.cpp.o"
+  "CMakeFiles/ablation_seda_stages.dir/ablation_seda_stages.cpp.o.d"
+  "ablation_seda_stages"
+  "ablation_seda_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_seda_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_scheduling.dir/fig5_scheduling.cpp.o"
+  "CMakeFiles/fig5_scheduling.dir/fig5_scheduling.cpp.o.d"
+  "fig5_scheduling"
+  "fig5_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_overload.dir/fig6_overload.cpp.o"
+  "CMakeFiles/fig6_overload.dir/fig6_overload.cpp.o.d"
+  "fig6_overload"
+  "fig6_overload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_overload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_distributed.dir/future_distributed.cpp.o"
+  "CMakeFiles/future_distributed.dir/future_distributed.cpp.o.d"
+  "future_distributed"
+  "future_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ablation_generative.dir/micro_ablation_generative.cpp.o"
+  "CMakeFiles/micro_ablation_generative.dir/micro_ablation_generative.cpp.o.d"
+  "micro_ablation_generative"
+  "micro_ablation_generative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ablation_generative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_cache_policies.dir/micro_cache_policies.cpp.o"
+  "CMakeFiles/micro_cache_policies.dir/micro_cache_policies.cpp.o.d"
+  "micro_cache_policies"
+  "micro_cache_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cache_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_http_parser.dir/micro_http_parser.cpp.o"
+  "CMakeFiles/micro_http_parser.dir/micro_http_parser.cpp.o.d"
+  "micro_http_parser"
+  "micro_http_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_http_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_reactor_dispatch.dir/micro_reactor_dispatch.cpp.o"
+  "CMakeFiles/micro_reactor_dispatch.dir/micro_reactor_dispatch.cpp.o.d"
+  "micro_reactor_dispatch"
+  "micro_reactor_dispatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_reactor_dispatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

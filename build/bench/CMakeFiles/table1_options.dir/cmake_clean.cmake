@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_options.dir/table1_options.cpp.o"
+  "CMakeFiles/table1_options.dir/table1_options.cpp.o.d"
+  "table1_options"
+  "table1_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_crosscut.dir/table2_crosscut.cpp.o"
+  "CMakeFiles/table2_crosscut.dir/table2_crosscut.cpp.o.d"
+  "table2_crosscut"
+  "table2_crosscut.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_crosscut.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

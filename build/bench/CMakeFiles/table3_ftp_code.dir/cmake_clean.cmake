@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_ftp_code.dir/table3_ftp_code.cpp.o"
+  "CMakeFiles/table3_ftp_code.dir/table3_ftp_code.cpp.o.d"
+  "table3_ftp_code"
+  "table3_ftp_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_ftp_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_http_code.dir/table4_http_code.cpp.o"
+  "CMakeFiles/table4_http_code.dir/table4_http_code.cpp.o.d"
+  "table4_http_code"
+  "table4_http_code.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_http_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cops_ftp_server.dir/cops_ftp.cpp.o"
+  "CMakeFiles/cops_ftp_server.dir/cops_ftp.cpp.o.d"
+  "cops_ftp_server"
+  "cops_ftp_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cops_ftp_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cops_http_server.dir/cops_http.cpp.o"
+  "CMakeFiles/cops_http_server.dir/cops_http.cpp.o.d"
+  "cops_http_server"
+  "cops_http_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cops_http_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

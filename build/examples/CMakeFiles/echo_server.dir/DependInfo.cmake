@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/echo_server.cpp" "examples/CMakeFiles/echo_server.dir/echo_server.cpp.o" "gcc" "examples/CMakeFiles/echo_server.dir/echo_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nserver/CMakeFiles/cops_nserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/cops_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/ftp/CMakeFiles/cops_ftp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/cops_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cops_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cops_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_cluster.dir/http_cluster.cpp.o"
+  "CMakeFiles/http_cluster.dir/http_cluster.cpp.o.d"
+  "http_cluster"
+  "http_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cops_baseline.dir/threaded_server.cpp.o"
+  "CMakeFiles/cops_baseline.dir/threaded_server.cpp.o.d"
+  "libcops_baseline.a"
+  "libcops_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cops_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcops_baseline.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/load_balancer.cpp" "src/cluster/CMakeFiles/cops_cluster.dir/load_balancer.cpp.o" "gcc" "src/cluster/CMakeFiles/cops_cluster.dir/load_balancer.cpp.o.d"
+  "/root/repo/src/cluster/tcp_relay.cpp" "src/cluster/CMakeFiles/cops_cluster.dir/tcp_relay.cpp.o" "gcc" "src/cluster/CMakeFiles/cops_cluster.dir/tcp_relay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cops_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cops_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cops_cluster.dir/load_balancer.cpp.o"
+  "CMakeFiles/cops_cluster.dir/load_balancer.cpp.o.d"
+  "CMakeFiles/cops_cluster.dir/tcp_relay.cpp.o"
+  "CMakeFiles/cops_cluster.dir/tcp_relay.cpp.o.d"
+  "libcops_cluster.a"
+  "libcops_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cops_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

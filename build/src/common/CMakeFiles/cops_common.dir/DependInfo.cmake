@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/byte_buffer.cpp" "src/common/CMakeFiles/cops_common.dir/byte_buffer.cpp.o" "gcc" "src/common/CMakeFiles/cops_common.dir/byte_buffer.cpp.o.d"
+  "/root/repo/src/common/config_file.cpp" "src/common/CMakeFiles/cops_common.dir/config_file.cpp.o" "gcc" "src/common/CMakeFiles/cops_common.dir/config_file.cpp.o.d"
+  "/root/repo/src/common/histogram.cpp" "src/common/CMakeFiles/cops_common.dir/histogram.cpp.o" "gcc" "src/common/CMakeFiles/cops_common.dir/histogram.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/common/CMakeFiles/cops_common.dir/logging.cpp.o" "gcc" "src/common/CMakeFiles/cops_common.dir/logging.cpp.o.d"
+  "/root/repo/src/common/rate_limiter.cpp" "src/common/CMakeFiles/cops_common.dir/rate_limiter.cpp.o" "gcc" "src/common/CMakeFiles/cops_common.dir/rate_limiter.cpp.o.d"
+  "/root/repo/src/common/source_stats.cpp" "src/common/CMakeFiles/cops_common.dir/source_stats.cpp.o" "gcc" "src/common/CMakeFiles/cops_common.dir/source_stats.cpp.o.d"
+  "/root/repo/src/common/string_util.cpp" "src/common/CMakeFiles/cops_common.dir/string_util.cpp.o" "gcc" "src/common/CMakeFiles/cops_common.dir/string_util.cpp.o.d"
+  "/root/repo/src/common/thread_pool.cpp" "src/common/CMakeFiles/cops_common.dir/thread_pool.cpp.o" "gcc" "src/common/CMakeFiles/cops_common.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/common/zipf.cpp" "src/common/CMakeFiles/cops_common.dir/zipf.cpp.o" "gcc" "src/common/CMakeFiles/cops_common.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cops_common.dir/byte_buffer.cpp.o"
+  "CMakeFiles/cops_common.dir/byte_buffer.cpp.o.d"
+  "CMakeFiles/cops_common.dir/config_file.cpp.o"
+  "CMakeFiles/cops_common.dir/config_file.cpp.o.d"
+  "CMakeFiles/cops_common.dir/histogram.cpp.o"
+  "CMakeFiles/cops_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/cops_common.dir/logging.cpp.o"
+  "CMakeFiles/cops_common.dir/logging.cpp.o.d"
+  "CMakeFiles/cops_common.dir/rate_limiter.cpp.o"
+  "CMakeFiles/cops_common.dir/rate_limiter.cpp.o.d"
+  "CMakeFiles/cops_common.dir/source_stats.cpp.o"
+  "CMakeFiles/cops_common.dir/source_stats.cpp.o.d"
+  "CMakeFiles/cops_common.dir/string_util.cpp.o"
+  "CMakeFiles/cops_common.dir/string_util.cpp.o.d"
+  "CMakeFiles/cops_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/cops_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/cops_common.dir/zipf.cpp.o"
+  "CMakeFiles/cops_common.dir/zipf.cpp.o.d"
+  "libcops_common.a"
+  "libcops_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cops_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

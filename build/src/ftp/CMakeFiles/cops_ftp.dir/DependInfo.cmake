@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ftp/command.cpp" "src/ftp/CMakeFiles/cops_ftp.dir/command.cpp.o" "gcc" "src/ftp/CMakeFiles/cops_ftp.dir/command.cpp.o.d"
+  "/root/repo/src/ftp/fs_view.cpp" "src/ftp/CMakeFiles/cops_ftp.dir/fs_view.cpp.o" "gcc" "src/ftp/CMakeFiles/cops_ftp.dir/fs_view.cpp.o.d"
+  "/root/repo/src/ftp/ftp_server.cpp" "src/ftp/CMakeFiles/cops_ftp.dir/ftp_server.cpp.o" "gcc" "src/ftp/CMakeFiles/cops_ftp.dir/ftp_server.cpp.o.d"
+  "/root/repo/src/ftp/session.cpp" "src/ftp/CMakeFiles/cops_ftp.dir/session.cpp.o" "gcc" "src/ftp/CMakeFiles/cops_ftp.dir/session.cpp.o.d"
+  "/root/repo/src/ftp/user_db.cpp" "src/ftp/CMakeFiles/cops_ftp.dir/user_db.cpp.o" "gcc" "src/ftp/CMakeFiles/cops_ftp.dir/user_db.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nserver/CMakeFiles/cops_nserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cops_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cops_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

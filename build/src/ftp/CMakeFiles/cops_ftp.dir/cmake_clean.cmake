@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cops_ftp.dir/command.cpp.o"
+  "CMakeFiles/cops_ftp.dir/command.cpp.o.d"
+  "CMakeFiles/cops_ftp.dir/fs_view.cpp.o"
+  "CMakeFiles/cops_ftp.dir/fs_view.cpp.o.d"
+  "CMakeFiles/cops_ftp.dir/ftp_server.cpp.o"
+  "CMakeFiles/cops_ftp.dir/ftp_server.cpp.o.d"
+  "CMakeFiles/cops_ftp.dir/session.cpp.o"
+  "CMakeFiles/cops_ftp.dir/session.cpp.o.d"
+  "CMakeFiles/cops_ftp.dir/user_db.cpp.o"
+  "CMakeFiles/cops_ftp.dir/user_db.cpp.o.d"
+  "libcops_ftp.a"
+  "libcops_ftp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cops_ftp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gdp/nserver_template.cpp" "src/gdp/CMakeFiles/cops_gdp.dir/nserver_template.cpp.o" "gcc" "src/gdp/CMakeFiles/cops_gdp.dir/nserver_template.cpp.o.d"
+  "/root/repo/src/gdp/option.cpp" "src/gdp/CMakeFiles/cops_gdp.dir/option.cpp.o" "gcc" "src/gdp/CMakeFiles/cops_gdp.dir/option.cpp.o.d"
+  "/root/repo/src/gdp/pattern_template.cpp" "src/gdp/CMakeFiles/cops_gdp.dir/pattern_template.cpp.o" "gcc" "src/gdp/CMakeFiles/cops_gdp.dir/pattern_template.cpp.o.d"
+  "/root/repo/src/gdp/reactor_template.cpp" "src/gdp/CMakeFiles/cops_gdp.dir/reactor_template.cpp.o" "gcc" "src/gdp/CMakeFiles/cops_gdp.dir/reactor_template.cpp.o.d"
+  "/root/repo/src/gdp/template_lang.cpp" "src/gdp/CMakeFiles/cops_gdp.dir/template_lang.cpp.o" "gcc" "src/gdp/CMakeFiles/cops_gdp.dir/template_lang.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cops_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cops_gdp.dir/nserver_template.cpp.o"
+  "CMakeFiles/cops_gdp.dir/nserver_template.cpp.o.d"
+  "CMakeFiles/cops_gdp.dir/option.cpp.o"
+  "CMakeFiles/cops_gdp.dir/option.cpp.o.d"
+  "CMakeFiles/cops_gdp.dir/pattern_template.cpp.o"
+  "CMakeFiles/cops_gdp.dir/pattern_template.cpp.o.d"
+  "CMakeFiles/cops_gdp.dir/reactor_template.cpp.o"
+  "CMakeFiles/cops_gdp.dir/reactor_template.cpp.o.d"
+  "CMakeFiles/cops_gdp.dir/template_lang.cpp.o"
+  "CMakeFiles/cops_gdp.dir/template_lang.cpp.o.d"
+  "libcops_gdp.a"
+  "libcops_gdp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cops_gdp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/http_date.cpp" "src/http/CMakeFiles/cops_http.dir/http_date.cpp.o" "gcc" "src/http/CMakeFiles/cops_http.dir/http_date.cpp.o.d"
+  "/root/repo/src/http/http_server.cpp" "src/http/CMakeFiles/cops_http.dir/http_server.cpp.o" "gcc" "src/http/CMakeFiles/cops_http.dir/http_server.cpp.o.d"
+  "/root/repo/src/http/mime.cpp" "src/http/CMakeFiles/cops_http.dir/mime.cpp.o" "gcc" "src/http/CMakeFiles/cops_http.dir/mime.cpp.o.d"
+  "/root/repo/src/http/request.cpp" "src/http/CMakeFiles/cops_http.dir/request.cpp.o" "gcc" "src/http/CMakeFiles/cops_http.dir/request.cpp.o.d"
+  "/root/repo/src/http/request_parser.cpp" "src/http/CMakeFiles/cops_http.dir/request_parser.cpp.o" "gcc" "src/http/CMakeFiles/cops_http.dir/request_parser.cpp.o.d"
+  "/root/repo/src/http/response.cpp" "src/http/CMakeFiles/cops_http.dir/response.cpp.o" "gcc" "src/http/CMakeFiles/cops_http.dir/response.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nserver/CMakeFiles/cops_nserver.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cops_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cops_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cops_http.dir/http_date.cpp.o"
+  "CMakeFiles/cops_http.dir/http_date.cpp.o.d"
+  "CMakeFiles/cops_http.dir/http_server.cpp.o"
+  "CMakeFiles/cops_http.dir/http_server.cpp.o.d"
+  "CMakeFiles/cops_http.dir/mime.cpp.o"
+  "CMakeFiles/cops_http.dir/mime.cpp.o.d"
+  "CMakeFiles/cops_http.dir/request.cpp.o"
+  "CMakeFiles/cops_http.dir/request.cpp.o.d"
+  "CMakeFiles/cops_http.dir/request_parser.cpp.o"
+  "CMakeFiles/cops_http.dir/request_parser.cpp.o.d"
+  "CMakeFiles/cops_http.dir/response.cpp.o"
+  "CMakeFiles/cops_http.dir/response.cpp.o.d"
+  "libcops_http.a"
+  "libcops_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cops_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/loadgen/fileset.cpp" "src/loadgen/CMakeFiles/cops_loadgen.dir/fileset.cpp.o" "gcc" "src/loadgen/CMakeFiles/cops_loadgen.dir/fileset.cpp.o.d"
+  "/root/repo/src/loadgen/http_client.cpp" "src/loadgen/CMakeFiles/cops_loadgen.dir/http_client.cpp.o" "gcc" "src/loadgen/CMakeFiles/cops_loadgen.dir/http_client.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cops_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cops_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

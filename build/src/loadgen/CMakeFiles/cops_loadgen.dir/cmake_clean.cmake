@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cops_loadgen.dir/fileset.cpp.o"
+  "CMakeFiles/cops_loadgen.dir/fileset.cpp.o.d"
+  "CMakeFiles/cops_loadgen.dir/http_client.cpp.o"
+  "CMakeFiles/cops_loadgen.dir/http_client.cpp.o.d"
+  "libcops_loadgen.a"
+  "libcops_loadgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cops_loadgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcops_loadgen.a"
+)

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/acceptor.cpp" "src/net/CMakeFiles/cops_net.dir/acceptor.cpp.o" "gcc" "src/net/CMakeFiles/cops_net.dir/acceptor.cpp.o.d"
+  "/root/repo/src/net/connector.cpp" "src/net/CMakeFiles/cops_net.dir/connector.cpp.o" "gcc" "src/net/CMakeFiles/cops_net.dir/connector.cpp.o.d"
+  "/root/repo/src/net/event_source.cpp" "src/net/CMakeFiles/cops_net.dir/event_source.cpp.o" "gcc" "src/net/CMakeFiles/cops_net.dir/event_source.cpp.o.d"
+  "/root/repo/src/net/inet_address.cpp" "src/net/CMakeFiles/cops_net.dir/inet_address.cpp.o" "gcc" "src/net/CMakeFiles/cops_net.dir/inet_address.cpp.o.d"
+  "/root/repo/src/net/poller.cpp" "src/net/CMakeFiles/cops_net.dir/poller.cpp.o" "gcc" "src/net/CMakeFiles/cops_net.dir/poller.cpp.o.d"
+  "/root/repo/src/net/reactor.cpp" "src/net/CMakeFiles/cops_net.dir/reactor.cpp.o" "gcc" "src/net/CMakeFiles/cops_net.dir/reactor.cpp.o.d"
+  "/root/repo/src/net/socket.cpp" "src/net/CMakeFiles/cops_net.dir/socket.cpp.o" "gcc" "src/net/CMakeFiles/cops_net.dir/socket.cpp.o.d"
+  "/root/repo/src/net/timer_queue.cpp" "src/net/CMakeFiles/cops_net.dir/timer_queue.cpp.o" "gcc" "src/net/CMakeFiles/cops_net.dir/timer_queue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/cops_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cops_net.dir/acceptor.cpp.o"
+  "CMakeFiles/cops_net.dir/acceptor.cpp.o.d"
+  "CMakeFiles/cops_net.dir/connector.cpp.o"
+  "CMakeFiles/cops_net.dir/connector.cpp.o.d"
+  "CMakeFiles/cops_net.dir/event_source.cpp.o"
+  "CMakeFiles/cops_net.dir/event_source.cpp.o.d"
+  "CMakeFiles/cops_net.dir/inet_address.cpp.o"
+  "CMakeFiles/cops_net.dir/inet_address.cpp.o.d"
+  "CMakeFiles/cops_net.dir/poller.cpp.o"
+  "CMakeFiles/cops_net.dir/poller.cpp.o.d"
+  "CMakeFiles/cops_net.dir/reactor.cpp.o"
+  "CMakeFiles/cops_net.dir/reactor.cpp.o.d"
+  "CMakeFiles/cops_net.dir/socket.cpp.o"
+  "CMakeFiles/cops_net.dir/socket.cpp.o.d"
+  "CMakeFiles/cops_net.dir/timer_queue.cpp.o"
+  "CMakeFiles/cops_net.dir/timer_queue.cpp.o.d"
+  "libcops_net.a"
+  "libcops_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cops_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

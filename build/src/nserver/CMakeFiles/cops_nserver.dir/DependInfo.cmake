@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nserver/cache_policy.cpp" "src/nserver/CMakeFiles/cops_nserver.dir/cache_policy.cpp.o" "gcc" "src/nserver/CMakeFiles/cops_nserver.dir/cache_policy.cpp.o.d"
+  "/root/repo/src/nserver/connection.cpp" "src/nserver/CMakeFiles/cops_nserver.dir/connection.cpp.o" "gcc" "src/nserver/CMakeFiles/cops_nserver.dir/connection.cpp.o.d"
+  "/root/repo/src/nserver/debug_trace.cpp" "src/nserver/CMakeFiles/cops_nserver.dir/debug_trace.cpp.o" "gcc" "src/nserver/CMakeFiles/cops_nserver.dir/debug_trace.cpp.o.d"
+  "/root/repo/src/nserver/event_processor.cpp" "src/nserver/CMakeFiles/cops_nserver.dir/event_processor.cpp.o" "gcc" "src/nserver/CMakeFiles/cops_nserver.dir/event_processor.cpp.o.d"
+  "/root/repo/src/nserver/file_cache.cpp" "src/nserver/CMakeFiles/cops_nserver.dir/file_cache.cpp.o" "gcc" "src/nserver/CMakeFiles/cops_nserver.dir/file_cache.cpp.o.d"
+  "/root/repo/src/nserver/file_io_service.cpp" "src/nserver/CMakeFiles/cops_nserver.dir/file_io_service.cpp.o" "gcc" "src/nserver/CMakeFiles/cops_nserver.dir/file_io_service.cpp.o.d"
+  "/root/repo/src/nserver/options.cpp" "src/nserver/CMakeFiles/cops_nserver.dir/options.cpp.o" "gcc" "src/nserver/CMakeFiles/cops_nserver.dir/options.cpp.o.d"
+  "/root/repo/src/nserver/overload_control.cpp" "src/nserver/CMakeFiles/cops_nserver.dir/overload_control.cpp.o" "gcc" "src/nserver/CMakeFiles/cops_nserver.dir/overload_control.cpp.o.d"
+  "/root/repo/src/nserver/processor_controller.cpp" "src/nserver/CMakeFiles/cops_nserver.dir/processor_controller.cpp.o" "gcc" "src/nserver/CMakeFiles/cops_nserver.dir/processor_controller.cpp.o.d"
+  "/root/repo/src/nserver/profiler.cpp" "src/nserver/CMakeFiles/cops_nserver.dir/profiler.cpp.o" "gcc" "src/nserver/CMakeFiles/cops_nserver.dir/profiler.cpp.o.d"
+  "/root/repo/src/nserver/request_context.cpp" "src/nserver/CMakeFiles/cops_nserver.dir/request_context.cpp.o" "gcc" "src/nserver/CMakeFiles/cops_nserver.dir/request_context.cpp.o.d"
+  "/root/repo/src/nserver/server.cpp" "src/nserver/CMakeFiles/cops_nserver.dir/server.cpp.o" "gcc" "src/nserver/CMakeFiles/cops_nserver.dir/server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cops_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/cops_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

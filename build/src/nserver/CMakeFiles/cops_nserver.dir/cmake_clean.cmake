@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cops_nserver.dir/cache_policy.cpp.o"
+  "CMakeFiles/cops_nserver.dir/cache_policy.cpp.o.d"
+  "CMakeFiles/cops_nserver.dir/connection.cpp.o"
+  "CMakeFiles/cops_nserver.dir/connection.cpp.o.d"
+  "CMakeFiles/cops_nserver.dir/debug_trace.cpp.o"
+  "CMakeFiles/cops_nserver.dir/debug_trace.cpp.o.d"
+  "CMakeFiles/cops_nserver.dir/event_processor.cpp.o"
+  "CMakeFiles/cops_nserver.dir/event_processor.cpp.o.d"
+  "CMakeFiles/cops_nserver.dir/file_cache.cpp.o"
+  "CMakeFiles/cops_nserver.dir/file_cache.cpp.o.d"
+  "CMakeFiles/cops_nserver.dir/file_io_service.cpp.o"
+  "CMakeFiles/cops_nserver.dir/file_io_service.cpp.o.d"
+  "CMakeFiles/cops_nserver.dir/options.cpp.o"
+  "CMakeFiles/cops_nserver.dir/options.cpp.o.d"
+  "CMakeFiles/cops_nserver.dir/overload_control.cpp.o"
+  "CMakeFiles/cops_nserver.dir/overload_control.cpp.o.d"
+  "CMakeFiles/cops_nserver.dir/processor_controller.cpp.o"
+  "CMakeFiles/cops_nserver.dir/processor_controller.cpp.o.d"
+  "CMakeFiles/cops_nserver.dir/profiler.cpp.o"
+  "CMakeFiles/cops_nserver.dir/profiler.cpp.o.d"
+  "CMakeFiles/cops_nserver.dir/request_context.cpp.o"
+  "CMakeFiles/cops_nserver.dir/request_context.cpp.o.d"
+  "CMakeFiles/cops_nserver.dir/server.cpp.o"
+  "CMakeFiles/cops_nserver.dir/server.cpp.o.d"
+  "libcops_nserver.a"
+  "libcops_nserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cops_nserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

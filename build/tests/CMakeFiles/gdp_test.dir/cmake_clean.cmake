@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gdp_test.dir/gdp_test.cpp.o"
+  "CMakeFiles/gdp_test.dir/gdp_test.cpp.o.d"
+  "gdp_test"
+  "gdp_test.pdb"
+  "gdp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gdp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nserver_test.dir/nserver_test.cpp.o"
+  "CMakeFiles/nserver_test.dir/nserver_test.cpp.o.d"
+  "nserver_test"
+  "nserver_test.pdb"
+  "nserver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nserver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_integration_test.dir/server_integration_test.cpp.o"
+  "CMakeFiles/server_integration_test.dir/server_integration_test.cpp.o.d"
+  "server_integration_test"
+  "server_integration_test.pdb"
+  "server_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

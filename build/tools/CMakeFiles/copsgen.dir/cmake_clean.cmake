@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copsgen.dir/copsgen_main.cpp.o"
+  "CMakeFiles/copsgen.dir/copsgen_main.cpp.o.d"
+  "copsgen"
+  "copsgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copsgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
