@@ -41,13 +41,21 @@ int main(int argc, char** argv) {
       options.logging = true;
     } else if (arg == "--profiling") {
       options.profiling = true;
+    } else if (arg == "--admin") {
+      // O11+: admin/metrics endpoint; requires the profiler, so turn it on.
+      options.profiling = true;
+      options.stats_export = cops::nserver::StatsExport::kAdminHttp;
+    } else if (arg == "--admin-port") {
+      options.profiling = true;
+      options.stats_export = cops::nserver::StatsExport::kAdminHttp;
+      options.admin_port = static_cast<uint16_t>(std::atoi(next()));
     } else if (arg == "--run-seconds") {
       run_seconds = std::atoi(next());
     } else {
       std::puts(
           "cops_ftp --root DIR [--port N] [--user name:pass[:rw]]\n"
           "         [--no-anonymous] [--logging] [--profiling]\n"
-          "         [--run-seconds N]");
+          "         [--admin] [--admin-port N] [--run-seconds N]");
       return arg == "--help" ? 0 : 2;
     }
   }
@@ -60,6 +68,10 @@ int main(int argc, char** argv) {
   }
   std::printf("COPS-FTP listening on 127.0.0.1:%u (root %s)\n", server.port(),
               config.root.c_str());
+  if (server.admin_port() != 0) {
+    std::printf("admin endpoint at http://%s:%u/stats\n",
+                options.admin_host.c_str(), server.admin_port());
+  }
   if (run_seconds > 0) {
     std::this_thread::sleep_for(std::chrono::seconds(run_seconds));
     server.stop();

@@ -23,7 +23,7 @@ void usage() {
       "          [--cache lru|lfu|lru-min|lru-threshold|hyper-g|none]\n"
       "          [--cache-mb N] [--scheduling] [--overload] [--idle-ms N]\n"
       "          [--auto-index] [--debug] [--profiling] [--logging]\n"
-      "          [--run-seconds N]");
+      "          [--admin] [--admin-port N] [--run-seconds N]");
 }
 
 cops::nserver::CachePolicyKind parse_cache(const std::string& name) {
@@ -80,6 +80,14 @@ int main(int argc, char** argv) {
       options.mode = cops::nserver::ServerMode::kDebug;
     } else if (arg == "--profiling") {
       options.profiling = true;
+    } else if (arg == "--admin") {
+      // O11+: admin/metrics endpoint; requires the profiler, so turn it on.
+      options.profiling = true;
+      options.stats_export = cops::nserver::StatsExport::kAdminHttp;
+    } else if (arg == "--admin-port") {
+      options.profiling = true;
+      options.stats_export = cops::nserver::StatsExport::kAdminHttp;
+      options.admin_port = static_cast<uint16_t>(std::atoi(next()));
     } else if (arg == "--logging") {
       options.logging = true;
     } else if (arg == "--run-seconds") {
@@ -101,6 +109,10 @@ int main(int argc, char** argv) {
   }
   std::printf("COPS-HTTP listening on 127.0.0.1:%u (doc root %s)\n",
               server.port(), config.doc_root.c_str());
+  if (server.admin_port() != 0) {
+    std::printf("admin endpoint at http://%s:%u/stats\n",
+                options.admin_host.c_str(), server.admin_port());
+  }
 
   const auto report = [&] {
     if (!options.profiling) return;

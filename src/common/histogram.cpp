@@ -16,6 +16,10 @@ int Histogram::bucket_for(int64_t micros) {
 
 int64_t Histogram::bucket_upper(int bucket) { return int64_t{1} << bucket; }
 
+int64_t Histogram::bucket_upper_micros(int bucket) {
+  return bucket_upper(bucket);
+}
+
 void Histogram::record(int64_t micros) {
   if (micros < 0) micros = 0;
   buckets_[static_cast<size_t>(bucket_for(micros))].fetch_add(

@@ -37,6 +37,13 @@ class Histogram {
   void merge(const Histogram& other);
 
   [[nodiscard]] uint64_t count() const { return count_.load(); }
+  [[nodiscard]] int64_t sum_micros() const { return sum_.load(); }
+  // Per-bucket sample count and the bucket's inclusive upper bound — the
+  // raw material for Prometheus-style cumulative bucket export.
+  [[nodiscard]] uint64_t bucket_count(int bucket) const {
+    return buckets_[static_cast<size_t>(bucket)].load();
+  }
+  [[nodiscard]] static int64_t bucket_upper_micros(int bucket);
   [[nodiscard]] double mean_micros() const;
   // q in [0,1]; returns the upper bound of the bucket containing the
   // q-quantile sample (0 when empty).

@@ -89,6 +89,8 @@ class CopsFtpServer {
   void stop() { server_.stop(); }
 
   [[nodiscard]] uint16_t port() const { return server_.port(); }
+  // Admin/metrics endpoint port (O11+); 0 unless stats_export is enabled.
+  [[nodiscard]] uint16_t admin_port() const { return server_.admin_port(); }
   [[nodiscard]] nserver::Server& server() { return server_; }
   [[nodiscard]] FtpAppHooks& hooks() { return *hooks_; }
 

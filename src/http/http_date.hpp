@@ -1,4 +1,11 @@
-// RFC 7231 (IMF-fixdate) date formatting, e.g. "Sun, 06 Nov 1994 08:49:37 GMT".
+// RFC 7231 §7.1.1.1 HTTP dates, e.g. "Sun, 06 Nov 1994 08:49:37 GMT".
+//
+// Formatting always emits IMF-fixdate; parsing accepts all three formats a
+// recipient MUST support (IMF-fixdate, obsolete RFC 850, obsolete asctime).
+// Both directions use fixed English month/day tables — never strftime %a/%b
+// or strptime — because those are locale-dependent: under a non-C locale a
+// server would emit "Son, 06 Nov ..." (German) and fail to parse the dates
+// every other server sends.
 #pragma once
 
 #include <cstdint>
@@ -7,13 +14,13 @@
 namespace cops::http {
 
 // Formats a UNIX timestamp; `now_http_date()` uses the current time (cached
-// per second — a Date header is emitted on every reply, and strftime on the
-// hot path would be a measurable cost).
+// per second — a Date header is emitted on every reply, and formatting on
+// the hot path would be a measurable cost).
 [[nodiscard]] std::string format_http_date(int64_t unix_seconds);
 [[nodiscard]] std::string now_http_date();
 
-// Parses an IMF-fixdate ("Sun, 06 Nov 1994 08:49:37 GMT") back to a UNIX
-// timestamp; -1 on malformed input.  Used for If-Modified-Since.
+// Parses any of the three RFC 7231 date formats back to a UNIX timestamp;
+// -1 on malformed input.  Used for If-Modified-Since.
 [[nodiscard]] int64_t parse_http_date(const std::string& value);
 
 }  // namespace cops::http

@@ -81,6 +81,8 @@ class CopsHttpServer {
   void stop() { server_.stop(); }
 
   [[nodiscard]] uint16_t port() const { return server_.port(); }
+  // Admin/metrics endpoint port (O11+); 0 unless stats_export is enabled.
+  [[nodiscard]] uint16_t admin_port() const { return server_.admin_port(); }
   [[nodiscard]] nserver::Server& server() { return server_; }
   [[nodiscard]] HttpAppHooks& hooks() { return *hooks_; }
 

@@ -51,9 +51,18 @@ bool parse_header_line(std::string_view line, HttpRequest& out) {
   if (colon == std::string_view::npos || colon == 0) return false;
   auto name = cops::to_lower(cops::trim(line.substr(0, colon)));
   auto value = std::string(cops::trim(line.substr(colon + 1)));
-  // Repeated headers: combine with a comma per RFC 7230 §3.2.2.
   auto [it, inserted] = out.headers.emplace(std::move(name), std::move(value));
   if (!inserted) {
+    // RFC 7230 §5.4: more than one Host field is unambiguously malformed —
+    // routing and caching decisions must not depend on which one a proxy in
+    // front of us happened to pick.
+    if (it->first == "host") return false;
+    // RFC 7230 §3.3.3: repeated Content-Length is a request-smuggling
+    // vector unless every value is identical; identical repeats collapse.
+    if (it->first == "content-length") {
+      return it->second == cops::trim(line.substr(colon + 1));
+    }
+    // Other repeated headers combine with a comma per RFC 7230 §3.2.2.
     it->second += ", ";
     it->second += cops::trim(line.substr(colon + 1));
   }

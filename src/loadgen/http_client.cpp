@@ -1,5 +1,10 @@
 #include "loadgen/http_client.hpp"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <memory>
 
@@ -358,7 +363,52 @@ void VirtualClient::shutdown() {
 
 ClientStats run_clients(const ClientConfig& config) {
   Engine engine(config);
-  return engine.run();
+  auto stats = engine.run();
+  if (config.admin_scrape_port != 0) {
+    stats.admin_stats_text = scrape_admin(config.admin_scrape_port);
+  }
+  return stats;
+}
+
+std::string scrape_admin(uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  timeval tv{};
+  tv.tv_sec = 2;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request =
+      "GET " + path + " HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return {};
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string data;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    data.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t header_end = data.find("\r\n\r\n");
+  if (header_end == std::string::npos) return {};
+  if (data.compare(0, 12, "HTTP/1.1 200") != 0) return {};
+  return data.substr(header_end + 4);
 }
 
 }  // namespace cops::loadgen

@@ -48,6 +48,12 @@ struct ClientConfig {
   Duration start_spread = Duration::zero();
 
   unsigned seed = 7;
+
+  // When non-zero, scrape the server's O11+ admin endpoint
+  // (http://127.0.0.1:<port>/stats) once after the run and store the
+  // Prometheus text in ClientStats::admin_stats_text — lets the generator's
+  // observed counts be cross-checked against the server's own counters.
+  uint16_t admin_scrape_port = 0;
 };
 
 struct ClientStats {
@@ -59,6 +65,7 @@ struct ClientStats {
   uint64_t connect_failures = 0;  // timeouts / refusals (before a retry)
   uint64_t connection_resets = 0;
   double elapsed_seconds = 0.0;
+  std::string admin_stats_text;  // /stats body when admin_scrape_port is set
 
   [[nodiscard]] double throughput_rps() const {
     return elapsed_seconds > 0
@@ -70,5 +77,9 @@ struct ClientStats {
 
 // Runs the workload on the calling thread until `duration` elapses.
 ClientStats run_clients(const ClientConfig& config);
+
+// Blocking GET against an O11+ admin endpoint on 127.0.0.1; returns the
+// response body (Prometheus text for /stats), or "" on any failure.
+std::string scrape_admin(uint16_t port, const std::string& path = "/stats");
 
 }  // namespace cops::loadgen

@@ -3,22 +3,53 @@
 #include <algorithm>
 
 namespace cops::net {
+namespace {
+
+// Min-heap on (deadline, id) via the standard heap algorithms.
+struct Later {
+  bool operator()(const auto& a, const auto& b) const { return a > b; }
+};
+
+constexpr size_t kMinHeapSizeForCompaction = 16;
+
+}  // namespace
 
 TimerQueue::TimerId TimerQueue::schedule_at(TimePoint deadline,
                                             std::function<void()> fn) {
   const TimerId id = next_id_++;
-  heap_.push({deadline, id});
+  heap_.push_back({deadline, id});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   callbacks_.emplace(id, std::move(fn));
   return id;
 }
 
-void TimerQueue::cancel(TimerId id) { callbacks_.erase(id); }
+void TimerQueue::cancel(TimerId id) {
+  if (callbacks_.erase(id) == 0) return;
+  if (heap_.size() >= kMinHeapSizeForCompaction &&
+      heap_.size() - callbacks_.size() > callbacks_.size()) {
+    compact();
+  }
+}
+
+void TimerQueue::compact() {
+  std::erase_if(heap_, [this](const Entry& entry) {
+    return callbacks_.find(entry.id) == callbacks_.end();
+  });
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void TimerQueue::prune_top() const {
+  while (!heap_.empty() &&
+         callbacks_.find(heap_.front().id) == callbacks_.end()) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
 
 int TimerQueue::next_timeout_ms(int cap_ms) const {
-  if (callbacks_.empty()) return cap_ms;
-  // The heap top may be a tombstone of a cancelled timer; that only causes
-  // an early wakeup, which is harmless.
-  const auto delta = heap_.top().deadline - now();
+  prune_top();
+  if (heap_.empty()) return cap_ms;
+  const auto delta = heap_.front().deadline - now();
   auto ms =
       std::chrono::duration_cast<std::chrono::milliseconds>(delta).count();
   if (ms < 0) ms = 0;
@@ -29,9 +60,10 @@ int TimerQueue::next_timeout_ms(int cap_ms) const {
 
 size_t TimerQueue::run_due(TimePoint at) {
   size_t fired = 0;
-  while (!heap_.empty() && heap_.top().deadline <= at) {
-    const Entry top = heap_.top();
-    heap_.pop();
+  while (!heap_.empty() && heap_.front().deadline <= at) {
+    const Entry top = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
     auto it = callbacks_.find(top.id);
     if (it == callbacks_.end()) continue;  // cancelled
     auto fn = std::move(it->second);

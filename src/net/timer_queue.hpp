@@ -4,7 +4,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -23,11 +22,15 @@ class TimerQueue {
   }
 
   // Cancels a pending timer (no-op if already fired).  Lazy: the heap entry
-  // is tombstoned and skipped when popped.
+  // is tombstoned and skipped when popped — but the heap is compacted once
+  // tombstones outnumber live timers, so heavy schedule/cancel churn (every
+  // request under O7 re-arms an idle timer) cannot grow the heap unboundedly.
   void cancel(TimerId id);
 
   // Milliseconds until the next timer, clamped to `cap_ms`; returns cap_ms
-  // when no timers are pending (-1 cap means "block forever").
+  // when no timers are pending (-1 cap means "block forever").  Tombstoned
+  // entries at the top are dropped first, so a cancelled timer's deadline
+  // never causes a spurious early wakeup.
   [[nodiscard]] int next_timeout_ms(int cap_ms) const;
 
   // Runs all timers whose deadline has passed; returns how many fired.
@@ -35,6 +38,8 @@ class TimerQueue {
   size_t run_due() { return run_due(now()); }
 
   [[nodiscard]] size_t pending() const { return callbacks_.size(); }
+  // Heap entries including tombstones (bounded at < 2x pending()).
+  [[nodiscard]] size_t heap_size() const { return heap_.size(); }
 
  private:
   struct Entry {
@@ -46,7 +51,16 @@ class TimerQueue {
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  // Pops cancelled entries off the heap top.
+  void prune_top() const;
+  // Drops every tombstone and re-heapifies (O(live) when compaction is due).
+  void compact();
+
+  // Every live callback has exactly one heap entry, so
+  // heap_.size() - callbacks_.size() is the exact tombstone count.
+  // Mutable: pruning from the (logically const) timeout query keeps the
+  // top live without changing observable state.
+  mutable std::vector<Entry> heap_;
   std::unordered_map<TimerId, std::function<void()>> callbacks_;
   TimerId next_id_ = 1;
 };

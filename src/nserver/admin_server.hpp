@@ -1,0 +1,63 @@
+// AdminServer — the O11+ observability endpoint (Envoy-admin style).
+//
+// A second, independent listener that serves the profiler's statistics over
+// HTTP:
+//
+//   GET /healthz     liveness probe ("ok")
+//   GET /stats       Prometheus text exposition format
+//   GET /stats.json  the same data as one JSON object (+ per-connection
+//                    byte/request gauges)
+//
+// The listener and every admin connection live on the shard-0 dispatcher
+// (no extra thread); request handling is a map lookup plus a snapshot of
+// relaxed atomics, so scrapes never contend with the serving hot path.
+// The protocol handling is deliberately minimal — one GET per connection,
+// response, close — so the nserver library does not depend on the HTTP
+// protocol library layered above it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "net/acceptor.hpp"
+#include "net/reactor.hpp"
+#include "net/socket.hpp"
+
+namespace cops::nserver {
+
+class Server;
+class AdminConnection;
+
+class AdminServer {
+ public:
+  // `reactor` must be the reactor whose thread will run the listener
+  // (shard 0 in the N-Server); open() must run before that reactor's loop
+  // starts, or on its thread.
+  AdminServer(Server& server, net::Reactor& reactor);
+  ~AdminServer();
+
+  Status open(const net::InetAddress& addr, int backlog = 16);
+  [[nodiscard]] uint16_t port() const { return port_; }
+
+  // Closes the listener and every admin connection.  Reactor thread.
+  void close();
+
+ private:
+  friend class AdminConnection;
+
+  void on_accept(net::TcpSocket socket);
+  void remove(uint64_t id);
+  // Routes a request path to a response body; sets content type and status.
+  [[nodiscard]] std::string respond(const std::string& method,
+                                    const std::string& path) const;
+
+  Server& server_;
+  net::Reactor& reactor_;
+  std::unique_ptr<net::Acceptor> acceptor_;
+  std::unordered_map<uint64_t, std::shared_ptr<AdminConnection>> connections_;
+  uint64_t next_id_ = 1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace cops::nserver

@@ -65,6 +65,7 @@ void Connection::on_readable() {
   }
   last_activity_ = now();
   server_.note_event(EventKind::kRead, id_, "bytes");
+  bytes_read_total_.fetch_add(n.value(), std::memory_order_relaxed);
   if (server_.options_.profiling) profiler_bytes_read(n.value());
   start_pipeline();
 }
@@ -78,6 +79,7 @@ void Connection::start_pipeline() {
   // reading until this request cycle resolves.
   want_read_ = false;
   pipeline_active_ = true;
+  if (server_.options_.profiling) trace_.begin_request(trace_now_us());
   update_interest();
   server_.submit_decode(shared_from_this());
 }
@@ -101,6 +103,7 @@ void Connection::continue_pipeline() {
   // More pipelined requests may already sit in the in-buffer; go around the
   // Decode loop again before re-arming the socket.
   pipeline_active_ = true;
+  if (server_.options_.profiling) trace_.begin_request(trace_now_us());
   server_.submit_decode(shared_from_this());
 }
 
@@ -118,8 +121,11 @@ void Connection::flush_out() {
       close("write-error");
       return;
     }
-    if (n.is_ok() && server_.options_.profiling) {
-      server_.profiler_.count_bytes_sent(n.value());
+    if (n.is_ok()) {
+      bytes_sent_total_.fetch_add(n.value(), std::memory_order_relaxed);
+      if (server_.options_.profiling) {
+        server_.profiler_.count_bytes_sent(n.value());
+      }
     }
     last_activity_ = now();
   }
@@ -140,7 +146,14 @@ void Connection::on_writable() { flush_out(); }
 
 void Connection::after_reply_sent() {
   server_.note_event(EventKind::kSend, id_, "reply-drained");
-  if (server_.options_.profiling) server_.profiler_.count_reply();
+  if (server_.options_.profiling) {
+    server_.profiler_.count_reply();
+    const int64_t now_us = trace_now_us();
+    server_.profiler_.record_stage(
+        Stage::kWrite, TraceContext::elapsed(trace_.encode_done_us, now_us));
+    server_.profiler_.record_stage(
+        Stage::kTotal, TraceContext::elapsed(trace_.read_done_us, now_us));
+  }
   continue_pipeline();
 }
 

@@ -25,6 +25,7 @@
 #include "net/event_handler.hpp"
 #include "net/reactor.hpp"
 #include "net/socket.hpp"
+#include "nserver/trace_context.hpp"
 
 namespace cops::nserver {
 
@@ -74,6 +75,27 @@ class Connection : public net::EventHandler,
   // Per-connection application state (the hooks' session object).
   std::shared_ptr<void>& app_state() { return app_state_; }
 
+  // Per-request stage timeline (O11+).  The pipeline token invariant means
+  // exactly one request is in flight per connection, so one TraceContext per
+  // connection suffices; stamps are written by whichever thread holds the
+  // token and read at the next stage boundary.
+  [[nodiscard]] TraceContext& trace() { return trace_; }
+
+  // Lifetime byte/request totals for this connection (admin /stats.json
+  // gauges).  Relaxed atomics: written on the hot path, read on scrape.
+  [[nodiscard]] uint64_t bytes_read_total() const {
+    return bytes_read_total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t bytes_sent_total() const {
+    return bytes_sent_total_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t requests_total() const {
+    return requests_total_.load(std::memory_order_relaxed);
+  }
+  void note_request() {
+    requests_total_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   // The decode buffer; touched by the reactor only while the pipeline is
   // inactive, and by the worker only while it is active.
   ByteBuffer& in_buffer() { return in_; }
@@ -104,6 +126,10 @@ class Connection : public net::EventHandler,
   ByteBuffer in_;
   ByteBuffer out_;
   std::shared_ptr<void> app_state_;
+  TraceContext trace_;
+  std::atomic<uint64_t> bytes_read_total_{0};
+  std::atomic<uint64_t> bytes_sent_total_{0};
+  std::atomic<uint64_t> requests_total_{0};
 
   std::atomic<bool> closed_{false};
   bool want_read_ = false;

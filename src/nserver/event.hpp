@@ -65,6 +65,9 @@ struct Event {
   EventKind kind = EventKind::kUser;
   int priority = 0;  // 0 = highest; used only with event scheduling (O8)
   CompletionToken token;
+  // Submission timestamp (trace_now_us), stamped by the EventProcessor when
+  // profiling is on; 0 otherwise.  Feeds the queue_wait stage histogram.
+  int64_t enqueued_us = 0;
   std::function<void()> action;
 };
 

@@ -1,5 +1,8 @@
 #include "nserver/event_processor.hpp"
 
+#include "nserver/profiler.hpp"
+#include "nserver/trace_context.hpp"
+
 namespace cops::nserver {
 
 EventProcessor::EventProcessor(EventProcessorConfig config)
@@ -20,10 +23,12 @@ EventProcessor::~EventProcessor() { stop(); }
 bool EventProcessor::submit(Event event) {
   if (stopped_.load(std::memory_order_acquire)) return false;
   if (inline_mode_) {
+    // No queue, no wait: the submitter runs the event directly.
     event.action();
     processed_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
+  if (config_.profiler != nullptr) event.enqueued_us = trace_now_us();
   if (prio_) {
     return prio_->push(std::move(event),
                        static_cast<size_t>(event.priority < 0 ? 0
@@ -45,6 +50,10 @@ void EventProcessor::worker_loop(std::shared_ptr<std::atomic<bool>> retired) {
   while (!retired->load(std::memory_order_acquire)) {
     auto event = pop();
     if (!event) return;  // shut down and drained
+    if (config_.profiler != nullptr && event->enqueued_us != 0) {
+      config_.profiler->record_stage(Stage::kQueueWait,
+                                     trace_now_us() - event->enqueued_us);
+    }
     event->action();
     processed_.fetch_add(1, std::memory_order_relaxed);
   }

@@ -28,11 +28,16 @@
 
 namespace cops::nserver {
 
+class Profiler;
+
 struct EventProcessorConfig {
   std::string name = "processor";
   size_t threads = 2;  // 0 = inline execution on the submitter
   bool scheduling = false;
   std::vector<size_t> priority_quotas = {8, 1};
+  // When set (O11), every queued event's wait time is recorded into the
+  // queue_wait stage histogram.  Not owned; must outlive the processor.
+  Profiler* profiler = nullptr;
 };
 
 class EventProcessor {

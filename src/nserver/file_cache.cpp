@@ -1,15 +1,41 @@
 #include "nserver/file_cache.hpp"
 
+#include <sys/stat.h>
+
 namespace cops::nserver {
 
 FileCache::FileCache(std::unique_ptr<CachePolicy> policy,
                      size_t capacity_bytes)
     : policy_(std::move(policy)), capacity_bytes_(capacity_bytes) {}
 
+bool FileCache::revalidate_locked(const std::string& key, Entry& entry) {
+  const auto current = now();
+  if (revalidate_interval_.count() > 0 &&
+      entry.last_validated != TimePoint{} &&
+      current - entry.last_validated < revalidate_interval_) {
+    return true;  // checked recently enough
+  }
+  struct stat st{};
+  if (::stat(key.c_str(), &st) != 0 ||
+      static_cast<int64_t>(st.st_mtime) != entry.data->mtime_seconds ||
+      static_cast<size_t>(st.st_size) != entry.data->size()) {
+    return false;  // file changed or vanished: the entry is stale
+  }
+  entry.last_validated = current;
+  return true;
+}
+
 FileDataPtr FileCache::lookup(const std::string& key) {
   std::lock_guard lock(mutex_);
   auto it = entries_.find(key);
   if (it == entries_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  if (!revalidate_locked(key, it->second)) {
+    erase_locked(key);
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    // The caller re-reads the file and re-inserts; account it as a miss.
     misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
@@ -43,6 +69,7 @@ bool FileCache::insert(const std::string& key, FileDataPtr data) {
   entry.data = std::move(data);
   entry.info = {key, size, /*access_count=*/1,
                 /*last_access_seq=*/++access_seq_};
+  entry.last_validated = now();
   policy_->on_insert(entry.info);
   size_bytes_ += size;
   entries_.emplace(key, std::move(entry));

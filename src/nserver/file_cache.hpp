@@ -11,12 +11,14 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
+#include "common/clock.hpp"
 #include "nserver/cache_policy.hpp"
 #include "nserver/file_io_service.hpp"
 
@@ -26,7 +28,16 @@ class FileCache {
  public:
   FileCache(std::unique_ptr<CachePolicy> policy, size_t capacity_bytes);
 
+  // How long an entry may be served before its on-disk mtime/size are
+  // re-checked (0 = re-check on every lookup).
+  void set_revalidate_interval(std::chrono::milliseconds interval) {
+    revalidate_interval_ = interval;
+  }
+
   // nullptr on miss.  Hits bump the policy's recency/frequency stamps.
+  // A hit whose backing file changed on disk (mtime or size mismatch) or
+  // disappeared is invalidated — dropped and reported as a miss — so a
+  // modified file is never served stale beyond the revalidate interval.
   [[nodiscard]] FileDataPtr lookup(const std::string& key);
 
   // Inserts (evicting per policy as needed).  Returns false when the policy
@@ -43,6 +54,7 @@ class FileCache {
   [[nodiscard]] uint64_t hits() const { return hits_.load(); }
   [[nodiscard]] uint64_t misses() const { return misses_.load(); }
   [[nodiscard]] uint64_t evictions() const { return evictions_.load(); }
+  [[nodiscard]] uint64_t invalidations() const { return invalidations_.load(); }
   [[nodiscard]] double hit_rate() const;
   [[nodiscard]] const char* policy_name() const {
     return policy_ ? policy_->name() : "None";
@@ -52,12 +64,16 @@ class FileCache {
   struct Entry {
     FileDataPtr data;
     CacheEntryInfo info;
+    TimePoint last_validated{};
   };
 
   void erase_locked(const std::string& key);
+  // True when the entry still matches the on-disk file (mutex held).
+  [[nodiscard]] bool revalidate_locked(const std::string& key, Entry& entry);
 
   std::unique_ptr<CachePolicy> policy_;
   size_t capacity_bytes_;
+  std::chrono::milliseconds revalidate_interval_{1000};
 
   mutable std::mutex mutex_;
   std::unordered_map<std::string, Entry> entries_;
@@ -67,6 +83,7 @@ class FileCache {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> invalidations_{0};
 };
 
 }  // namespace cops::nserver

@@ -27,6 +27,10 @@ const char* to_string(ServerMode mode) {
   return mode == ServerMode::kProduction ? "Production" : "Debug";
 }
 
+const char* to_string(StatsExport mode) {
+  return mode == StatsExport::kNone ? "None" : "AdminHttp";
+}
+
 std::string ServerOptions::validate() const {
   if (dispatcher_threads < 1) {
     return "O1: dispatcher_threads must be >= 1";
@@ -64,6 +68,10 @@ std::string ServerOptions::validate() const {
   }
   if (shutdown_long_idle && idle_timeout.count() <= 0) {
     return "O7: idle timeout must be positive";
+  }
+  if (stats_export == StatsExport::kAdminHttp && !profiling) {
+    return "O11+: the admin export serves the profiler's statistics; "
+           "enable profiling";
   }
   return {};
 }

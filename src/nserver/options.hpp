@@ -46,10 +46,17 @@ enum class ServerMode {
   kDebug,  // every internal event is traced to a file
 };
 
+// O11+: how the profiler's statistics are exported.
+enum class StatsExport {
+  kNone,       // in-process snapshot() only
+  kAdminHttp,  // second listener serving /stats, /stats.json, /healthz
+};
+
 [[nodiscard]] const char* to_string(CompletionMode mode);
 [[nodiscard]] const char* to_string(ThreadAllocation alloc);
 [[nodiscard]] const char* to_string(CachePolicyKind kind);
 [[nodiscard]] const char* to_string(ServerMode mode);
+[[nodiscard]] const char* to_string(StatsExport mode);
 
 struct ServerOptions {
   // O1: # of dispatcher threads (1, or 2..N reactors sharding connections).
@@ -77,6 +84,9 @@ struct ServerOptions {
   CachePolicyKind cache_policy = CachePolicyKind::kNone;
   size_t cache_capacity_bytes = 20 * 1024 * 1024;  // paper: 20 MB for COPS-HTTP
   size_t cache_size_threshold = 64 * 1024;         // LRU-Threshold parameter
+  // How long a cached entry may be served before its on-disk mtime/size are
+  // re-checked (0 = every lookup re-checks).
+  std::chrono::milliseconds cache_revalidate_interval{1000};
 
   // O7: shutdown long-idle connections.
   bool shutdown_long_idle = false;
@@ -100,6 +110,14 @@ struct ServerOptions {
 
   // O11: performance profiling.
   bool profiling = false;
+
+  // O11+: statistics export.  kAdminHttp binds a second listener (on the
+  // shard-0 dispatcher — no extra thread) serving the profiler's counters
+  // and stage histograms in Prometheus text (/stats), JSON (/stats.json),
+  // and a liveness probe (/healthz).  Requires profiling.
+  StatsExport stats_export = StatsExport::kNone;
+  std::string admin_host = "127.0.0.1";
+  uint16_t admin_port = 0;  // 0 = kernel-assigned
 
   // O12: logging.
   bool logging = false;

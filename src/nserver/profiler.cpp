@@ -1,6 +1,7 @@
 #include "nserver/profiler.hpp"
 
 #include <sstream>
+#include <unordered_map>
 
 namespace cops::nserver {
 
@@ -15,12 +16,58 @@ std::string ProfilerSnapshot::to_string() const {
       << " events=" << events_processed
       << " idle_shutdowns=" << idle_shutdowns
       << " overload_suspensions=" << overload_suspensions
+      << " cache_invalidations=" << cache_invalidations
       << " cache_hit_rate=" << cache_hit_rate;
+  for (size_t i = 0; i < kStageCount; ++i) {
+    if (stages[i].count() == 0) continue;
+    out << "\n  " << nserver::to_string(static_cast<Stage>(i)) << ": "
+        << stages[i].summary();
+  }
   return out.str();
 }
 
+uint64_t Profiler::next_instance_id() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+Profiler::StageShard& Profiler::local_shard() {
+  // One cache per thread mapping profiler id → that thread's shard.  The
+  // shard itself is owned by the profiler (shards_), so a thread exiting
+  // never invalidates merged data; a profiler dying leaves a dangling map
+  // entry that can never be looked up again (ids are not recycled).
+  thread_local std::unordered_map<uint64_t, StageShard*> cache;
+  auto it = cache.find(instance_id_);
+  if (it != cache.end()) return *it->second;
+  auto shard = std::make_unique<StageShard>();
+  StageShard* raw = shard.get();
+  {
+    std::lock_guard lock(shards_mutex_);
+    shards_.push_back(std::move(shard));
+  }
+  cache.emplace(instance_id_, raw);
+  return *raw;
+}
+
+void Profiler::record_stage(Stage stage, int64_t micros) {
+  if (micros < 0) return;  // stage skipped (missing stamp)
+  local_shard().histograms[static_cast<size_t>(stage)].record(micros);
+}
+
+std::array<Histogram, kStageCount> Profiler::merged_stages() const {
+  std::array<Histogram, kStageCount> merged;
+  std::lock_guard lock(shards_mutex_);
+  for (const auto& shard : shards_) {
+    for (size_t i = 0; i < kStageCount; ++i) {
+      merged[i].merge(shard->histograms[i]);
+    }
+  }
+  return merged;
+}
+
 ProfilerSnapshot Profiler::snapshot(uint64_t events_processed,
-                                    double cache_hit_rate) const {
+                                    double cache_hit_rate,
+                                    uint64_t cache_invalidations) const {
   ProfilerSnapshot s;
   s.connections_accepted = accepts_.load();
   s.connections_closed = closes_.load();
@@ -34,6 +81,8 @@ ProfilerSnapshot Profiler::snapshot(uint64_t events_processed,
   s.overload_suspensions = suspensions_.load();
   s.events_processed = events_processed;
   s.cache_hit_rate = cache_hit_rate;
+  s.cache_invalidations = cache_invalidations;
+  s.stages = merged_stages();
   return s;
 }
 
@@ -48,6 +97,10 @@ void Profiler::reset() {
   decode_errors_.store(0);
   idle_shutdowns_.store(0);
   suspensions_.store(0);
+  std::lock_guard lock(shards_mutex_);
+  for (auto& shard : shards_) {
+    for (auto& histogram : shard->histograms) histogram.reset();
+  }
 }
 
 }  // namespace cops::nserver

@@ -40,6 +40,8 @@ size_t RequestContext::server_connection_count() const {
   return server_.connection_count();
 }
 
+TraceContext& RequestContext::trace() { return conn_->trace(); }
+
 bool RequestContext::mark_resolved() {
   bool expected = false;
   if (!resolved_.compare_exchange_strong(expected, true)) {

@@ -20,6 +20,7 @@
 #include "common/status.hpp"
 #include "nserver/file_io_service.hpp"
 #include "nserver/profiler.hpp"
+#include "nserver/trace_context.hpp"
 
 namespace cops::nserver {
 
@@ -59,6 +60,10 @@ class RequestContext : public std::enable_shared_from_this<RequestContext> {
   // snapshot and cache counters.  Cheap (relaxed atomic reads).
   [[nodiscard]] ProfilerSnapshot server_profile() const;
   [[nodiscard]] size_t server_connection_count() const;
+
+  // The in-flight request's stage timestamps (O11+).  Hooks may add their
+  // own reference stamps; the framework resets it per request.
+  [[nodiscard]] TraceContext& trace();
 
   // ---- output ------------------------------------------------------------
   // Enqueues bytes without completing the request (multi-part replies,

@@ -1,8 +1,10 @@
 #include "nserver/server.hpp"
 
+#include <algorithm>
 #include <future>
 
 #include "common/logging.hpp"
+#include "nserver/admin_server.hpp"
 
 namespace cops::nserver {
 
@@ -28,6 +30,7 @@ Status Server::start() {
         make_cache_policy(options_.cache_policy, options_.cache_size_threshold,
                           custom_eviction_),
         options_.cache_capacity_bytes);
+    cache_->set_revalidate_interval(options_.cache_revalidate_interval);
   }
   if (options_.completion == CompletionMode::kAsynchronous) {
     file_service_ = std::make_unique<FileIoService>(options_.file_io_threads);
@@ -42,6 +45,7 @@ Status Server::start() {
                      : 0;
   pcfg.scheduling = options_.event_scheduling;
   pcfg.priority_quotas = options_.priority_quotas;
+  pcfg.profiler = options_.profiling ? &profiler_ : nullptr;
   processor_ = std::make_unique<EventProcessor>(pcfg);
 
   if (options_.thread_allocation == ThreadAllocation::kDynamic &&
@@ -87,6 +91,17 @@ Status Server::start() {
   if (!bound.is_ok()) return bound.status();
   port_ = bound.value().port();
 
+  // --- admin endpoint (O11+) on dispatcher 0 -------------------------------
+  if (options_.stats_export == StatsExport::kAdminHttp) {
+    admin_ = std::make_unique<AdminServer>(*this, *shards_[0]->reactor);
+    auto admin_addr =
+        net::InetAddress::parse(options_.admin_host, options_.admin_port);
+    if (!admin_addr.is_ok()) return admin_addr.status();
+    auto admin_status = admin_->open(admin_addr.value());
+    if (!admin_status.is_ok()) return admin_status;
+    admin_port_ = admin_->port();
+  }
+
   // --- housekeeping on dispatcher 0 ----------------------------------------
   shards_[0]->reactor->run_after(options_.housekeeping_interval,
                                  [this] { housekeeping(); });
@@ -115,6 +130,7 @@ void Server::stop() {
     auto fut = done.get_future();
     shard.reactor->post([this, i, &shard, &done] {
       if (i == 0 && acceptor_) acceptor_->close();
+      if (i == 0 && admin_) admin_->close();
       // close() mutates the map via remove_connection; copy first.
       std::vector<std::shared_ptr<Connection>> conns;
       conns.reserve(shard.connections.size());
@@ -212,6 +228,10 @@ uint64_t Server::add_connection(size_t shard_index, net::TcpSocket socket) {
   auto conn = std::make_shared<Connection>(*this, *shard.reactor,
                                            std::move(socket), id, shard_index);
   shard.connections.emplace(id, conn);
+  if (options_.stats_export != StatsExport::kNone) {
+    std::lock_guard lock(conn_registry_mutex_);
+    conn_registry_.emplace(id, conn);
+  }
   num_connections_.fetch_add(1);
   note_event(EventKind::kAccept, id, "accepted");
   if (options_.logging) {
@@ -260,6 +280,10 @@ void Server::connect_peer(const net::InetAddress& peer,
 
 void Server::remove_connection(Connection& conn) {
   auto& shard = *shards_[conn.shard_index()];
+  if (options_.stats_export != StatsExport::kNone) {
+    std::lock_guard lock(conn_registry_mutex_);
+    conn_registry_.erase(conn.id());
+  }
   if (shard.connections.erase(conn.id()) > 0) {
     num_connections_.fetch_sub(1);
     if (options_.profiling) profiler_.count_close();
@@ -314,7 +338,15 @@ void Server::run_decode(const std::shared_ptr<Connection>& conn) {
       break;
   }
 
-  if (options_.profiling) profiler_.count_request();
+  if (options_.profiling) {
+    profiler_.count_request();
+    auto& trace = conn->trace();
+    const int64_t now_us = trace_now_us();
+    trace.decode_done_us.store(now_us, TraceContext::kRelaxed);
+    profiler_.record_stage(Stage::kDecode,
+                           TraceContext::elapsed(trace.read_done_us, now_us));
+  }
+  conn->note_request();
   conn->set_priority(result.priority);
   if (options_.event_scheduling) {
     // Scheduling generates a distinct Compute event so the priority queue
@@ -339,6 +371,10 @@ void Server::run_handle(const std::shared_ptr<Connection>& conn,
                         std::any request, int priority) {
   if (conn->closed()) return;
   note_event(EventKind::kCompute, conn->id(), "handle");
+  if (options_.profiling) {
+    conn->trace().handle_start_us.store(trace_now_us(),
+                                        TraceContext::kRelaxed);
+  }
   auto ctx = std::make_shared<RequestContext>(*this, conn);
   ctx->priority_ = priority;
   try {
@@ -351,6 +387,13 @@ void Server::run_handle(const std::shared_ptr<Connection>& conn,
 
 void Server::resolve_with_reply(RequestContext& ctx, std::any response) {
   if (!ctx.mark_resolved()) return;
+  if (options_.profiling) {
+    auto& trace = ctx.conn_->trace();
+    const int64_t now_us = trace_now_us();
+    trace.resolve_us.store(now_us, TraceContext::kRelaxed);
+    profiler_.record_stage(
+        Stage::kHandle, TraceContext::elapsed(trace.handle_start_us, now_us));
+  }
   std::string bytes;
   if (options_.encode_decode) {
     note_event(EventKind::kEncode, ctx.conn_->id(), "encode");
@@ -364,6 +407,13 @@ void Server::resolve_with_reply(RequestContext& ctx, std::any response) {
     }
   } else {
     bytes = std::any_cast<std::string>(std::move(response));
+  }
+  if (options_.profiling) {
+    auto& trace = ctx.conn_->trace();
+    const int64_t now_us = trace_now_us();
+    trace.encode_done_us.store(now_us, TraceContext::kRelaxed);
+    profiler_.record_stage(Stage::kEncode,
+                           TraceContext::elapsed(trace.resolve_us, now_us));
   }
   auto conn = ctx.conn_;
   conn->reactor().post([conn, bytes = std::move(bytes)]() mutable {
@@ -470,7 +520,43 @@ void Server::note_event(EventKind kind, uint64_t conn_id, const char* detail) {
 
 ProfilerSnapshot Server::profile() const {
   return profiler_.snapshot(processor_ ? processor_->processed() : 0,
-                            cache_ ? cache_->hit_rate() : 0.0);
+                            cache_ ? cache_->hit_rate() : 0.0,
+                            cache_ ? cache_->invalidations() : 0);
+}
+
+StatsSnapshot Server::stats_snapshot() const {
+  StatsSnapshot s;
+  s.counters = profile();
+  s.connections_open = num_connections_.load();
+  s.queue_depth = processor_ ? processor_->queue_depth() : 0;
+  s.processor_threads = processor_ ? processor_->num_threads() : 0;
+  s.file_io_pending = file_service_ ? file_service_->pending() : 0;
+  if (cache_) {
+    s.has_cache = true;
+    s.cache_hits = cache_->hits();
+    s.cache_misses = cache_->misses();
+    s.cache_evictions = cache_->evictions();
+    s.cache_invalidations = cache_->invalidations();
+    s.cache_bytes = cache_->size_bytes();
+    s.cache_capacity_bytes = cache_->capacity_bytes();
+    s.cache_entries = cache_->entry_count();
+  }
+  {
+    std::lock_guard lock(conn_registry_mutex_);
+    s.connections.reserve(conn_registry_.size());
+    for (const auto& [id, weak] : conn_registry_) {
+      auto conn = weak.lock();
+      if (!conn || conn->closed()) continue;
+      s.connections.push_back({id, conn->peer(), conn->bytes_read_total(),
+                               conn->bytes_sent_total(),
+                               conn->requests_total()});
+    }
+  }
+  std::sort(s.connections.begin(), s.connections.end(),
+            [](const ConnectionStats& a, const ConnectionStats& b) {
+              return a.id < b.id;
+            });
+  return s;
 }
 
 }  // namespace cops::nserver

@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -38,8 +39,11 @@
 #include "nserver/processor_controller.hpp"
 #include "nserver/profiler.hpp"
 #include "nserver/request_context.hpp"
+#include "nserver/stats.hpp"
 
 namespace cops::nserver {
+
+class AdminServer;
 
 class Server {
  public:
@@ -59,10 +63,14 @@ class Server {
 
   // ---- observability ----------------------------------------------------
   [[nodiscard]] uint16_t port() const { return port_; }
+  // The admin endpoint's bound port (O11+); 0 unless stats_export is on.
+  [[nodiscard]] uint16_t admin_port() const { return admin_port_; }
   [[nodiscard]] const ServerOptions& options() const { return options_; }
   [[nodiscard]] size_t connection_count() const { return num_connections_; }
   [[nodiscard]] bool accepting() const { return !accept_suspended_; }
   [[nodiscard]] ProfilerSnapshot profile() const;
+  // Everything the admin endpoint serves, in one consistent grab.
+  [[nodiscard]] StatsSnapshot stats_snapshot() const;
   [[nodiscard]] FileCache* cache() { return cache_.get(); }
   [[nodiscard]] EventProcessor& processor() { return *processor_; }
   [[nodiscard]] FileIoService* file_service() { return file_service_.get(); }
@@ -86,6 +94,7 @@ class Server {
  private:
   friend class Connection;
   friend class RequestContext;
+  friend class AdminServer;
 
   struct Shard {
     std::unique_ptr<net::Reactor> reactor;
@@ -134,10 +143,19 @@ class Server {
   std::unique_ptr<FileCache> cache_;
   std::unique_ptr<OverloadController> overload_;
   std::unique_ptr<DebugTracer> tracer_;
+  std::unique_ptr<AdminServer> admin_;
   Profiler profiler_;
   CustomEvictionHook custom_eviction_;
 
+  // Per-connection gauges for /stats.json.  The shard connection maps are
+  // reactor-confined, so the admin path (shard-0 thread) cannot hop to the
+  // other shards with a blocking future; this registry, maintained only when
+  // stats_export is on, is the lock-guarded view it reads instead.
+  mutable std::mutex conn_registry_mutex_;
+  std::unordered_map<uint64_t, std::weak_ptr<Connection>> conn_registry_;
+
   uint16_t port_ = 0;
+  uint16_t admin_port_ = 0;
   std::atomic<uint64_t> next_conn_id_{1};
   std::atomic<size_t> num_connections_{0};
   std::atomic<size_t> next_shard_{0};

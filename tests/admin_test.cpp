@@ -1,0 +1,191 @@
+// End-to-end tests for the O11+ admin/metrics endpoint: a real COPS-HTTP
+// server with stats_export enabled, scraped over the second listener.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "http/http_server.hpp"
+#include "loadgen/http_client.hpp"
+#include "nserver/stats.hpp"
+#include "tests/test_util.hpp"
+
+namespace cops {
+namespace {
+
+using http::CopsHttpServer;
+using http::HttpServerConfig;
+using nserver::ServerOptions;
+using nserver::StatsExport;
+
+// Extracts the value of a single-sample Prometheus metric ("name value\n").
+long metric_value(const std::string& text, const std::string& name) {
+  const std::string needle = "\n" + name + " ";
+  const size_t at = text.find(needle);
+  if (at == std::string::npos) return -1;
+  return std::strtol(text.c_str() + at + needle.size(), nullptr, 10);
+}
+
+class AdminFixture : public ::testing::Test {
+ protected:
+  void start_server(ServerOptions options, HttpServerConfig config = {}) {
+    docs_ = std::make_unique<test::TempDir>();
+    docs_->write_file("index.html", "<html>home</html>");
+    docs_->write_file("a/page.html", std::string(2000, 'p'));
+    if (config.doc_root == ".") config.doc_root = docs_->str();
+    options.listen_port = 0;
+    server_ = std::make_unique<CopsHttpServer>(std::move(options),
+                                               std::move(config));
+    auto status = server_->start();
+    ASSERT_TRUE(status.is_ok()) << status.to_string();
+    port_ = server_->port();
+    admin_port_ = server_->admin_port();
+  }
+
+  static ServerOptions admin_options() {
+    auto options = CopsHttpServer::default_options();
+    options.profiling = true;
+    options.stats_export = StatsExport::kAdminHttp;
+    options.admin_port = 0;  // kernel-chosen
+    return options;
+  }
+
+  void TearDown() override {
+    if (server_) server_->stop();
+  }
+
+  std::unique_ptr<test::TempDir> docs_;
+  std::unique_ptr<CopsHttpServer> server_;
+  uint16_t port_ = 0;
+  uint16_t admin_port_ = 0;
+};
+
+TEST_F(AdminFixture, DisabledByDefault) {
+  auto options = CopsHttpServer::default_options();
+  options.profiling = true;
+  start_server(options);
+  EXPECT_EQ(server_->admin_port(), 0);
+}
+
+TEST_F(AdminFixture, ExportRequiresProfiling) {
+  auto options = CopsHttpServer::default_options();
+  options.profiling = false;
+  options.stats_export = StatsExport::kAdminHttp;
+  CopsHttpServer server(options, {});
+  EXPECT_FALSE(server.start().is_ok());
+}
+
+TEST_F(AdminFixture, HealthzRespondsOk) {
+  start_server(admin_options());
+  ASSERT_NE(admin_port_, 0);
+  ASSERT_NE(admin_port_, port_);
+  const auto response = test::http_get(admin_port_, "/healthz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("ok"), std::string::npos);
+}
+
+TEST_F(AdminFixture, UnknownPathIs404AndBadMethodIs405) {
+  start_server(admin_options());
+  EXPECT_NE(test::http_get(admin_port_, "/nope").find("404"),
+            std::string::npos);
+  test::BlockingClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", admin_port_));
+  client.send_all("POST /stats HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_NE(client.read_some().find("405"), std::string::npos);
+}
+
+TEST_F(AdminFixture, StatsCountersMatchScriptedWorkload) {
+  start_server(admin_options());
+  constexpr int kRequests = 7;
+  for (int i = 0; i < kRequests; ++i) {
+    const auto response = test::http_get(port_, "/index.html");
+    ASSERT_NE(response.find("200 OK"), std::string::npos);
+  }
+
+  const auto response = test::http_get(admin_port_, "/stats");
+  ASSERT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+  const auto body = response.substr(response.find("\r\n\r\n") + 4);
+
+  EXPECT_EQ(metric_value(body, "nserver_requests_total"), kRequests);
+  EXPECT_EQ(metric_value(body, "nserver_replies_total"), kRequests);
+  EXPECT_EQ(metric_value(body, "nserver_connections_accepted_total"),
+            kRequests);  // one connection per blocking GET
+  EXPECT_GT(metric_value(body, "nserver_bytes_read_total"), 0);
+  EXPECT_GT(metric_value(body, "nserver_bytes_sent_total"), 0);
+  EXPECT_GE(metric_value(body, "nserver_cache_hits_total"), 1);
+
+  // The stage histogram family is present, with per-stage samples.
+  EXPECT_NE(body.find("# TYPE nserver_stage_latency_seconds histogram"),
+            std::string::npos);
+  for (const char* stage : {"decode", "handle", "encode", "write", "total"}) {
+    const std::string count_line = "nserver_stage_latency_seconds_count{stage=\"" +
+                                   std::string(stage) + "\"} ";
+    const size_t at = body.find(count_line);
+    ASSERT_NE(at, std::string::npos) << stage;
+    EXPECT_EQ(std::strtol(body.c_str() + at + count_line.size(), nullptr, 10),
+              kRequests)
+        << stage;
+  }
+  EXPECT_NE(body.find("le=\"+Inf\""), std::string::npos);
+}
+
+TEST_F(AdminFixture, StatsJsonAndPerConnectionGauges) {
+  start_server(admin_options());
+  // A live keep-alive connection with two requests on it.
+  test::BlockingClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", port_));
+  ASSERT_FALSE(test::http_get(port_, "/index.html", true, &client).empty());
+  ASSERT_FALSE(test::http_get(port_, "/a/page.html", true, &client).empty());
+
+  const auto response = test::http_get(admin_port_, "/stats.json");
+  ASSERT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/json"), std::string::npos);
+  const auto body = response.substr(response.find("\r\n\r\n") + 4);
+  EXPECT_NE(body.find("\"requests\":2"), std::string::npos);
+  EXPECT_NE(body.find("\"connections_open\":1"), std::string::npos);
+  EXPECT_NE(body.find("\"stages\":"), std::string::npos);
+  // The per-connection entry reports its byte/request gauges.
+  EXPECT_NE(body.find("\"connections\":[{"), std::string::npos);
+  EXPECT_NE(body.find("\"requests\":2}"), std::string::npos);
+  EXPECT_NE(body.find("\"peer\":\"127.0.0.1:"), std::string::npos);
+}
+
+TEST_F(AdminFixture, LoadgenScrapeMatchesObservedResponses) {
+  start_server(admin_options());
+  loadgen::ClientConfig config;
+  auto addr = net::InetAddress::parse("127.0.0.1", port_);
+  ASSERT_TRUE(addr.is_ok());
+  config.server = addr.value();
+  config.num_clients = 4;
+  config.duration = std::chrono::milliseconds(300);
+  config.think_time = std::chrono::milliseconds(1);
+  config.path_for = [](size_t, std::mt19937&) {
+    return std::string("/index.html");
+  };
+  config.admin_scrape_port = admin_port_;
+  const auto stats = loadgen::run_clients(config);
+  ASSERT_GT(stats.total_responses, 0u);
+  ASSERT_FALSE(stats.admin_stats_text.empty());
+  // Every response the generator observed was a reply the server counted
+  // (the server may have sent a final reply the generator didn't read).
+  const long replies =
+      metric_value(stats.admin_stats_text, "nserver_replies_total");
+  EXPECT_GE(replies, static_cast<long>(stats.total_responses));
+  EXPECT_GE(metric_value(stats.admin_stats_text, "nserver_requests_total"),
+            static_cast<long>(stats.total_responses));
+}
+
+TEST_F(AdminFixture, AdminSurvivesManyScrapes) {
+  start_server(admin_options());
+  for (int i = 0; i < 20; ++i) {
+    const auto response = test::http_get(admin_port_, "/stats");
+    ASSERT_NE(response.find("200 OK"), std::string::npos) << i;
+  }
+  // The index page lists the endpoints.
+  EXPECT_NE(test::http_get(admin_port_, "/").find("/stats"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace cops

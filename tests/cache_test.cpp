@@ -1,10 +1,15 @@
 // Tests for the file cache and the five replacement policies (option O6).
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+
+#include <filesystem>
+#include <fstream>
 #include <random>
 
 #include "nserver/cache_policy.hpp"
 #include "nserver/file_cache.hpp"
+#include "tests/test_util.hpp"
 
 namespace cops::nserver {
 namespace {
@@ -13,6 +18,20 @@ FileDataPtr make_file(const std::string& path, size_t size) {
   auto data = std::make_shared<FileData>();
   data->path = path;
   data->bytes.assign(size, 'x');
+  return data;
+}
+
+// Snapshot a real on-disk file the way FileIoService does (contents + mtime),
+// so revalidation's stat() comparison is meaningful.
+FileDataPtr snapshot_disk_file(const std::string& path) {
+  auto data = std::make_shared<FileData>();
+  data->path = path;
+  std::ifstream in(path, std::ios::binary);
+  data->bytes.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+  struct stat st{};
+  EXPECT_EQ(::stat(path.c_str(), &st), 0);
+  data->mtime_seconds = static_cast<int64_t>(st.st_mtime);
   return data;
 }
 
@@ -81,6 +100,59 @@ TEST(FileCache, ClearEmptiesEverything) {
   EXPECT_EQ(cache.entry_count(), 0u);
   // Reinsertions after clear work.
   EXPECT_TRUE(cache.insert("/c", make_file("/c", 100)));
+}
+
+// ---------- stale-entry revalidation ------------------------------------------
+
+TEST(FileCache, ChangedFileInvalidatedOnLookup) {
+  test::TempDir dir;
+  dir.write_file("f.txt", "one");
+  const std::string path = (dir.path() / "f.txt").string();
+  auto cache = make_cache(CachePolicyKind::kLru, 1000);
+  cache.set_revalidate_interval(std::chrono::milliseconds(0));
+  ASSERT_TRUE(cache.insert(path, snapshot_disk_file(path)));
+
+  // Unchanged on disk: still a hit.
+  ASSERT_NE(cache.lookup(path), nullptr);
+  EXPECT_EQ(cache.invalidations(), 0u);
+
+  // Rewrite with a different size (mtime alone has 1 s granularity).
+  dir.write_file("f.txt", "something longer");
+  EXPECT_EQ(cache.lookup(path), nullptr);  // stale entry dropped, not served
+  EXPECT_EQ(cache.invalidations(), 1u);
+  EXPECT_EQ(cache.entry_count(), 0u);
+
+  // The caller re-reads and re-inserts; the fresh entry hits again.
+  ASSERT_TRUE(cache.insert(path, snapshot_disk_file(path)));
+  auto fresh = cache.lookup(path);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(fresh->bytes, "something longer");
+}
+
+TEST(FileCache, VanishedFileInvalidatedOnLookup) {
+  test::TempDir dir;
+  dir.write_file("gone.txt", "data");
+  const std::string path = (dir.path() / "gone.txt").string();
+  auto cache = make_cache(CachePolicyKind::kLru, 1000);
+  cache.set_revalidate_interval(std::chrono::milliseconds(0));
+  ASSERT_TRUE(cache.insert(path, snapshot_disk_file(path)));
+  std::filesystem::remove(path);
+  EXPECT_EQ(cache.lookup(path), nullptr);
+  EXPECT_EQ(cache.invalidations(), 1u);
+}
+
+TEST(FileCache, RevalidationThrottledByInterval) {
+  test::TempDir dir;
+  dir.write_file("f.txt", "one");
+  const std::string path = (dir.path() / "f.txt").string();
+  auto cache = make_cache(CachePolicyKind::kLru, 1000);
+  cache.set_revalidate_interval(std::chrono::hours(1));
+  ASSERT_TRUE(cache.insert(path, snapshot_disk_file(path)));
+  dir.write_file("f.txt", "something longer");
+  // Within the interval the stat() is skipped: the stale entry is served
+  // (the O6 trade-off: bounded staleness in exchange for no stat per hit).
+  EXPECT_NE(cache.lookup(path), nullptr);
+  EXPECT_EQ(cache.invalidations(), 0u);
 }
 
 TEST(FileCache, DisabledPolicyRefusesInserts) {

@@ -303,6 +303,46 @@ TEST(NServerTemplate, SchedulingCrosscutsGeneratedUnits) {
             std::string::npos);
 }
 
+TEST(NServerTemplate, StatsExportOffEmitsNoAdminCode) {
+  const auto tmpl = make_nserver_template();
+  // Presets default to stats_export=none: no admin unit, no admin wiring.
+  auto off = tmpl.render_all(nserver_http_options(),
+                             {{"app_name", "A"}, {"listen_port", "0"}});
+  ASSERT_TRUE(off.is_ok());
+  EXPECT_FALSE(off.value().count("admin_config.hpp"));
+  EXPECT_EQ(off.value().at("server_main.cpp").find("StatsExport"),
+            std::string::npos);
+  EXPECT_NE(off.value().at("traits.hpp").find("kAdminExport = false"),
+            std::string::npos);
+}
+
+TEST(NServerTemplate, StatsExportOnGeneratesAdminWiring) {
+  const auto tmpl = make_nserver_template();
+  auto with = nserver_http_options();
+  with.set("profiling", "yes");
+  with.set("stats_export", "admin_http");
+  auto on = tmpl.render_all(with, {{"app_name", "A"}, {"listen_port", "0"}});
+  ASSERT_TRUE(on.is_ok()) << on.status().to_string();
+  ASSERT_TRUE(on.value().count("admin_config.hpp"));
+  EXPECT_NE(on.value().at("admin_config.hpp").find("kAdminHost"),
+            std::string::npos);
+  const auto& main_cpp = on.value().at("server_main.cpp");
+  EXPECT_NE(main_cpp.find("StatsExport::kAdminHttp"), std::string::npos);
+  EXPECT_NE(main_cpp.find("#include \"admin_config.hpp\""),
+            std::string::npos);
+  EXPECT_NE(on.value().at("traits.hpp").find("kAdminExport = true"),
+            std::string::npos);
+}
+
+TEST(NServerTemplate, ConstraintRejectsExportWithoutProfiling) {
+  const auto tmpl = make_nserver_template();
+  auto bad = nserver_http_options();
+  bad.set("profiling", "no");
+  bad.set("stats_export", "admin_http");
+  EXPECT_FALSE(
+      tmpl.render_all(bad, {{"app_name", "X"}, {"listen_port", "0"}}).is_ok());
+}
+
 TEST(NServerTemplate, CrosscutMatrixMatchesTable2Anchors) {
   const auto tmpl = make_nserver_template();
   auto matrix = tmpl.crosscut();

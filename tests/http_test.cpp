@@ -70,6 +70,44 @@ TEST(RequestParser, RepeatedHeadersCombined) {
   EXPECT_EQ(req.header_or("x-a"), "1, 2");
 }
 
+TEST(RequestParser, DuplicateHostRejected) {
+  // RFC 7230 §5.4: more than one Host field is unambiguously malformed.
+  HttpRequest req;
+  EXPECT_EQ(parse("GET / HTTP/1.1\r\nHost: a\r\nHost: b\r\n\r\n", req),
+            ParseOutcome::kMalformed);
+  EXPECT_EQ(parse("GET / HTTP/1.1\r\nHost: a\r\nHost: a\r\n\r\n", req),
+            ParseOutcome::kMalformed);
+}
+
+TEST(RequestParser, ConflictingContentLengthRejected) {
+  // RFC 7230 §3.3.3: differing repeated Content-Length values are a
+  // request-smuggling vector and must be rejected.
+  HttpRequest req;
+  EXPECT_EQ(parse("POST / HTTP/1.1\r\nContent-Length: 5\r\n"
+                  "Content-Length: 6\r\n\r\nhello!",
+                  req),
+            ParseOutcome::kMalformed);
+}
+
+TEST(RequestParser, IdenticalRepeatedContentLengthAccepted) {
+  // ...but identical repeats collapse into one value.
+  HttpRequest req;
+  ASSERT_EQ(parse("POST / HTTP/1.1\r\nContent-Length: 5\r\n"
+                  "Content-Length: 5\r\n\r\nhello",
+                  req),
+            ParseOutcome::kComplete);
+  EXPECT_EQ(req.header_or("content-length"), "5");
+  EXPECT_EQ(req.body, "hello");
+}
+
+TEST(RequestParser, CommaJoinedContentLengthRejected) {
+  // A comma-joined list (what naive header combining would produce) must
+  // not pass the strict digit parse either.
+  HttpRequest req;
+  EXPECT_EQ(parse("POST / HTTP/1.1\r\nContent-Length: 5, 5\r\n\r\nhello", req),
+            ParseOutcome::kMalformed);
+}
+
 TEST(RequestParser, BodyViaContentLength) {
   HttpRequest req;
   ASSERT_EQ(parse("POST /x HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello", req),
@@ -240,6 +278,45 @@ TEST(HttpDate, NowIsParsableShape) {
   const auto date = now_http_date();
   EXPECT_EQ(date.size(), 29u);
   EXPECT_NE(date.find("GMT"), std::string::npos);
+}
+
+// RFC 7231 §7.1.1.1: recipients MUST accept all three date formats.  The
+// reference instant is the RFC's own example: 784111777 = Sun, 06 Nov 1994
+// 08:49:37 GMT.
+TEST(HttpDate, ParsesImfFixdate) {
+  EXPECT_EQ(parse_http_date("Sun, 06 Nov 1994 08:49:37 GMT"), 784111777);
+}
+
+TEST(HttpDate, ParsesRfc850) {
+  EXPECT_EQ(parse_http_date("Sunday, 06-Nov-94 08:49:37 GMT"), 784111777);
+  // Two-digit year pivot: 00-69 land in 20xx.
+  EXPECT_EQ(parse_http_date("Saturday, 06-Nov-04 08:49:37 GMT"),
+            parse_http_date("Sat, 06 Nov 2004 08:49:37 GMT"));
+}
+
+TEST(HttpDate, ParsesAsctime) {
+  EXPECT_EQ(parse_http_date("Sun Nov  6 08:49:37 1994"), 784111777);
+  // Two-digit day of month.
+  EXPECT_EQ(parse_http_date("Wed Nov 16 08:49:37 1994"),
+            parse_http_date("Wed, 16 Nov 1994 08:49:37 GMT"));
+}
+
+TEST(HttpDate, RoundTripsFormat) {
+  EXPECT_EQ(parse_http_date(format_http_date(1060000245)), 1060000245);
+  EXPECT_EQ(parse_http_date(format_http_date(784111777)), 784111777);
+}
+
+TEST(HttpDate, RejectsMalformedDates) {
+  EXPECT_EQ(parse_http_date(""), -1);
+  EXPECT_EQ(parse_http_date("not a date"), -1);
+  EXPECT_EQ(parse_http_date("Xxx, 06 Nov 1994 08:49:37 GMT"), -1);
+  EXPECT_EQ(parse_http_date("Sun, 06 Xxx 1994 08:49:37 GMT"), -1);
+  // timegm would silently normalize out-of-range fields; we must not.
+  EXPECT_EQ(parse_http_date("Sun, 06 Nov 1994 25:49:37 GMT"), -1);
+  EXPECT_EQ(parse_http_date("Sun, 06 Nov 1994 08:61:37 GMT"), -1);
+  EXPECT_EQ(parse_http_date("Sun, 00 Nov 1994 08:49:37 GMT"), -1);
+  // Trailing junk.
+  EXPECT_EQ(parse_http_date("Sun, 06 Nov 1994 08:49:37 GMT extra"), -1);
 }
 
 }  // namespace

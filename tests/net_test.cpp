@@ -153,6 +153,45 @@ TEST(TimerQueue, NextTimeoutClampedByCap) {
   EXPECT_LE(timeout, 7);
 }
 
+TEST(TimerQueue, CancelChurnKeepsHeapBounded) {
+  // Every request under O7 re-arms an idle timer (schedule + cancel); the
+  // lazy-cancel heap must compact, not accumulate one tombstone per request.
+  TimerQueue timers;
+  std::vector<TimerQueue::TimerId> live;
+  for (int i = 0; i < 64; ++i) {
+    live.push_back(timers.schedule_after(std::chrono::hours(1), [] {}));
+  }
+  for (int i = 0; i < 10000; ++i) {
+    const auto id = timers.schedule_after(std::chrono::hours(2), [] {});
+    timers.cancel(id);
+  }
+  EXPECT_EQ(timers.pending(), 64u);
+  // Compaction keeps tombstones <= live entries.
+  EXPECT_LE(timers.heap_size(), 2 * timers.pending());
+  for (const auto id : live) timers.cancel(id);
+}
+
+TEST(TimerQueue, CancelledTimerDoesNotCauseEarlyWakeup) {
+  // A tombstoned heap top must not shorten the poll timeout: after the
+  // soonest timer is cancelled, the next deadline is the one that counts.
+  TimerQueue timers;
+  const auto soon =
+      timers.schedule_after(std::chrono::milliseconds(1), [] {});
+  timers.schedule_after(std::chrono::hours(1), [] {});
+  timers.cancel(soon);
+  EXPECT_EQ(timers.next_timeout_ms(5000), 5000);
+}
+
+TEST(TimerQueue, CancelAllThenNextTimeoutIsCap) {
+  TimerQueue timers;
+  const auto a = timers.schedule_after(std::chrono::milliseconds(1), [] {});
+  const auto b = timers.schedule_after(std::chrono::milliseconds(2), [] {});
+  timers.cancel(a);
+  timers.cancel(b);
+  EXPECT_EQ(timers.next_timeout_ms(1234), 1234);
+  EXPECT_EQ(timers.run_due(now() + std::chrono::seconds(5)), 0u);
+}
+
 TEST(TimerQueue, TimerCanScheduleAnotherTimer) {
   TimerQueue timers;
   int fired = 0;

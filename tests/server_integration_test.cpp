@@ -296,6 +296,25 @@ TEST_F(HttpServerFixture, CacheHitRateRisesOnRepeatedFetch) {
   EXPECT_GT(cache->hit_rate(), 0.5);
 }
 
+TEST_F(HttpServerFixture, ModifiedFileNotServedStaleFromCache) {
+  auto options = CopsHttpServer::default_options();
+  options.profiling = true;
+  // Re-check the on-disk file on every lookup (deterministic for the test).
+  options.cache_revalidate_interval = std::chrono::milliseconds(0);
+  start_server(options);
+  const auto first = test::http_get(port_, "/index.html");
+  EXPECT_NE(first.find("<html>home</html>"), std::string::npos);
+  // Rewrite with different content + size; mtime alone has 1 s granularity.
+  docs_->write_file("index.html", "<html>updated content</html>");
+  const auto second = test::http_get(port_, "/index.html");
+  EXPECT_NE(second.find("<html>updated content</html>"), std::string::npos);
+  EXPECT_EQ(second.find("<html>home</html>"), std::string::npos);
+  auto* cache = server_->server().cache();
+  ASSERT_NE(cache, nullptr);
+  EXPECT_GE(cache->invalidations(), 1u);
+  EXPECT_GE(server_->server().profile().cache_invalidations, 1u);
+}
+
 TEST_F(HttpServerFixture, MaxConnectionsRejectsExtra) {
   auto options = CopsHttpServer::default_options();
   options.max_connections = 2;
