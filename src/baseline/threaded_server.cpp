@@ -25,26 +25,26 @@ Status ThreadedHttpServer::start() {
   }
   // Deliberately a *blocking* listener: each worker thread parks in
   // accept(), exactly like an Apache 1.3 child process.
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return Status::from_errno("socket");
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::from_errno("socket");
   const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(config_.port);
   if (inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
     return Status::invalid_argument("bad host " + config_.host);
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     return Status::from_errno("bind");
   }
-  if (::listen(listen_fd_, config_.listen_backlog) < 0) {
+  if (::listen(fd, config_.listen_backlog) < 0) {
     return Status::from_errno("listen");
   }
   socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
+  listen_fd_.store(fd, std::memory_order_release);
 
   workers_.reserve(config_.worker_pool);
   for (size_t i = 0; i < config_.worker_pool; ++i) {
@@ -56,10 +56,10 @@ Status ThreadedHttpServer::start() {
 void ThreadedHttpServer::stop() {
   if (!running_.exchange(false)) return;
   // Closing the listener unblocks accept() in every worker.
-  if (listen_fd_ >= 0) {
-    ::shutdown(listen_fd_, SHUT_RDWR);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
   }
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
@@ -69,7 +69,9 @@ void ThreadedHttpServer::stop() {
 
 void ThreadedHttpServer::worker_loop() {
   while (running_.load(std::memory_order_acquire)) {
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    const int lfd = listen_fd_.load(std::memory_order_acquire);
+    if (lfd < 0) return;
+    const int client = ::accept(lfd, nullptr, nullptr);
     if (client < 0) {
       if (!running_.load()) return;
       if (errno == EINTR || errno == ECONNABORTED) continue;

@@ -58,7 +58,9 @@ class ThreadedHttpServer {
   void serve_connection(int client_fd);
 
   ThreadedServerConfig config_;
-  int listen_fd_ = -1;
+  // Read by every worker in accept(), swapped to -1 by stop(): atomic so
+  // shutdown does not race the accept loop.
+  std::atomic<int> listen_fd_{-1};
   uint16_t port_ = 0;
   std::atomic<bool> running_{false};
   std::vector<std::thread> workers_;

@@ -1,0 +1,25 @@
+#include "common/clock.hpp"
+
+namespace cops::simclock {
+
+std::atomic<bool> g_active{false};
+std::atomic<int64_t> g_now_ns{0};
+
+int64_t now_ns() { return g_now_ns.load(std::memory_order_relaxed); }
+
+void install(int64_t start_ns) {
+  g_now_ns.store(start_ns, std::memory_order_relaxed);
+  g_active.store(true, std::memory_order_release);
+}
+
+void uninstall() { g_active.store(false, std::memory_order_release); }
+
+void advance_ns(int64_t delta_ns) {
+  g_now_ns.fetch_add(delta_ns, std::memory_order_relaxed);
+}
+
+void set_ns(int64_t now_ns) {
+  g_now_ns.store(now_ns, std::memory_order_relaxed);
+}
+
+}  // namespace cops::simclock

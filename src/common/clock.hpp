@@ -1,6 +1,7 @@
 // Time helpers shared by the reactor, timers, profiler, and benches.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 
@@ -10,7 +11,38 @@ using SteadyClock = std::chrono::steady_clock;
 using TimePoint = SteadyClock::time_point;
 using Duration = SteadyClock::duration;
 
-[[nodiscard]] inline TimePoint now() { return SteadyClock::now(); }
+// Simulated-clock seam (src/simnet).  While a simulation is installed,
+// cops::now() reads a virtual nanosecond counter that only the simulation
+// advances, so timers, idle reaping, and cache revalidation run in virtual
+// time with no real sleeps.  The production cost is one relaxed atomic-bool
+// load and a never-taken branch per now() call — no virtual dispatch.
+namespace simclock {
+
+extern std::atomic<bool> g_active;
+extern std::atomic<int64_t> g_now_ns;
+
+[[nodiscard]] inline bool active() {
+  return g_active.load(std::memory_order_relaxed);
+}
+[[nodiscard]] int64_t now_ns();
+// Installs the virtual clock at `start_ns`; uninstall() reverts to the
+// steady clock.  Test/simulation use only — not thread-safe against
+// concurrent install/uninstall (advance while installed is fine).
+void install(int64_t start_ns);
+void uninstall();
+void advance_ns(int64_t delta_ns);
+void set_ns(int64_t now_ns);
+
+}  // namespace simclock
+
+[[nodiscard]] inline TimePoint now() {
+  if (simclock::active()) [[unlikely]] {
+    return TimePoint(std::chrono::duration_cast<Duration>(
+        std::chrono::nanoseconds(simclock::g_now_ns.load(
+            std::memory_order_relaxed))));
+  }
+  return SteadyClock::now();
+}
 
 [[nodiscard]] inline int64_t to_micros(Duration d) {
   return std::chrono::duration_cast<std::chrono::microseconds>(d).count();

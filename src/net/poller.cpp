@@ -28,6 +28,9 @@ uint32_t from_epoll(uint32_t ev) {
 Poller::Poller() : epoll_fd_(::epoll_create1(0)) {}
 
 Status Poller::add(int fd, uint32_t interest) {
+  if (is_sim_fd(fd)) [[unlikely]] {
+    return sim_backend()->sim_poll_add(this, fd, interest);
+  }
   epoll_event ev{};
   ev.events = to_epoll(interest);
   ev.data.fd = fd;
@@ -38,6 +41,9 @@ Status Poller::add(int fd, uint32_t interest) {
 }
 
 Status Poller::modify(int fd, uint32_t interest) {
+  if (is_sim_fd(fd)) [[unlikely]] {
+    return sim_backend()->sim_poll_modify(this, fd, interest);
+  }
   epoll_event ev{};
   ev.events = to_epoll(interest);
   ev.data.fd = fd;
@@ -48,6 +54,9 @@ Status Poller::modify(int fd, uint32_t interest) {
 }
 
 Status Poller::remove(int fd) {
+  if (is_sim_fd(fd)) [[unlikely]] {
+    return sim_backend()->sim_poll_remove(this, fd);
+  }
   if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr) < 0) {
     return Status::from_errno("epoll_ctl(DEL)");
   }
@@ -55,6 +64,13 @@ Status Poller::remove(int fd) {
 }
 
 Result<size_t> Poller::wait(std::vector<ReadyFd>& out, int timeout_ms) {
+  // While a simulation backend is installed the wait is answered entirely
+  // from the simulator: virtual time advances instead of sleeping, and the
+  // few real fds in the set (the reactor's wakeup eventfd) are covered by
+  // the UserEventSource's queue-length timeout logic.
+  if (auto* sim = sim_backend(); sim != nullptr) [[unlikely]] {
+    return sim->sim_poll_wait(this, out, timeout_ms);
+  }
   std::array<epoll_event, 256> events;  // NOLINT
   const int n =
       ::epoll_wait(epoll_fd_.get(), events.data(),

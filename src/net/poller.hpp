@@ -8,18 +8,9 @@
 
 #include "common/status.hpp"
 #include "net/socket.hpp"
+#include "net/transport.hpp"  // interest flags, ReadyFd, the simulation seam
 
 namespace cops::net {
-
-// Interest/readiness flags (mirrored onto EPOLLIN/EPOLLOUT internally).
-inline constexpr uint32_t kReadable = 0x1;
-inline constexpr uint32_t kWritable = 0x2;
-inline constexpr uint32_t kErrored = 0x4;
-
-struct ReadyFd {
-  int fd = -1;
-  uint32_t events = 0;
-};
 
 class Poller {
  public:

@@ -7,16 +7,58 @@
 
 #include <cerrno>
 
+#include "net/transport.hpp"
+
 namespace cops::net {
+namespace {
+
+// Kernel-ABI shims: identical return-value/errno semantics whether the fd
+// is real or simulated, so every retry/short-I/O code path above runs
+// unchanged under simulation.  The sim branch is a constant compare on a
+// register value — never taken in production.
+
+ssize_t sys_read(int fd, void* buf, size_t len) {
+  if (is_sim_fd(fd)) [[unlikely]] {
+    const SysResult r = sim_backend()->sim_read(fd, buf, len);
+    errno = r.err;
+    return r.n;
+  }
+  return ::read(fd, buf, len);
+}
+
+ssize_t sys_send(int fd, const void* buf, size_t len) {
+  if (is_sim_fd(fd)) [[unlikely]] {
+    const SysResult r = sim_backend()->sim_write(fd, buf, len);
+    errno = r.err;
+    return r.n;
+  }
+  return ::send(fd, buf, len, MSG_NOSIGNAL);
+}
+
+int sys_accept(int fd) {
+  if (is_sim_fd(fd)) [[unlikely]] {
+    const SysResult r = sim_backend()->sim_accept(fd);
+    errno = r.err;
+    return static_cast<int>(r.n);
+  }
+  return ::accept4(fd, nullptr, nullptr, SOCK_NONBLOCK);
+}
+
+}  // namespace
 
 void Fd::reset() {
   if (fd_ >= 0) {
-    ::close(fd_);
+    if (is_sim_fd(fd_)) [[unlikely]] {
+      if (auto* sim = sim_backend()) sim->sim_close(fd_);
+    } else {
+      ::close(fd_);
+    }
     fd_ = -1;
   }
 }
 
 Status set_nonblocking(int fd) {
+  if (is_sim_fd(fd)) return Status::ok();  // sim fds are always non-blocking
   const int flags = ::fcntl(fd, F_GETFL, 0);
   if (flags < 0) return Status::from_errno("fcntl(F_GETFL)");
   if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
@@ -26,13 +68,20 @@ Status set_nonblocking(int fd) {
 }
 
 Result<TcpSocket> TcpSocket::connect(const InetAddress& peer) {
+  if (auto* sim = sim_backend()) {
+    auto fd = sim->sim_connect(peer);
+    if (!fd.is_ok()) return fd.status();
+    return TcpSocket(Fd(fd.value()));
+  }
   Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0));
   if (!fd.valid()) return Status::from_errno("socket");
   const auto& raw = peer.raw();
   const int rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&raw),
                            sizeof(raw));
   if (rc == 0) return TcpSocket(std::move(fd));
-  if (errno == EINPROGRESS) {
+  // EINTR on a non-blocking connect means the attempt continues
+  // asynchronously (POSIX) — same handling as EINPROGRESS, not a failure.
+  if (errno == EINPROGRESS || errno == EINTR) {
     TcpSocket sock(std::move(fd));
     // Caller must wait for writability; signal with kWouldBlock... but we
     // still need to hand the socket back.  Convention: return the socket;
@@ -44,6 +93,7 @@ Result<TcpSocket> TcpSocket::connect(const InetAddress& peer) {
 }
 
 Status TcpSocket::finish_connect() const {
+  if (is_sim_fd(fd_.get())) return Status::ok();  // sim connects are instant
   int err = 0;
   socklen_t len = sizeof(err);
   if (::getsockopt(fd_.get(), SOL_SOCKET, SO_ERROR, &err, &len) < 0) {
@@ -58,7 +108,12 @@ Status TcpSocket::finish_connect() const {
 
 Result<size_t> TcpSocket::read(ByteBuffer& buf, size_t max_bytes) {
   uint8_t* dst = buf.prepare(max_bytes);
-  const ssize_t n = ::read(fd_.get(), dst, max_bytes);
+  ssize_t n;
+  do {
+    n = sys_read(fd_.get(), dst, max_bytes);
+    // A signal interrupting the read is not an error and not would-block:
+    // retry immediately (there may be bytes waiting behind the EINTR).
+  } while (n < 0 && errno == EINTR);
   if (n > 0) {
     buf.commit(static_cast<size_t>(n));
     return static_cast<size_t>(n);
@@ -73,13 +128,13 @@ Result<size_t> TcpSocket::read(ByteBuffer& buf, size_t max_bytes) {
 Result<size_t> TcpSocket::write(ByteBuffer& buf) {
   size_t total = 0;
   while (buf.readable() > 0) {
-    const ssize_t n =
-        ::send(fd_.get(), buf.read_ptr(), buf.readable(), MSG_NOSIGNAL);
+    const ssize_t n = sys_send(fd_.get(), buf.read_ptr(), buf.readable());
     if (n > 0) {
       buf.consume(static_cast<size_t>(n));
       total += static_cast<size_t>(n);
       continue;
     }
+    if (errno == EINTR) continue;  // interrupted, nothing sent: retry
     if (errno == EAGAIN || errno == EWOULDBLOCK) {
       if (total > 0) return total;
       return Status::would_block();
@@ -91,7 +146,10 @@ Result<size_t> TcpSocket::write(ByteBuffer& buf) {
 }
 
 Result<size_t> TcpSocket::write(std::string_view data) {
-  const ssize_t n = ::send(fd_.get(), data.data(), data.size(), MSG_NOSIGNAL);
+  ssize_t n;
+  do {
+    n = sys_send(fd_.get(), data.data(), data.size());
+  } while (n < 0 && errno == EINTR);
   if (n >= 0) return static_cast<size_t>(n);
   if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::would_block();
   if (errno == EPIPE || errno == ECONNRESET) return Status::closed();
@@ -99,6 +157,7 @@ Result<size_t> TcpSocket::write(std::string_view data) {
 }
 
 Status TcpSocket::set_nodelay(bool on) {
+  if (is_sim_fd(fd_.get())) return Status::ok();
   const int flag = on ? 1 : 0;
   if (::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &flag, sizeof(flag)) <
       0) {
@@ -107,9 +166,18 @@ Status TcpSocket::set_nodelay(bool on) {
   return Status::ok();
 }
 
-void TcpSocket::shutdown_write() { ::shutdown(fd_.get(), SHUT_WR); }
+void TcpSocket::shutdown_write() {
+  if (is_sim_fd(fd_.get())) {
+    if (auto* sim = sim_backend()) sim->sim_shutdown_write(fd_.get());
+    return;
+  }
+  ::shutdown(fd_.get(), SHUT_WR);
+}
 
 Result<InetAddress> TcpSocket::local_address() const {
+  if (is_sim_fd(fd_.get())) {
+    return sim_backend()->sim_local_address(fd_.get());
+  }
   sockaddr_in addr{};
   socklen_t len = sizeof(addr);
   if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
@@ -119,6 +187,9 @@ Result<InetAddress> TcpSocket::local_address() const {
 }
 
 Result<InetAddress> TcpSocket::peer_address() const {
+  if (is_sim_fd(fd_.get())) {
+    return sim_backend()->sim_peer_address(fd_.get());
+  }
   sockaddr_in addr{};
   socklen_t len = sizeof(addr);
   if (::getpeername(fd_.get(), reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
@@ -128,6 +199,11 @@ Result<InetAddress> TcpSocket::peer_address() const {
 }
 
 Result<TcpListener> TcpListener::listen(const InetAddress& addr, int backlog) {
+  if (auto* sim = sim_backend()) {
+    auto fd = sim->sim_listen(addr, backlog);
+    if (!fd.is_ok()) return fd.status();
+    return TcpListener(Fd(fd.value()));
+  }
   Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0));
   if (!fd.valid()) return Status::from_errno("socket");
   const int one = 1;
@@ -142,7 +218,7 @@ Result<TcpListener> TcpListener::listen(const InetAddress& addr, int backlog) {
 }
 
 Result<TcpSocket> TcpListener::accept() {
-  const int client = ::accept4(fd_.get(), nullptr, nullptr, SOCK_NONBLOCK);
+  const int client = sys_accept(fd_.get());
   if (client >= 0) return TcpSocket(Fd(client));
   if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::would_block();
   if (errno == ECONNABORTED || errno == EINTR) return Status::would_block();
@@ -150,6 +226,9 @@ Result<TcpSocket> TcpListener::accept() {
 }
 
 Result<InetAddress> TcpListener::local_address() const {
+  if (is_sim_fd(fd_.get())) {
+    return sim_backend()->sim_local_address(fd_.get());
+  }
   sockaddr_in addr{};
   socklen_t len = sizeof(addr);
   if (::getsockname(fd_.get(), reinterpret_cast<sockaddr*>(&addr), &len) < 0) {

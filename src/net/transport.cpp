@@ -1,0 +1,17 @@
+#include "net/transport.hpp"
+
+namespace cops::net {
+
+namespace detail {
+std::atomic<SimBackend*> g_sim_backend{nullptr};
+}
+
+void install_sim_backend(SimBackend* backend) {
+  detail::g_sim_backend.store(backend, std::memory_order_release);
+}
+
+void uninstall_sim_backend() {
+  detail::g_sim_backend.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace cops::net

@@ -44,7 +44,8 @@ std::string ServerOptions::validate() const {
            "(events must queue to be reordered)";
   }
   if (!separate_processor_pool &&
-      completion == CompletionMode::kSynchronous) {
+      completion == CompletionMode::kSynchronous &&
+      !allow_blocking_dispatcher) {
     return "O2/O4: synchronous completions would block the dispatcher; "
            "use a separate processor pool or asynchronous completions";
   }

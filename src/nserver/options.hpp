@@ -74,6 +74,12 @@ struct ServerOptions {
   // O4: completion events.
   CompletionMode completion = CompletionMode::kAsynchronous;
   size_t file_io_threads = 2;  // proactor-emulation pool (async mode)
+  // Opt-in for the SPED combination (no separate pool + synchronous
+  // completions): every hook, including blocking file I/O, runs inline on
+  // the dispatcher thread.  Rejected by default because one slow request
+  // stalls the whole event loop; the deterministic sim harness requires it
+  // precisely because it serialises everything onto one thread.
+  bool allow_blocking_dispatcher = false;
 
   // O5: event thread allocation.
   ThreadAllocation thread_allocation = ThreadAllocation::kStatic;

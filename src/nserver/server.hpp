@@ -162,7 +162,9 @@ class Server {
   std::atomic<bool> started_{false};
   std::atomic<bool> launched_{false};  // dispatcher threads are running
   std::atomic<bool> stopping_{false};
-  bool accept_suspended_ = false;  // reactor-0 thread only
+  // Written by housekeeping on the reactor-0 thread, read cross-thread via
+  // accepting() (tests, admin endpoint): atomic, not a plain bool.
+  std::atomic<bool> accept_suspended_{false};
 };
 
 }  // namespace cops::nserver

@@ -1,0 +1,51 @@
+// FaultPlan — the knobs of the deterministic fault injector.
+//
+// Every probability is evaluated against the SimEngine's single seeded
+// PRNG, so one uint64 seed fully determines the fault sequence: a failing
+// run replays bit-identically from its seed (see TESTING.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cops::simnet {
+
+struct FaultPlan {
+  // ---- read-side faults (server reading from a channel) ------------------
+  double read_eintr = 0.0;   // EINTR before the read is attempted
+  double read_eagain = 0.0;  // spurious EAGAIN while bytes are pending
+  double short_read = 0.0;   // deliver only a random prefix of what's there
+
+  // ---- write-side faults --------------------------------------------------
+  double write_eintr = 0.0;   // EINTR with nothing sent
+  double write_eagain = 0.0;  // kernel buffer "momentarily full"
+  double short_write = 0.0;   // accept only a random prefix
+
+  // ---- accept-side faults -------------------------------------------------
+  double accept_eintr = 0.0;  // EINTR out of accept4
+
+  // In-flight byte cap per direction; writes beyond it see EAGAIN until the
+  // peer drains, which exercises the want-write/flush path.  Small prime
+  // values force many partial writes.
+  size_t channel_capacity = 64 * 1024;
+
+  [[nodiscard]] static FaultPlan none() { return {}; }
+
+  // A storm of every recoverable fault.  The server must produce the same
+  // protocol-level behaviour as under FaultPlan::none() — only the event
+  // trace (retries, splits) differs.
+  [[nodiscard]] static FaultPlan chaos() {
+    FaultPlan plan;
+    plan.read_eintr = 0.20;
+    plan.read_eagain = 0.15;
+    plan.short_read = 0.50;
+    plan.write_eintr = 0.20;
+    plan.write_eagain = 0.15;
+    plan.short_write = 0.50;
+    plan.accept_eintr = 0.25;
+    plan.channel_capacity = 97;
+    return plan;
+  }
+};
+
+}  // namespace cops::simnet

@@ -1,0 +1,543 @@
+#include "simnet/sim_engine.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+namespace cops::simnet {
+namespace {
+
+// Virtual epoch: 1s, so TimePoint{0} never collides with live deadlines.
+constexpr int64_t kEpochNs = 1'000'000'000;
+
+// Wall-clock safety net for run(): a simulation that stops making virtual
+// progress (e.g. no poller is driving the engine) must not hang the test
+// binary forever.
+constexpr std::chrono::seconds kRunWallTimeout{120};
+
+}  // namespace
+
+// ---- SimClient --------------------------------------------------------------
+
+void SimClient::connect(uint16_t port) {
+  SimEngine::Lock lock(engine_->mutex_);
+  auto listener = engine_->listeners_.find(port);
+  if (listener == engine_->listeners_.end() || listener->second.closed) {
+    engine_->record_locked("connect-refused port=" + std::to_string(port));
+    engine_->failures_.push_back("connect refused: port " +
+                                 std::to_string(port) + " not listening");
+    closed_ = true;
+    return;
+  }
+  if (listener->second.pending.size() >=
+      static_cast<size_t>(listener->second.backlog)) {
+    // Accept-queue overflow: the SYN is dropped, the client never connects.
+    engine_->record_locked("syn-drop port=" + std::to_string(port));
+    return;
+  }
+  auto channel = std::make_unique<SimEngine::Channel>();
+  channel->id = engine_->next_channel_++;
+  channel->listen_port = port;
+  channel->client_port = engine_->next_client_port_++;
+  channel->client = this;
+  channel_ = channel->id;
+  listener->second.pending.push_back(channel->id);
+  engine_->record_locked("connect ch=" + std::to_string(channel->id) +
+                         " port=" + std::to_string(port));
+  engine_->channels_.emplace(channel->id, std::move(channel));
+}
+
+void SimClient::send(std::string bytes) {
+  SimEngine::Lock lock(engine_->mutex_);
+  if (channel_ < 0 || closed_) {
+    engine_->failures_.push_back("send on unconnected client");
+    return;
+  }
+  auto& ch = *engine_->channels_.at(channel_);
+  engine_->record_locked("client-send ch=" + std::to_string(channel_) +
+                         " n=" + std::to_string(bytes.size()));
+  ch.c2s.buf += bytes;
+}
+
+void SimClient::shutdown_write() {
+  SimEngine::Lock lock(engine_->mutex_);
+  if (channel_ < 0) return;
+  auto& ch = *engine_->channels_.at(channel_);
+  ch.c2s.eof = true;
+  engine_->record_locked("client-fin ch=" + std::to_string(channel_));
+}
+
+void SimClient::reset() {
+  SimEngine::Lock lock(engine_->mutex_);
+  if (channel_ >= 0) {
+    auto& ch = *engine_->channels_.at(channel_);
+    ch.c2s.reset = true;
+    ch.s2c.reset = true;
+    ch.s2c.buf.clear();  // RST discards undelivered data
+    engine_->record_locked("client-rst ch=" + std::to_string(channel_));
+  }
+  closed_ = true;
+}
+
+void SimClient::close() {
+  SimEngine::Lock lock(engine_->mutex_);
+  if (channel_ >= 0 && !closed_) {
+    auto& ch = *engine_->channels_.at(channel_);
+    ch.c2s.eof = true;
+    engine_->record_locked("client-close ch=" + std::to_string(channel_));
+  }
+  closed_ = true;
+}
+
+void SimClient::pause_reading(bool paused) {
+  SimEngine::Lock lock(engine_->mutex_);
+  paused_ = paused;
+  engine_->record_locked(std::string(paused ? "client-pause" : "client-resume") +
+                         " ch=" + std::to_string(channel_));
+}
+
+// ---- SimEngine --------------------------------------------------------------
+
+SimEngine::SimEngine(uint64_t seed, FaultPlan plan)
+    : seed_(seed), plan_(plan), rng_(seed) {
+  simclock::install(kEpochNs);
+  net::install_sim_backend(this);
+}
+
+SimEngine::~SimEngine() {
+  {
+    Lock lock(mutex_);
+    shutdown_ = true;
+    running_ = false;
+  }
+  cv_run_.notify_all();
+  cv_done_.notify_all();
+  net::uninstall_sim_backend();
+  simclock::uninstall();
+}
+
+int64_t SimEngine::now_ns_locked() const { return simclock::now_ns(); }
+
+void SimEngine::record_locked(std::string line) {
+  std::ostringstream out;
+  out << "t=" << (now_ns_locked() - kEpochNs) / 1000 << "us " << line;
+  trace_.push_back(out.str());
+}
+
+void SimEngine::record(std::string line) {
+  Lock lock(mutex_);
+  record_locked(std::move(line));
+}
+
+void SimEngine::fail(std::string message) {
+  Lock lock(mutex_);
+  record_locked("FAIL " + message);
+  failures_.push_back(std::move(message));
+}
+
+std::vector<std::string> SimEngine::trace() const {
+  Lock lock(mutex_);
+  return trace_;
+}
+
+std::string SimEngine::trace_text() const {
+  Lock lock(mutex_);
+  std::string out;
+  for (const auto& line : trace_) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<std::string> SimEngine::failures() const {
+  Lock lock(mutex_);
+  return failures_;
+}
+
+bool SimEngine::chance_locked(double probability) {
+  if (probability <= 0.0) return false;
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(rng_) < probability;
+}
+
+// ---- script & execution -----------------------------------------------------
+
+void SimEngine::at(Duration when, std::function<void()> fn) {
+  Lock lock(mutex_);
+  const int64_t t =
+      kEpochNs +
+      std::chrono::duration_cast<std::chrono::nanoseconds>(when).count();
+  script_.emplace(std::make_pair(t, next_script_seq_++), std::move(fn));
+}
+
+SimClient* SimEngine::new_client() {
+  Lock lock(mutex_);
+  auto client = std::make_unique<SimClient>();
+  client->engine_ = this;
+  clients_.push_back(std::move(client));
+  return clients_.back().get();
+}
+
+void SimEngine::fire_due_locked() {
+  while (!script_.empty() && script_.begin()->first.first <= now_ns_locked()) {
+    auto node = script_.extract(script_.begin());
+    node.mapped()();
+  }
+}
+
+void SimEngine::deliver_locked() {
+  for (auto& [id, ch_ptr] : channels_) {
+    Channel& ch = *ch_ptr;
+    SimClient* client = ch.client;
+    if (client == nullptr || client->closed_ || client->paused_) continue;
+    if (!ch.s2c.buf.empty() && !ch.s2c.reset) {
+      std::string bytes;
+      bytes.swap(ch.s2c.buf);
+      record_locked("deliver ch=" + std::to_string(id) +
+                    " n=" + std::to_string(bytes.size()));
+      client->received_ += bytes;
+      if (client->on_data) client->on_data(bytes);
+    }
+    if ((ch.s2c.eof || ch.s2c.reset) && ch.s2c.buf.empty() &&
+        !ch.client_notified_close) {
+      ch.client_notified_close = true;
+      client->peer_closed_ = true;
+      record_locked("client-eof ch=" + std::to_string(id));
+      if (client->on_close) client->on_close();
+    }
+  }
+}
+
+void SimEngine::check_done_locked() {
+  if (!running_ || done_ || timed_out_) return;
+  if (!script_.empty()) return;
+  for (const auto& client : clients_) {
+    if (client->channel_ >= 0 && !client->closed_ && !client->peer_closed_) {
+      return;
+    }
+  }
+  done_ = true;
+  running_ = false;
+  cv_done_.notify_all();
+}
+
+void SimEngine::advance_to_locked(int64_t target_ns) {
+  if (target_ns <= now_ns_locked()) return;
+  simclock::set_ns(target_ns);
+  if (running_ && !done_ && target_ns >= deadline_ns_) {
+    timed_out_ = true;
+    running_ = false;
+    cv_done_.notify_all();
+  }
+}
+
+bool SimEngine::run(Duration virtual_deadline) {
+  Lock lock(mutex_);
+  done_ = false;
+  timed_out_ = false;
+  deadline_ns_ =
+      now_ns_locked() +
+      std::chrono::duration_cast<std::chrono::nanoseconds>(virtual_deadline)
+          .count();
+  running_ = true;
+  cv_run_.notify_all();
+  const bool finished = cv_done_.wait_for(
+      lock, kRunWallTimeout, [this] { return done_ || timed_out_ || shutdown_; });
+  if (!finished) {
+    record_locked("FAIL run() wall-clock timeout (no virtual progress)");
+    failures_.push_back("run() wall-clock timeout (no virtual progress)");
+  }
+  running_ = false;
+  return done_;
+}
+
+void SimEngine::pump() {
+  Lock lock(mutex_);
+  fire_due_locked();
+  deliver_locked();
+}
+
+void SimEngine::advance(Duration delta) {
+  Lock lock(mutex_);
+  advance_to_locked(
+      now_ns_locked() +
+      std::chrono::duration_cast<std::chrono::nanoseconds>(delta).count());
+}
+
+// ---- fd helpers -------------------------------------------------------------
+
+SimEngine::Channel* SimEngine::channel_of_fd_locked(int fd) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end() || it->second.is_listener) return nullptr;
+  auto ch = channels_.find(it->second.channel);
+  return ch == channels_.end() ? nullptr : ch->second.get();
+}
+
+void SimEngine::close_server_side_locked(Channel& ch) {
+  if (ch.server_closed) return;
+  ch.server_closed = true;
+  ch.s2c.eof = true;  // FIN towards the client (delivered after drain)
+  record_locked("close fd=" + std::to_string(ch.server_fd) +
+                " ch=" + std::to_string(ch.id));
+}
+
+// ---- SimBackend: endpoint creation -----------------------------------------
+
+Result<int> SimEngine::sim_listen(const net::InetAddress& addr, int backlog) {
+  Lock lock(mutex_);
+  uint16_t port = addr.port();
+  if (port == 0) port = next_auto_port_++;
+  if (auto it = listeners_.find(port);
+      it != listeners_.end() && !it->second.closed) {
+    return Status::invalid_argument("simnet: port already listening");
+  }
+  const int fd = next_fd_++;
+  listeners_[port] = Listener{fd, port, backlog, false, {}};
+  fds_[fd] = FdEntry{true, -1, port};
+  record_locked("listen fd=" + std::to_string(fd) +
+                " port=" + std::to_string(port));
+  return fd;
+}
+
+Result<int> SimEngine::sim_connect(const net::InetAddress& /*peer*/) {
+  return Status::unavailable(
+      "simnet: outbound TcpSocket::connect is not simulated");
+}
+
+// ---- SimBackend: socket ops -------------------------------------------------
+
+net::SysResult SimEngine::sim_accept(int listen_fd) {
+  Lock lock(mutex_);
+  auto it = fds_.find(listen_fd);
+  if (it == fds_.end() || !it->second.is_listener) return {-1, EBADF};
+  auto& listener = listeners_[it->second.port];
+  if (chance_locked(plan_.accept_eintr)) {
+    record_locked("fault accept-eintr port=" + std::to_string(listener.port));
+    return {-1, EINTR};
+  }
+  if (listener.pending.empty()) return {-1, EAGAIN};
+  const int channel = listener.pending.front();
+  listener.pending.pop_front();
+  Channel& ch = *channels_.at(channel);
+  const int fd = next_fd_++;
+  ch.server_fd = fd;
+  fds_[fd] = FdEntry{false, channel, 0};
+  record_locked("accept fd=" + std::to_string(fd) +
+                " ch=" + std::to_string(channel));
+  return {fd, 0};
+}
+
+net::SysResult SimEngine::sim_read(int fd, void* buf, size_t len) {
+  Lock lock(mutex_);
+  Channel* ch = channel_of_fd_locked(fd);
+  if (ch == nullptr || ch->server_closed) return {-1, EBADF};
+  Pipe& pipe = ch->c2s;
+  if (pipe.reset) {
+    record_locked("read-rst fd=" + std::to_string(fd));
+    return {-1, ECONNRESET};
+  }
+  if (chance_locked(plan_.read_eintr)) {
+    record_locked("fault read-eintr fd=" + std::to_string(fd));
+    return {-1, EINTR};
+  }
+  if (pipe.buf.empty()) {
+    if (pipe.eof) {
+      record_locked("read-eof fd=" + std::to_string(fd));
+      return {0, 0};
+    }
+    return {-1, EAGAIN};
+  }
+  if (chance_locked(plan_.read_eagain)) {
+    record_locked("fault read-eagain fd=" + std::to_string(fd));
+    return {-1, EAGAIN};
+  }
+  size_t n = std::min(len, pipe.buf.size());
+  if (n > 1 && chance_locked(plan_.short_read)) {
+    n = 1 + static_cast<size_t>(rng_() % n);
+  }
+  std::memcpy(buf, pipe.buf.data(), n);
+  pipe.buf.erase(0, n);
+  record_locked("read fd=" + std::to_string(fd) + " n=" + std::to_string(n));
+  return {static_cast<ssize_t>(n), 0};
+}
+
+net::SysResult SimEngine::sim_write(int fd, const void* buf, size_t len) {
+  Lock lock(mutex_);
+  Channel* ch = channel_of_fd_locked(fd);
+  if (ch == nullptr || ch->server_closed) return {-1, EBADF};
+  Pipe& pipe = ch->s2c;
+  if (pipe.reset) {
+    record_locked("write-rst fd=" + std::to_string(fd));
+    return {-1, ECONNRESET};
+  }
+  if (ch->client != nullptr && ch->client->closed_) {
+    record_locked("write-epipe fd=" + std::to_string(fd));
+    return {-1, EPIPE};
+  }
+  if (chance_locked(plan_.write_eintr)) {
+    record_locked("fault write-eintr fd=" + std::to_string(fd));
+    return {-1, EINTR};
+  }
+  if (pipe.buf.size() >= plan_.channel_capacity) return {-1, EAGAIN};
+  if (chance_locked(plan_.write_eagain)) {
+    record_locked("fault write-eagain fd=" + std::to_string(fd));
+    return {-1, EAGAIN};
+  }
+  size_t n = std::min(len, plan_.channel_capacity - pipe.buf.size());
+  if (n > 1 && chance_locked(plan_.short_write)) {
+    n = 1 + static_cast<size_t>(rng_() % n);
+  }
+  pipe.buf.append(static_cast<const char*>(buf), n);
+  record_locked("write fd=" + std::to_string(fd) + " n=" + std::to_string(n));
+  return {static_cast<ssize_t>(n), 0};
+}
+
+void SimEngine::sim_shutdown_write(int fd) {
+  Lock lock(mutex_);
+  Channel* ch = channel_of_fd_locked(fd);
+  if (ch == nullptr) return;
+  ch->s2c.eof = true;
+  record_locked("shutdown-write fd=" + std::to_string(fd));
+}
+
+void SimEngine::sim_close(int fd) {
+  Lock lock(mutex_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return;
+  if (it->second.is_listener) {
+    auto listener = listeners_.find(it->second.port);
+    if (listener != listeners_.end()) {
+      listener->second.closed = true;
+      record_locked("listener-close port=" + std::to_string(it->second.port));
+    }
+  } else if (auto ch = channels_.find(it->second.channel);
+             ch != channels_.end()) {
+    close_server_side_locked(*ch->second);
+  }
+  fds_.erase(it);
+  for (auto& [poller, interests] : pollers_) interests.erase(fd);
+}
+
+Result<net::InetAddress> SimEngine::sim_local_address(int fd) {
+  Lock lock(mutex_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) return Status::invalid_argument("simnet: bad fd");
+  if (it->second.is_listener) {
+    return net::InetAddress::loopback(it->second.port);
+  }
+  Channel* ch = channel_of_fd_locked(fd);
+  if (ch == nullptr) return Status::invalid_argument("simnet: bad fd");
+  return net::InetAddress::loopback(ch->listen_port);
+}
+
+Result<net::InetAddress> SimEngine::sim_peer_address(int fd) {
+  Lock lock(mutex_);
+  Channel* ch = channel_of_fd_locked(fd);
+  if (ch == nullptr) return Status::invalid_argument("simnet: bad fd");
+  auto addr = net::InetAddress::parse("10.0.0.1", ch->client_port);
+  if (!addr.is_ok()) return addr.status();
+  return addr.value();
+}
+
+// ---- SimBackend: poller ops -------------------------------------------------
+
+Status SimEngine::sim_poll_add(const void* poller, int fd, uint32_t interest) {
+  Lock lock(mutex_);
+  auto& interests = pollers_[poller];
+  if (!interests.emplace(fd, interest).second) {
+    return Status::invalid_argument("simnet: fd already registered");
+  }
+  return Status::ok();
+}
+
+Status SimEngine::sim_poll_modify(const void* poller, int fd,
+                                  uint32_t interest) {
+  Lock lock(mutex_);
+  auto& interests = pollers_[poller];
+  auto it = interests.find(fd);
+  if (it == interests.end()) {
+    return Status::invalid_argument("simnet: fd not registered");
+  }
+  it->second = interest;
+  return Status::ok();
+}
+
+Status SimEngine::sim_poll_remove(const void* poller, int fd) {
+  Lock lock(mutex_);
+  auto& interests = pollers_[poller];
+  if (interests.erase(fd) == 0) {
+    return Status::invalid_argument("simnet: fd not registered");
+  }
+  return Status::ok();
+}
+
+void SimEngine::collect_ready_locked(const void* poller,
+                                     std::vector<net::ReadyFd>& out) {
+  auto registered = pollers_.find(poller);
+  if (registered == pollers_.end()) return;
+  for (const auto& [fd, interest] : registered->second) {
+    auto entry = fds_.find(fd);
+    if (entry == fds_.end()) continue;
+    if (entry->second.is_listener) {
+      auto listener = listeners_.find(entry->second.port);
+      if (listener == listeners_.end() || listener->second.closed) continue;
+      if ((interest & net::kReadable) != 0 &&
+          !listener->second.pending.empty()) {
+        out.push_back({fd, net::kReadable});
+      }
+      continue;
+    }
+    Channel* ch = channel_of_fd_locked(fd);
+    if (ch == nullptr || ch->server_closed) continue;
+    uint32_t events = 0;
+    if ((interest & net::kReadable) != 0 &&
+        (!ch->c2s.buf.empty() || ch->c2s.eof || ch->c2s.reset)) {
+      events |= net::kReadable;
+    }
+    if ((interest & net::kWritable) != 0 &&
+        (ch->s2c.reset || ch->s2c.buf.size() < plan_.channel_capacity)) {
+      events |= net::kWritable;
+    }
+    if (events != 0) out.push_back({fd, events});
+  }
+}
+
+size_t SimEngine::sim_poll_wait(const void* poller,
+                                std::vector<net::ReadyFd>& out,
+                                int timeout_ms) {
+  Lock lock(mutex_);
+  if (shutdown_) return 0;
+  if (!running_) {
+    // Paused (pre-run, or the scenario finished): idle briefly in *real*
+    // time with the virtual clock frozen, so the pre-run state is
+    // bit-identical across runs and stop requests are still noticed.
+    if (timeout_ms != 0) {
+      cv_run_.wait_for(lock, std::chrono::milliseconds(1));
+    }
+    if (!running_ || shutdown_) return 0;
+  }
+  fire_due_locked();
+  deliver_locked();
+  collect_ready_locked(poller, out);
+  if (!out.empty()) return out.size();
+  check_done_locked();
+  if (timeout_ms == 0 || !running_) return 0;
+  // Nothing ready: advance virtual time to the next interesting instant —
+  // the next scripted action, capped by the caller's timer-derived timeout
+  // and the run deadline — instead of sleeping.
+  int64_t target = now_ns_locked() + static_cast<int64_t>(timeout_ms) * 1'000'000;
+  if (!script_.empty()) {
+    target = std::min(target, script_.begin()->first.first);
+  }
+  target = std::min(target, deadline_ns_);
+  advance_to_locked(target);
+  fire_due_locked();
+  deliver_locked();
+  collect_ready_locked(poller, out);
+  if (!out.empty()) return out.size();
+  check_done_locked();
+  return 0;
+}
+
+}  // namespace cops::simnet

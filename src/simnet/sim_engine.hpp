@@ -1,0 +1,213 @@
+// SimEngine — a deterministic in-process network simulator.
+//
+// The engine implements net::SimBackend, the syscall-level seam under
+// TcpSocket/TcpListener/Poller, plus the simclock seam under cops::now().
+// While installed, the *full* generated server stack (Acceptor, Reactor,
+// EventProcessor, Connection, hooks) runs unmodified on top of simulated
+// channels and a virtual clock:
+//
+//   * no real sockets, no real sleeps — a 60-second idle-timeout scenario
+//     finishes in milliseconds of wall time;
+//   * every byte delivery, fault injection, and clock advance is driven by
+//     one seeded PRNG and a time-ordered script, so a given seed replays
+//     bit-identically (the `trace()` of two runs compares equal);
+//   * a FaultPlan injects partial reads/writes, EINTR/EAGAIN storms,
+//     RST-on-write, slow-peer stalls, and accept bursts *underneath* the
+//     production retry logic, which is exactly the code being tested.
+//
+// Determinism contract: configure the server with one dispatcher and no
+// separate processor pool (see deterministic_options() in sim_harness.hpp).
+// Everything then executes on the single reactor thread, which enters the
+// engine through Poller::wait; scripted client actions and deliveries run
+// inside that call.  The test thread only sets up the script, calls run(),
+// and inspects results afterwards.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "net/transport.hpp"
+#include "simnet/fault_plan.hpp"
+
+namespace cops::simnet {
+
+class SimEngine;
+
+// The client endpoint of a simulated TCP connection.  All methods must be
+// called on the sim thread: from script callbacks, from on_data/on_close,
+// or from the test thread before run() / after run() returns.
+class SimClient {
+ public:
+  // Bytes the server sent us (invoked during delivery, sim thread).
+  std::function<void(std::string_view)> on_data;
+  // The server closed (or reset) its side.
+  std::function<void()> on_close;
+
+  // Connects to a simulated listener; fails the engine run if the port is
+  // not listening (accept-queue overflow behaves like a SYN drop instead).
+  void connect(uint16_t port);
+  void send(std::string bytes);
+  void shutdown_write();  // FIN: the server reads EOF after the drain
+  void reset();           // RST: server I/O sees ECONNRESET
+  void close();           // orderly close of our side
+  // Slow-peer stall: while paused the engine delivers nothing to this
+  // client, so server writes back up against the channel capacity.
+  void pause_reading(bool paused);
+
+  [[nodiscard]] bool connected() const { return channel_ >= 0 && !closed_; }
+  [[nodiscard]] bool peer_closed() const { return peer_closed_; }
+  [[nodiscard]] const std::string& received() const { return received_; }
+
+ private:
+  friend class SimEngine;
+  SimEngine* engine_ = nullptr;
+  int channel_ = -1;
+  bool closed_ = false;
+  bool peer_closed_ = false;
+  bool paused_ = false;
+  std::string received_;  // all bytes ever delivered (also fed to on_data)
+};
+
+class SimEngine : public net::SimBackend {
+ public:
+  explicit SimEngine(uint64_t seed, FaultPlan plan = FaultPlan::none());
+  ~SimEngine() override;
+  SimEngine(const SimEngine&) = delete;
+  SimEngine& operator=(const SimEngine&) = delete;
+
+  // ---- script (test thread, before run()) -------------------------------
+  // Schedules `fn` at virtual time `at` (relative to the engine epoch).
+  void at(Duration when, std::function<void()> fn);
+  // Creates an inert client; connect it from a script callback.
+  SimClient* new_client();
+
+  // ---- execution (test thread) ------------------------------------------
+  // Unpauses the simulation and blocks until it goes quiescent (script
+  // drained and every client closed) or `virtual_deadline` of simulated
+  // time passes.  Returns true when quiescent, false on deadline.
+  bool run(Duration virtual_deadline);
+  // Fires due script events and deliveries inline (for harness-less unit
+  // tests that drive sim fds directly from the test thread).
+  void pump();
+  // Advances the virtual clock directly (unit tests).
+  void advance(Duration delta);
+
+  // ---- results ------------------------------------------------------------
+  [[nodiscard]] uint64_t seed() const { return seed_; }
+  // The deterministic event trace: one line per connect/accept/IO/fault.
+  [[nodiscard]] std::vector<std::string> trace() const;
+  [[nodiscard]] std::string trace_text() const;
+  // Scenario failures recorded by model checkers via fail().
+  [[nodiscard]] std::vector<std::string> failures() const;
+  void fail(std::string message);
+  void record(std::string line);
+
+  // ---- net::SimBackend ----------------------------------------------------
+  net::SysResult sim_read(int fd, void* buf, size_t len) override;
+  net::SysResult sim_write(int fd, const void* buf, size_t len) override;
+  net::SysResult sim_accept(int listen_fd) override;
+  void sim_shutdown_write(int fd) override;
+  void sim_close(int fd) override;
+  Result<net::InetAddress> sim_local_address(int fd) override;
+  Result<net::InetAddress> sim_peer_address(int fd) override;
+  Result<int> sim_listen(const net::InetAddress& addr, int backlog) override;
+  Result<int> sim_connect(const net::InetAddress& peer) override;
+  Status sim_poll_add(const void* poller, int fd, uint32_t interest) override;
+  Status sim_poll_modify(const void* poller, int fd,
+                         uint32_t interest) override;
+  Status sim_poll_remove(const void* poller, int fd) override;
+  size_t sim_poll_wait(const void* poller, std::vector<net::ReadyFd>& out,
+                       int timeout_ms) override;
+
+ private:
+  friend class SimClient;
+
+  struct Pipe {
+    std::string buf;     // bytes in flight
+    bool eof = false;    // writer sent FIN
+    bool reset = false;  // RST: reader sees ECONNRESET
+  };
+
+  struct Channel {
+    int id = -1;
+    Pipe c2s;  // client -> server
+    Pipe s2c;  // server -> client
+    int server_fd = -1;  // -1 until accepted
+    uint16_t listen_port = 0;
+    uint16_t client_port = 0;
+    SimClient* client = nullptr;
+    bool server_closed = false;
+    bool client_notified_close = false;
+  };
+
+  struct Listener {
+    int fd = -1;
+    uint16_t port = 0;
+    int backlog = 0;
+    bool closed = false;
+    std::deque<int> pending;  // channel ids awaiting accept
+  };
+
+  struct FdEntry {
+    bool is_listener = false;
+    int channel = -1;   // server-socket fds
+    uint16_t port = 0;  // listener fds
+  };
+
+  using Lock = std::unique_lock<std::recursive_mutex>;
+
+  [[nodiscard]] int64_t now_ns_locked() const;
+  void advance_to_locked(int64_t target_ns);
+  bool chance_locked(double probability);
+  void fire_due_locked();
+  void deliver_locked();
+  void collect_ready_locked(const void* poller,
+                            std::vector<net::ReadyFd>& out);
+  void check_done_locked();
+  void record_locked(std::string line);
+  Channel* channel_of_fd_locked(int fd);
+  void close_server_side_locked(Channel& ch);
+
+  const uint64_t seed_;
+  const FaultPlan plan_;
+  std::mt19937_64 rng_;
+
+  mutable std::recursive_mutex mutex_;
+  std::condition_variable_any cv_run_;   // paused pollers wait here
+  std::condition_variable_any cv_done_;  // run() waits here
+
+  bool running_ = false;
+  bool done_ = false;
+  bool timed_out_ = false;
+  bool shutdown_ = false;
+  int64_t deadline_ns_ = 0;
+
+  int next_fd_ = net::kSimFdBase;
+  int next_channel_ = 0;
+  uint16_t next_auto_port_ = 20000;
+  uint16_t next_client_port_ = 40000;
+  uint64_t next_script_seq_ = 0;
+
+  std::map<int, FdEntry> fds_;
+  std::map<int, std::unique_ptr<Channel>> channels_;
+  std::map<uint16_t, Listener> listeners_;  // by port
+  std::vector<std::unique_ptr<SimClient>> clients_;
+  // (virtual ns, insertion seq) -> callback; fired in order.
+  std::multimap<std::pair<int64_t, uint64_t>, std::function<void()>> script_;
+  // poller instance -> fd -> interest (std::map: deterministic order).
+  std::map<const void*, std::map<int, uint32_t>> pollers_;
+
+  std::vector<std::string> trace_;
+  std::vector<std::string> failures_;
+};
+
+}  // namespace cops::simnet

@@ -1,0 +1,40 @@
+// Harness glue for running generated servers under the SimEngine.
+#pragma once
+
+#include "nserver/options.hpp"
+#include "simnet/fault_plan.hpp"
+#include "simnet/sim_engine.hpp"
+
+namespace cops::simnet {
+
+// Server options that confine the whole pipeline to the single reactor
+// thread, which is what makes a simulated run deterministic:
+//
+//   * one dispatcher, no separate processor pool — events run inline on
+//     the reactor thread (classic SPED);
+//   * synchronous completion — no file-I/O worker pool injecting
+//     nondeterministically-ordered completion events;
+//   * static thread allocation — no ProcessorController resizing.
+//
+// Apply these on top of an application's defaults, e.g.:
+//
+//   auto opts = http::CopsHttpServer::default_options();
+//   simnet::make_deterministic(opts);
+inline void make_deterministic(nserver::ServerOptions& options) {
+  options.dispatcher_threads = 1;
+  options.separate_processor_pool = false;
+  options.completion = nserver::CompletionMode::kSynchronous;
+  options.allow_blocking_dispatcher = true;  // SPED: see options.hpp
+  options.thread_allocation = nserver::ThreadAllocation::kStatic;
+  options.logging = false;
+  options.stats_export = nserver::StatsExport::kNone;
+  options.listen_port = 0;  // the engine assigns deterministic ports
+}
+
+[[nodiscard]] inline nserver::ServerOptions deterministic_options() {
+  nserver::ServerOptions options;
+  make_deterministic(options);
+  return options;
+}
+
+}  // namespace cops::simnet

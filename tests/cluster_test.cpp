@@ -24,9 +24,11 @@ class EchoBackend {
     thread_ = std::thread([this] { run(); });
   }
   ~EchoBackend() {
+    // Join before closing: the run() thread polls the (non-blocking)
+    // listener, so closing it concurrently would race Fd::reset/get.
     running_ = false;
-    listener_.close();
     if (thread_.joinable()) thread_.join();
+    listener_.close();
   }
   [[nodiscard]] uint16_t port() {
     return listener_.local_address().value().port();
@@ -47,7 +49,7 @@ class EchoBackend {
       auto sock = std::move(client).take();
       ByteBuffer buf;
       const auto deadline = now() + std::chrono::seconds(5);
-      while (now() < deadline) {
+      while (running_.load() && now() < deadline) {
         auto n = sock.read(buf);
         if (n.is_ok()) {
           sock.write(buf);
@@ -194,7 +196,9 @@ TEST(DistributedNServer, BalancerPlusTwoWorkersServeHttp) {
   load.server = net::InetAddress::loopback(balancer.port());
   load.num_clients = 8;
   load.think_time = std::chrono::milliseconds(2);
-  load.duration = std::chrono::milliseconds(700);
+  // Generous relative to the >40-responses assertion so the test also holds
+  // under sanitizer slowdowns (TSan runs ~10x slower).
+  load.duration = std::chrono::milliseconds(1500);
   load.path_for = [](size_t, std::mt19937&) { return "/page.html"; };
   const auto stats = loadgen::run_clients(load);
 

@@ -1,0 +1,337 @@
+// Seed-corpus randomized fuzz tests for the two wire-format parsers:
+// http::parse_request and ftp::parse_command / parse_port_arg.
+//
+// Every corpus file under tests/corpus/ is first replayed verbatim, then
+// mutated (byte flips, splices, truncations, duplications, random inserts)
+// by a deterministic PRNG and re-fed to the parser.  Each mutant is checked
+// against the parsers' contracts:
+//
+//   parse_request   kIncomplete consumes nothing; kComplete consumes at
+//                   most what was readable and yields a sanitized path
+//                   (absolute, no NUL, no ".." escape); parsing is a pure
+//                   function of the input bytes (same bytes => same
+//                   outcome, field for field).
+//   parse_command   accepted verbs are 1-4 uppercase letters; arguments
+//                   come back trimmed; accepted commands survive a
+//                   format/re-parse round trip.
+//   parse_port_arg  accepted values have in-range octets and a non-zero
+//                   port, and round-trip through format_pasv.
+//
+// Failures print the PRNG seed and the offending input (escaped).  Replay a
+// seed with:  ./fuzz_parser_test --seed=<N>
+// which runs every fuzz case under that single seed instead of the default
+// seed range.  This file has its own main() to support the flag.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/byte_buffer.hpp"
+#include "common/string_util.hpp"
+#include "ftp/command.hpp"
+#include "http/request_parser.hpp"
+
+namespace {
+
+uint64_t g_seed_override = 0;
+bool g_has_seed_override = false;
+
+// ---- corpus loading --------------------------------------------------------
+
+std::vector<std::string> load_corpus(const std::string& subdir) {
+  const std::filesystem::path dir =
+      std::filesystem::path(COPS_SOURCE_DIR) / "tests" / "corpus" / subdir;
+  std::vector<std::filesystem::path> paths;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_regular_file()) paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());  // deterministic order
+  std::vector<std::string> corpus;
+  for (const auto& p : paths) {
+    std::ifstream in(p, std::ios::binary);
+    corpus.emplace_back(std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>());
+  }
+  return corpus;
+}
+
+std::string escape(std::string_view bytes, size_t max_len = 200) {
+  std::string out;
+  for (size_t i = 0; i < bytes.size() && i < max_len; ++i) {
+    const auto c = static_cast<unsigned char>(bytes[i]);
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c >= 0x20 && c < 0x7f) {
+      out += static_cast<char>(c);
+    } else if (c == '\r') {
+      out += "\\r";
+    } else if (c == '\n') {
+      out += "\\n\n";
+    } else {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\x%02x", c);
+      out += buf;
+    }
+  }
+  if (bytes.size() > max_len) out += "...";
+  return out;
+}
+
+// ---- mutation engine -------------------------------------------------------
+
+std::string mutate(std::mt19937_64& rng,
+                   const std::vector<std::string>& corpus) {
+  std::string input = corpus[rng() % corpus.size()];
+  if (rng() % 4 == 0) {
+    // Splice: concatenate a prefix of this entry with a suffix of another.
+    const std::string& other = corpus[rng() % corpus.size()];
+    const size_t cut_a = input.empty() ? 0 : rng() % (input.size() + 1);
+    const size_t cut_b = other.empty() ? 0 : rng() % (other.size() + 1);
+    input = input.substr(0, cut_a) + other.substr(cut_b);
+  }
+  const int mutations = static_cast<int>(rng() % 4);
+  for (int m = 0; m < mutations && !input.empty(); ++m) {
+    const size_t pos = rng() % input.size();
+    switch (rng() % 5) {
+      case 0:  // flip a byte
+        input[pos] = static_cast<char>(rng() % 256);
+        break;
+      case 1:  // insert a random byte
+        input.insert(input.begin() + static_cast<long>(pos),
+                     static_cast<char>(rng() % 256));
+        break;
+      case 2:  // delete a short range
+        input.erase(pos, 1 + rng() % 8);
+        break;
+      case 3: {  // duplicate a short range (grows headers, repeats tokens)
+        const size_t len = std::min<size_t>(1 + rng() % 16, input.size() - pos);
+        input.insert(pos, input.substr(pos, len));
+        break;
+      }
+      default:  // truncate
+        input.resize(pos);
+        break;
+    }
+  }
+  return input;
+}
+
+// ---- HTTP invariants -------------------------------------------------------
+
+void check_http_invariants(const std::string& input) {
+  SCOPED_TRACE("input:\n" + escape(input));
+  cops::ByteBuffer buf{std::string_view(input)};
+  cops::http::HttpRequest req;
+  const size_t before = buf.readable();
+  const auto outcome = cops::http::parse_request(buf, req);
+  switch (outcome) {
+    case cops::http::ParseOutcome::kIncomplete:
+      // Contract: nothing consumed, byte for byte.
+      ASSERT_EQ(buf.readable(), before);
+      ASSERT_EQ(buf.view(), std::string_view(input));
+      break;
+    case cops::http::ParseOutcome::kComplete: {
+      const size_t consumed = before - buf.readable();
+      ASSERT_GT(consumed, 0u);
+      ASSERT_LE(consumed, before);
+      // Sanitized path: absolute, NUL-free, cannot climb out of the root.
+      if (req.target != "*") {
+        ASSERT_FALSE(req.path.empty());
+        ASSERT_EQ(req.path.front(), '/');
+        ASSERT_EQ(req.path.find('\0'), std::string::npos);
+        // No segment may be exactly ".." (a *filename* like "..." that
+        // merely contains dots is legal).
+        for (const auto& seg : cops::split(req.path.substr(1), '/')) {
+          ASSERT_NE(seg, "..");
+        }
+      }
+      for (const auto& [name, value] : req.headers) {
+        ASSERT_EQ(name, cops::to_lower(name)) << "header not lower-cased";
+      }
+      // Purity: re-parsing exactly the consumed bytes reproduces the
+      // request field for field.
+      cops::ByteBuffer again{std::string_view(input).substr(0, consumed)};
+      cops::http::HttpRequest req2;
+      ASSERT_EQ(cops::http::parse_request(again, req2),
+                cops::http::ParseOutcome::kComplete);
+      ASSERT_EQ(again.readable(), 0u);
+      ASSERT_EQ(req2.method, req.method);
+      ASSERT_EQ(req2.target, req.target);
+      ASSERT_EQ(req2.path, req.path);
+      ASSERT_EQ(req2.query, req.query);
+      ASSERT_EQ(req2.body, req.body);
+      ASSERT_EQ(req2.headers, req.headers);
+      break;
+    }
+    case cops::http::ParseOutcome::kMalformed:
+      break;  // buffer state unspecified; caller closes
+  }
+  // Determinism of the outcome itself.
+  cops::ByteBuffer fresh{std::string_view(input)};
+  cops::http::HttpRequest ignored;
+  ASSERT_EQ(cops::http::parse_request(fresh, ignored), outcome);
+}
+
+// ---- FTP invariants --------------------------------------------------------
+
+void check_ftp_invariants(const std::string& line) {
+  SCOPED_TRACE("line: " + escape(line));
+  const auto cmd = cops::ftp::parse_command(line);
+  if (cmd) {
+    ASSERT_GE(cmd->verb.size(), 1u);
+    ASSERT_LE(cmd->verb.size(), 4u);
+    for (char c : cmd->verb) {
+      ASSERT_TRUE(c >= 'A' && c <= 'Z') << "verb byte " << int(c);
+    }
+    // Arguments come back trimmed.
+    ASSERT_EQ(cmd->arg, std::string(cops::trim(cmd->arg)));
+    // Round trip: re-formatting the accepted command parses to itself.
+    const std::string wire =
+        cmd->arg.empty() ? cmd->verb : cmd->verb + " " + cmd->arg;
+    const auto again = cops::ftp::parse_command(wire);
+    ASSERT_TRUE(again.has_value());
+    ASSERT_EQ(again->verb, cmd->verb);
+    ASSERT_EQ(again->arg, cmd->arg);
+  }
+  // parse_port_arg on whatever follows the verb (and on the raw line).
+  const std::string cmd_arg = cmd ? cmd->arg : std::string();
+  for (const std::string_view arg :
+       {std::string_view(line), std::string_view(cmd_arg)}) {
+    const auto port = cops::ftp::parse_port_arg(arg);
+    if (port) {
+      ASSERT_NE(port->second, 0);
+      ASSERT_EQ(std::count(port->first.begin(), port->first.end(), '.'), 3);
+      // Round trip through the PASV formatter (strip its parentheses).
+      const auto pasv = cops::ftp::format_pasv(port->first, port->second);
+      const auto reparsed =
+          cops::ftp::parse_port_arg(std::string_view(pasv).substr(
+              1, pasv.size() - 2));
+      ASSERT_TRUE(reparsed.has_value());
+      ASSERT_EQ(reparsed->first, port->first);
+      ASSERT_EQ(reparsed->second, port->second);
+    }
+  }
+}
+
+// ---- corpus replay (every checked-in file, verbatim) -----------------------
+
+TEST(FuzzCorpusTest, HttpCorpusReplaysClean) {
+  const auto corpus = load_corpus("http");
+  ASSERT_GE(corpus.size(), 10u) << "HTTP corpus went missing";
+  for (const auto& input : corpus) check_http_invariants(input);
+}
+
+TEST(FuzzCorpusTest, FtpCorpusReplaysClean) {
+  const auto corpus = load_corpus("ftp");
+  ASSERT_GE(corpus.size(), 5u) << "FTP corpus went missing";
+  for (const auto& entry : corpus) {
+    size_t pos = 0;
+    while (pos <= entry.size()) {
+      size_t eol = entry.find('\n', pos);
+      if (eol == std::string::npos) eol = entry.size();
+      std::string line = entry.substr(pos, eol - pos);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      check_ftp_invariants(line);
+      if (eol == entry.size()) break;
+      pos = eol + 1;
+    }
+  }
+}
+
+// Known-answer regressions for the nastiest corpus entries: these encode
+// the *decisions* (reject vs. sanitize) rather than just "does not crash".
+TEST(FuzzCorpusTest, HttpKnownAnswers) {
+  const auto expect = [](const char* wire, cops::http::ParseOutcome want) {
+    cops::ByteBuffer buf{std::string_view(wire)};
+    cops::http::HttpRequest req;
+    EXPECT_EQ(cops::http::parse_request(buf, req), want) << escape(wire);
+    return req;
+  };
+  using Outcome = cops::http::ParseOutcome;
+  // Traversal above the root is malformed, plain or percent-encoded.
+  expect("GET /../../etc/passwd HTTP/1.1\r\nHost: s\r\n\r\n",
+         Outcome::kMalformed);
+  expect("GET /a/%2e%2e/%2e%2e/etc/passwd HTTP/1.1\r\nHost: s\r\n\r\n",
+         Outcome::kMalformed);
+  // Traversal *within* the root sanitizes instead.
+  const auto ok = expect("GET /a/../b.txt HTTP/1.1\r\nHost: s\r\n\r\n",
+                         Outcome::kComplete);
+  EXPECT_EQ(ok.path, "/b.txt");
+  // Smuggling vectors: duplicate Host, conflicting Content-Length.
+  expect("GET / HTTP/1.1\r\nHost: a\r\nHost: b\r\n\r\n", Outcome::kMalformed);
+  expect("POST / HTTP/1.1\r\nHost: s\r\nContent-Length: 4\r\n"
+         "Content-Length: 5\r\n\r\nabcd",
+         Outcome::kMalformed);
+  // Truncated percent escape and embedded NUL.
+  expect("GET /x% HTTP/1.1\r\nHost: s\r\n\r\n", Outcome::kMalformed);
+  expect("GET /%00 HTTP/1.1\r\nHost: s\r\n\r\n", Outcome::kMalformed);
+  // A headerless prefix is incomplete, not malformed.
+  expect("GET / HTTP/1.1\r\nHost: s\r\n", Outcome::kIncomplete);
+}
+
+// ---- seeded mutation fuzzing ----------------------------------------------
+
+constexpr int kIterationsPerSeed = 1500;
+
+class HttpFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HttpFuzzTest, MutatedCorpusHoldsInvariants) {
+  const uint64_t seed =
+      g_has_seed_override ? g_seed_override
+                          : static_cast<uint64_t>(GetParam());
+  SCOPED_TRACE("replay with --seed=" + std::to_string(seed));
+  const auto corpus = load_corpus("http");
+  ASSERT_FALSE(corpus.empty());
+  std::mt19937_64 rng(seed);
+  for (int i = 0; i < kIterationsPerSeed; ++i) {
+    check_http_invariants(mutate(rng, corpus));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+class FtpFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FtpFuzzTest, MutatedCorpusHoldsInvariants) {
+  const uint64_t seed =
+      g_has_seed_override ? g_seed_override
+                          : static_cast<uint64_t>(GetParam() + 1000);
+  SCOPED_TRACE("replay with --seed=" + std::to_string(seed));
+  const auto corpus = load_corpus("ftp");
+  ASSERT_FALSE(corpus.empty());
+  std::mt19937_64 rng(seed);
+  for (int i = 0; i < kIterationsPerSeed; ++i) {
+    check_ftp_invariants(mutate(rng, corpus));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HttpFuzzTest, ::testing::Range(1, 9),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+INSTANTIATE_TEST_SUITE_P(Seeds, FtpFuzzTest, ::testing::Range(1, 9),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+
+// Custom main: googletest leaves unrecognized flags in argv, so --seed=<N>
+// passes straight through InitGoogleTest to us.
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      g_seed_override = std::strtoull(arg.data() + 7, nullptr, 10);
+      g_has_seed_override = true;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,199 @@
+// Model-based FTP session tests over the simulated network.
+//
+// An explicit FTP control-channel state machine (authentication state,
+// legal and near-legal commands with their RFC 959 reply codes) generates
+// seeded command sequences and replays them through the full COPS-FTP
+// stack under clean and chaotic fault plans.  The observed reply-code
+// sequence must match the model exactly, fault plan or not.
+//
+// Data transfers (PASV/PORT/RETR/STOR/LIST) are deliberately out of scope:
+// COPS-FTP opens real data sockets for those, which the simulator does not
+// intercept.  The control channel — where all the protocol state lives —
+// is fully exercised.
+#include <chrono>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ftp/ftp_server.hpp"
+#include "simnet/sim_harness.hpp"
+#include "tests/test_util.hpp"
+
+namespace cops::simnet {
+namespace {
+
+using std::chrono::milliseconds;
+
+struct Scenario {
+  std::string wire;                 // command lines, CRLF-joined
+  std::vector<int> expected_codes;  // includes the 220 greeting
+};
+
+void add(Scenario& s, const std::string& line, int code) {
+  s.wire += line + "\r\n";
+  s.expected_codes.push_back(code);
+}
+
+// Commands legal (or near-legal) before authentication, with their codes.
+void pre_login_step(std::mt19937_64& rng, Scenario& s) {
+  switch (rng() % 8) {
+    case 0: add(s, "NOOP", 200); break;
+    case 1: add(s, "SYST", 215); break;
+    case 2: add(s, "FEAT", 211); break;
+    case 3: add(s, "PWD", 530); break;     // needs login
+    case 4: add(s, "TYPE I", 530); break;  // needs login
+    case 5: add(s, "PASS secret", 503); break;  // PASS before USER
+    case 6: add(s, "XYZZ", 530); break;    // parses, but not logged in
+    default: add(s, "123 bogus", 500); break;  // unparseable verb
+  }
+}
+
+// Commands once authenticated (anonymous), with their codes.
+void post_login_step(std::mt19937_64& rng, Scenario& s) {
+  switch (rng() % 12) {
+    case 0: add(s, "NOOP", 200); break;
+    case 1: add(s, "SYST", 215); break;
+    case 2: add(s, "FEAT", 211); break;
+    case 3: add(s, "TYPE I", 200); break;
+    case 4: add(s, "TYPE A", 200); break;
+    case 5: add(s, "TYPE Q", 501); break;  // bad argument
+    case 6: add(s, "PWD", 257); break;
+    case 7: add(s, "CWD /", 250); break;
+    case 8: add(s, "SIZE a.txt", 213); break;
+    case 9: add(s, "SIZE no-such-file", 550); break;
+    case 10: add(s, "XYZZ", 502); break;   // parsed but unimplemented
+    default: add(s, "RNTO ghost.txt", 503); break;  // RNTO without RNFR
+  }
+}
+
+Scenario generate_scenario(std::mt19937_64& rng) {
+  Scenario s;
+  s.expected_codes.push_back(220);  // greeting on connect
+  const int before = static_cast<int>(rng() % 4);
+  for (int i = 0; i < before; ++i) pre_login_step(rng, s);
+  if (rng() % 3 == 0) {
+    // A failed login first: unknown user rejected at PASS time.
+    add(s, "USER mallory", 331);
+    add(s, "PASS guesswork", 530);
+  }
+  add(s, "USER anonymous", 331);
+  add(s, "PASS guest@example.org", 230);
+  const int after = 3 + static_cast<int>(rng() % 8);
+  for (int i = 0; i < after; ++i) post_login_step(rng, s);
+  add(s, "QUIT", 221);
+  return s;
+}
+
+// Extracts the reply codes from the raw control-channel bytes.  Replies are
+// single-line "ddd text\r\n"; anything else fails the parse.
+std::vector<int> reply_codes(const std::string& stream, std::string& error) {
+  std::vector<int> codes;
+  size_t pos = 0;
+  while (pos < stream.size()) {
+    const size_t eol = stream.find("\r\n", pos);
+    if (eol == std::string::npos) {
+      error = "unterminated reply line at offset " + std::to_string(pos);
+      return codes;
+    }
+    const std::string line = stream.substr(pos, eol - pos);
+    if (line.size() < 4 || line[3] != ' ' || !isdigit(line[0]) ||
+        !isdigit(line[1]) || !isdigit(line[2])) {
+      error = "malformed reply line: " + line;
+      return codes;
+    }
+    codes.push_back(std::stoi(line.substr(0, 3)));
+    pos = eol + 2;
+  }
+  return codes;
+}
+
+void run_ftp_model(uint64_t seed, const FaultPlan& plan,
+                   std::vector<std::string>* trace_out = nullptr) {
+  SimEngine engine(seed, plan);
+  SCOPED_TRACE("replay seed=" + std::to_string(seed));
+
+  test::TempDir dir;
+  dir.write_file("a.txt", "ftp fixture file\n");
+
+  auto options = ftp::CopsFtpServer::default_options();
+  make_deterministic(options);
+  options.listen_port = 8121;
+  ftp::FtpServerConfig config;
+  config.root = dir.str();
+  config.allow_anonymous = true;
+  ftp::CopsFtpServer server(std::move(options), config);
+  auto started = server.start();
+  ASSERT_TRUE(started.is_ok()) << started.to_string();
+
+  std::mt19937_64 model_rng(seed);
+  const Scenario scenario = generate_scenario(model_rng);
+
+  auto* client = engine.new_client();
+  engine.at(milliseconds(1), [client] { client->connect(8121); });
+  size_t pos = 0;
+  int when_ms = 2;
+  while (pos < scenario.wire.size()) {
+    const size_t remaining = scenario.wire.size() - pos;
+    const size_t chunk = 1 + model_rng() % remaining;
+    const std::string piece = scenario.wire.substr(pos, chunk);
+    engine.at(milliseconds(when_ms), [client, piece] { client->send(piece); });
+    pos += chunk;
+    when_ms += static_cast<int>(model_rng() % 3);
+  }
+
+  EXPECT_TRUE(engine.run(std::chrono::seconds(120)))
+      << "scenario did not quiesce\n" << engine.trace_text();
+  server.stop();
+
+  std::string error;
+  const auto codes = reply_codes(client->received(), error);
+  EXPECT_TRUE(error.empty()) << error << "\nreceived:\n" << client->received();
+  EXPECT_EQ(codes, scenario.expected_codes)
+      << "received:\n" << client->received();
+  // QUIT closes the control connection server-side.
+  EXPECT_TRUE(client->peer_closed());
+  EXPECT_TRUE(engine.failures().empty());
+  if (trace_out != nullptr) *trace_out = engine.trace();
+}
+
+enum class Plan { kNone, kChaos };
+
+FaultPlan to_plan(Plan plan) {
+  return plan == Plan::kNone ? FaultPlan::none() : FaultPlan::chaos();
+}
+
+class FtpModelTest : public ::testing::TestWithParam<std::tuple<int, Plan>> {};
+
+TEST_P(FtpModelTest, SessionMatchesModel) {
+  const auto [seed, plan] = GetParam();
+  run_ftp_model(static_cast<uint64_t>(seed), to_plan(plan));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, FtpModelTest,
+    ::testing::Combine(::testing::Range(1, 13),
+                       ::testing::Values(Plan::kNone, Plan::kChaos)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) == Plan::kNone ? "_clean" : "_chaos");
+    });
+
+TEST(FtpModelDeterminismTest, SameSeedSameFullStackTrace) {
+  std::vector<std::string> first;
+  std::vector<std::string> second;
+  run_ftp_model(515151, FaultPlan::chaos(), &first);
+  run_ftp_model(515151, FaultPlan::chaos(), &second);
+  ASSERT_FALSE(first.empty());
+  ASSERT_EQ(first.size(), second.size())
+      << "trace lengths diverged across identical runs";
+  for (size_t i = 0; i < first.size(); ++i) {
+    ASSERT_EQ(first[i], second[i]) << "first divergence at trace line " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cops::simnet
