@@ -1,5 +1,21 @@
 #include "common/clock.hpp"
 
+#include <ctime>
+
+namespace cops {
+
+int64_t unix_now_seconds() {
+  if (simclock::active()) [[unlikely]] {
+    // Sun, 06 Nov 1994 08:49:37 GMT — RFC 7231's example IMF-fixdate —
+    // plus virtual elapsed time: deterministic, and obviously simulated.
+    constexpr int64_t kSimWallEpoch = 784111777;
+    return kSimWallEpoch + simclock::now_ns() / 1'000'000'000;
+  }
+  return static_cast<int64_t>(::time(nullptr));
+}
+
+}  // namespace cops
+
 namespace cops::simclock {
 
 std::atomic<bool> g_active{false};

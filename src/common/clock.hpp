@@ -35,6 +35,12 @@ void set_ns(int64_t now_ns);
 
 }  // namespace simclock
 
+// Wall-clock counterpart of now(): UNIX seconds for protocol timestamps
+// (the HTTP Date header).  While a simulation is installed this derives
+// from the virtual clock at a fixed epoch, so replies are bit-identical
+// per seed; in production it is ::time(nullptr).
+[[nodiscard]] int64_t unix_now_seconds();
+
 [[nodiscard]] inline TimePoint now() {
   if (simclock::active()) [[unlikely]] {
     return TimePoint(std::chrono::duration_cast<Duration>(

@@ -5,6 +5,8 @@
 #include <mutex>
 #include <string_view>
 
+#include "common/clock.hpp"
+
 namespace cops::http {
 namespace {
 
@@ -176,7 +178,7 @@ std::string now_http_date() {
   static std::mutex mutex;
   static time_t cached_second = 0;
   static std::string cached_value;
-  const time_t t = ::time(nullptr);
+  const time_t t = static_cast<time_t>(cops::unix_now_seconds());
   std::lock_guard lock(mutex);
   if (t != cached_second) {
     cached_second = t;

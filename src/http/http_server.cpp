@@ -39,6 +39,20 @@ void HttpAppHooks::handle(nserver::RequestContext& ctx, std::any request) {
   auto req = std::any_cast<HttpRequest>(std::move(request));
   const bool keep_alive = req.keep_alive();
 
+  // O9 shed tier: while overloaded, answer with an explicit 503 instead of
+  // queueing the work — a fast, countable overload signal for upstream load
+  // balancers and retrying clients.
+  if (ctx.should_shed()) {
+    ctx.note_shed();
+    auto resp = make_error_response(StatusCode::kServiceUnavailable,
+                                    keep_alive);
+    resp.set_header("Retry-After",
+                    std::to_string(ctx.shed_retry_after().count()));
+    if (!keep_alive) ctx.close_after_reply();
+    ctx.reply(std::move(resp));
+    return;
+  }
+
   if (req.method != Method::kGet && req.method != Method::kHead) {
     reply_error(ctx, StatusCode::kMethodNotAllowed, keep_alive);
     return;

@@ -5,10 +5,27 @@ namespace cops::net {
 Connector::~Connector() {
   for (auto& [fd, pending] : pending_) {
     reactor_.deregister(fd);
+    if (pending->has_timer) reactor_.cancel_timer(pending->timer_id);
   }
 }
 
 Status Connector::connect(const InetAddress& peer, ConnectCallback on_done) {
+  return start(peer, std::move(on_done)).status();
+}
+
+Status Connector::connect(const InetAddress& peer, Duration timeout,
+                          ConnectCallback on_done) {
+  auto fd = start(peer, std::move(on_done));
+  if (!fd.is_ok()) return fd.status();
+  if (timeout <= Duration::zero()) return Status::ok();
+  auto& pending = pending_.at(fd.value());
+  pending->timer_id =
+      reactor_.run_after(timeout, [this, fd = fd.value()] { timed_out(fd); });
+  pending->has_timer = true;
+  return Status::ok();
+}
+
+Result<int> Connector::start(const InetAddress& peer, ConnectCallback on_done) {
   auto sock = TcpSocket::connect(peer);
   if (!sock.is_ok()) return sock.status();
   auto pending = std::make_unique<Pending>(*this, std::move(sock).take(),
@@ -18,7 +35,7 @@ Status Connector::connect(const InetAddress& peer, ConnectCallback on_done) {
   auto status = reactor_.register_handler(fd, pending.get(), kWritable);
   if (!status.is_ok()) return status;
   pending_.emplace(fd, std::move(pending));
-  return Status::ok();
+  return fd;
 }
 
 void Connector::Pending::handle_event(int fd, uint32_t /*readiness*/) {
@@ -31,12 +48,23 @@ void Connector::finish(int fd) {
   auto pending = std::move(it->second);
   pending_.erase(it);
   reactor_.deregister(fd);
+  if (pending->has_timer) reactor_.cancel_timer(pending->timer_id);
   auto status = pending->socket.finish_connect();
   if (status.is_ok()) {
     pending->callback(std::move(pending->socket));
   } else {
     pending->callback(status);
   }
+}
+
+void Connector::timed_out(int fd) {
+  auto it = pending_.find(fd);
+  if (it == pending_.end()) return;  // completed just before the deadline
+  auto pending = std::move(it->second);
+  pending_.erase(it);
+  reactor_.deregister(fd);
+  pending->has_timer = false;  // the firing timer consumed itself
+  pending->callback(Status::unavailable("connect timeout"));
 }
 
 }  // namespace cops::net

@@ -26,6 +26,12 @@ class Connector {
   // thread with the connected socket or an error status.  Must be called
   // from the reactor thread.
   Status connect(const InetAddress& peer, ConnectCallback on_done);
+  // Same, with a per-attempt deadline: if the connect has not completed
+  // within `timeout` the attempt is abandoned (socket closed) and `on_done`
+  // gets kUnavailable.  A SYN blackhole otherwise hangs a non-blocking
+  // connect for the kernel's full ~2 minute retransmit cycle.
+  Status connect(const InetAddress& peer, Duration timeout,
+                 ConnectCallback on_done);
 
   [[nodiscard]] size_t pending() const { return pending_.size(); }
 
@@ -39,9 +45,13 @@ class Connector {
     Connector& owner;
     TcpSocket socket;
     ConnectCallback callback;
+    TimerQueue::TimerId timer_id = 0;
+    bool has_timer = false;
   };
 
+  Result<int> start(const InetAddress& peer, ConnectCallback on_done);
   void finish(int fd);
+  void timed_out(int fd);
 
   Reactor& reactor_;
   std::unordered_map<int, std::unique_ptr<Pending>> pending_;

@@ -13,8 +13,10 @@ namespace {
 // is not a scraper.
 constexpr size_t kMaxAdminRequestBytes = 8 * 1024;
 
-std::string make_response(int status, const char* reason,
-                          const char* content_type, std::string_view body) {
+}  // namespace
+
+std::string admin_response(int status, const char* reason,
+                           const char* content_type, std::string_view body) {
   std::string out;
   out.reserve(body.size() + 128);
   out += "HTTP/1.1 ";
@@ -29,8 +31,6 @@ std::string make_response(int status, const char* reason,
   out += body;
   return out;
 }
-
-}  // namespace
 
 // One accepted admin connection: read a request, write the response, close.
 // Runs entirely on the owning reactor's thread.
@@ -77,7 +77,7 @@ class AdminConnection : public net::EventHandler,
     const size_t header_end = in_.find("\r\n\r\n");
     if (header_end == std::string::npos) {
       if (in_.readable() > kMaxAdminRequestBytes) {
-        respond(make_response(431, "Request Header Fields Too Large",
+        respond(admin_response(431, "Request Header Fields Too Large",
                               "text/plain; charset=utf-8", "too large\n"));
       }
       return;
@@ -91,7 +91,7 @@ class AdminConnection : public net::EventHandler,
                            ? std::string_view::npos
                            : line.find(' ', sp1 + 1);
     if (sp2 == std::string_view::npos) {
-      respond(make_response(400, "Bad Request", "text/plain; charset=utf-8",
+      respond(admin_response(400, "Bad Request", "text/plain; charset=utf-8",
                             "bad request\n"));
       return;
     }
@@ -133,7 +133,10 @@ class AdminConnection : public net::EventHandler,
 };
 
 AdminServer::AdminServer(Server& server, net::Reactor& reactor)
-    : server_(server), reactor_(reactor) {}
+    : server_(&server), reactor_(reactor) {}
+
+AdminServer::AdminServer(net::Reactor& reactor, Responder responder)
+    : responder_(std::move(responder)), reactor_(reactor) {}
 
 AdminServer::~AdminServer() = default;
 
@@ -175,29 +178,45 @@ void AdminServer::remove(uint64_t id) { connections_.erase(id); }
 std::string AdminServer::respond(const std::string& method,
                                  const std::string& path) const {
   if (method != "GET" && method != "HEAD") {
-    return make_response(405, "Method Not Allowed",
+    return admin_response(405, "Method Not Allowed",
                          "text/plain; charset=utf-8", "GET only\n");
   }
+  if (responder_) return responder_(method, path);
+  return server_respond(method, path);
+}
+
+std::string AdminServer::server_respond(const std::string& method,
+                                        const std::string& path) const {
+  (void)method;
   if (path == "/healthz") {
-    return make_response(200, "OK", "text/plain; charset=utf-8", "ok\n");
+    // Load-balancer health probes key off this: flip to 503 while the
+    // server is draining or has suspended accepting under overload, so the
+    // LB routes around us before clients see refused connects.
+    if (server_->draining() || !server_->accepting()) {
+      return admin_response(503, "Service Unavailable",
+                            "text/plain; charset=utf-8",
+                            server_->draining() ? "draining\n"
+                                                : "overloaded\n");
+    }
+    return admin_response(200, "OK", "text/plain; charset=utf-8", "ok\n");
   }
   if (path == "/stats") {
-    return make_response(200, "OK",
+    return admin_response(200, "OK",
                          "text/plain; version=0.0.4; charset=utf-8",
-                         render_prometheus(server_.stats_snapshot()));
+                         render_prometheus(server_->stats_snapshot()));
   }
   if (path == "/stats.json") {
-    return make_response(200, "OK", "application/json",
-                         render_json(server_.stats_snapshot()));
+    return admin_response(200, "OK", "application/json",
+                         render_json(server_->stats_snapshot()));
   }
   if (path == "/") {
-    return make_response(200, "OK", "text/plain; charset=utf-8",
+    return admin_response(200, "OK", "text/plain; charset=utf-8",
                          "cops-nserver admin\n"
                          "  /healthz     liveness\n"
                          "  /stats       Prometheus text format\n"
                          "  /stats.json  JSON\n");
   }
-  return make_response(404, "Not Found", "text/plain; charset=utf-8",
+  return admin_response(404, "Not Found", "text/plain; charset=utf-8",
                        "not found\n");
 }
 

@@ -17,7 +17,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 
 #include "net/acceptor.hpp"
@@ -29,12 +31,25 @@ namespace cops::nserver {
 class Server;
 class AdminConnection;
 
+// Builds a complete minimal HTTP/1.1 response (status line, Content-Type,
+// Content-Length, Connection: close) for admin-style endpoints.
+std::string admin_response(int status, const char* reason,
+                           const char* content_type, std::string_view body);
+
 class AdminServer {
  public:
+  // Routes a request (method, path) to a complete HTTP response; runs on
+  // the owning reactor's thread.
+  using Responder =
+      std::function<std::string(const std::string&, const std::string&)>;
+
   // `reactor` must be the reactor whose thread will run the listener
   // (shard 0 in the N-Server); open() must run before that reactor's loop
   // starts, or on its thread.
   AdminServer(Server& server, net::Reactor& reactor);
+  // Generic form: any component with a reactor (e.g. the cluster load
+  // balancer) can expose its own stats through the same machinery.
+  AdminServer(net::Reactor& reactor, Responder responder);
   ~AdminServer();
 
   Status open(const net::InetAddress& addr, int backlog = 16);
@@ -51,8 +66,12 @@ class AdminServer {
   // Routes a request path to a response body; sets content type and status.
   [[nodiscard]] std::string respond(const std::string& method,
                                     const std::string& path) const;
+  // The default routing table, serving `server_`'s snapshot.
+  [[nodiscard]] std::string server_respond(const std::string& method,
+                                           const std::string& path) const;
 
-  Server& server_;
+  Server* server_ = nullptr;  // null when constructed with a Responder
+  Responder responder_;
   net::Reactor& reactor_;
   std::unique_ptr<net::Acceptor> acceptor_;
   std::unordered_map<uint64_t, std::shared_ptr<AdminConnection>> connections_;

@@ -87,6 +87,14 @@ void Connection::start_pipeline() {
 void Connection::resume_reading() {
   if (closed()) return;
   pipeline_active_ = false;
+  // Decode said "need more".  A non-empty in-buffer means the peer is mid-
+  // request: start the slowloris clock (once — see partial_since()).  An
+  // empty buffer means we are cleanly between requests.
+  if (in_.empty()) {
+    partial_since_ = TimePoint{};
+  } else if (partial_since_ == TimePoint{}) {
+    partial_since_ = now();
+  }
   // Data may already be buffered in the kernel; with level-triggered epoll
   // re-arming read interest is sufficient to get a new readable event.
   want_read_ = true;
@@ -100,6 +108,9 @@ void Connection::continue_pipeline() {
     close("close-after-reply");
     return;
   }
+  // A request completed: whatever remains buffered is the *next* request,
+  // which deserves a fresh slowloris window.
+  partial_since_ = TimePoint{};
   // More pipelined requests may already sit in the in-buffer; go around the
   // Decode loop again before re-arming the socket.
   pipeline_active_ = true;

@@ -65,6 +65,12 @@ class Connection : public net::EventHandler,
   [[nodiscard]] const std::string& peer() const { return peer_; }
   [[nodiscard]] TimePoint last_activity() const { return last_activity_; }
   [[nodiscard]] bool pipeline_active() const { return pipeline_active_; }
+  // When the connection is stuck mid-request (bytes buffered, nothing the
+  // decoder could parse), the instant the partial request *started* —
+  // deliberately not refreshed as more bytes trickle in, so a slowloris
+  // peer cannot stay under the header_read_timeout by drip-feeding.
+  // TimePoint{} = not mid-request.  Reactor thread only.
+  [[nodiscard]] TimePoint partial_since() const { return partial_since_; }
 
   // Request-scheduling priority (option O8).  Written only inside the
   // single active pipeline step; the Event/Communicator priority crosscut
@@ -140,6 +146,10 @@ class Connection : public net::EventHandler,
   bool close_after_reply_ = false;
   int priority_ = 0;
   TimePoint last_activity_;
+  TimePoint partial_since_{};  // slowloris clock (see partial_since())
+  // Per-IP accounting key (empty = not counted, e.g. outbound connections);
+  // Server::remove_connection releases the slot.
+  std::string ip_key_;
 
   static std::atomic<uint64_t> next_generation_;
 };

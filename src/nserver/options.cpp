@@ -70,6 +70,15 @@ std::string ServerOptions::validate() const {
   if (shutdown_long_idle && idle_timeout.count() <= 0) {
     return "O7: idle timeout must be positive";
   }
+  if (header_read_timeout.count() < 0) {
+    return "O7: header read timeout must be >= 0";
+  }
+  if (overload_shed && !overload_control) {
+    return "O9: overload_shed requires overload_control";
+  }
+  if (overload_shed && overload_retry_after.count() <= 0) {
+    return "O9: overload_retry_after must be positive";
+  }
   if (stats_export == StatsExport::kAdminHttp && !profiling) {
     return "O11+: the admin export serves the profiler's statistics; "
            "enable profiling";

@@ -97,6 +97,12 @@ struct ServerOptions {
   // O7: shutdown long-idle connections.
   bool shutdown_long_idle = false;
   std::chrono::milliseconds idle_timeout{30'000};
+  // O7 extension (slowloris defense): a separate, shorter deadline for a
+  // connection that has sent *part* of a request (bytes buffered, nothing
+  // parseable yet) — stuck mid-request-line/headers.  Distinct from the
+  // keep-alive idle timeout above, which only covers quiet-between-requests
+  // connections.  0 = disabled.  Works independently of O7.
+  std::chrono::milliseconds header_read_timeout{0};
 
   // O8: event scheduling.
   bool event_scheduling = false;
@@ -109,6 +115,15 @@ struct ServerOptions {
   size_t queue_high_watermark = 20;  // paper's Fig. 6 settings
   size_t queue_low_watermark = 5;
   size_t max_connections = 0;  // 0 = unlimited (mechanism 1 disabled)
+  // O9 shed tier: while overloaded, answer protocol requests with an
+  // explicit rejection (HTTP: 503 + Retry-After) instead of only suspending
+  // accept — upstream load balancers then see overload as a fast, countable
+  // signal rather than hung connects.  Requires overload_control.
+  bool overload_shed = false;
+  std::chrono::seconds overload_retry_after{1};  // advertised Retry-After
+  // Per-client-IP connection cap enforced at accept (0 = off); rejected
+  // accepts are counted and closed immediately.
+  size_t max_connections_per_ip = 0;
 
   // O10: mode.
   ServerMode mode = ServerMode::kProduction;

@@ -37,10 +37,20 @@ class OverloadController {
   [[nodiscard]] size_t high_watermark() const { return high_; }
   [[nodiscard]] size_t low_watermark() const { return low_; }
 
+  // O9 shed tier: when enabled, requests arriving while overloaded should
+  // be answered with an explicit rejection (HTTP 503 + Retry-After) rather
+  // than queued.  The flag mirrors `overloaded()` — same hysteresis — so a
+  // shed burst ends exactly when accept resumes.
+  void set_shed(bool enabled) { shed_enabled_ = enabled; }
+  [[nodiscard]] bool should_shed() const {
+    return shed_enabled_ && overloaded_;
+  }
+
  private:
   size_t high_;
   size_t low_;
   bool overloaded_ = false;
+  bool shed_enabled_ = false;
   uint64_t suspends_ = 0;
   std::vector<std::pair<std::string, std::function<size_t()>>> queues_;
 };

@@ -15,7 +15,10 @@ std::string ProfilerSnapshot::to_string() const {
       << " decode_errors=" << decode_errors
       << " events=" << events_processed
       << " idle_shutdowns=" << idle_shutdowns
+      << " header_timeouts=" << header_timeouts
       << " overload_suspensions=" << overload_suspensions
+      << " requests_shed=" << requests_shed
+      << " per_ip_rejections=" << per_ip_rejections
       << " cache_invalidations=" << cache_invalidations
       << " cache_hit_rate=" << cache_hit_rate;
   for (size_t i = 0; i < kStageCount; ++i) {
@@ -78,7 +81,10 @@ ProfilerSnapshot Profiler::snapshot(uint64_t events_processed,
   s.replies_sent = replies_.load();
   s.decode_errors = decode_errors_.load();
   s.idle_shutdowns = idle_shutdowns_.load();
+  s.header_timeouts = header_timeouts_.load();
   s.overload_suspensions = suspensions_.load();
+  s.requests_shed = sheds_.load();
+  s.per_ip_rejections = per_ip_rejects_.load();
   s.events_processed = events_processed;
   s.cache_hit_rate = cache_hit_rate;
   s.cache_invalidations = cache_invalidations;
@@ -96,7 +102,10 @@ void Profiler::reset() {
   replies_.store(0);
   decode_errors_.store(0);
   idle_shutdowns_.store(0);
+  header_timeouts_.store(0);
   suspensions_.store(0);
+  sheds_.store(0);
+  per_ip_rejects_.store(0);
   std::lock_guard lock(shards_mutex_);
   for (auto& shard : shards_) {
     for (auto& histogram : shard->histograms) histogram.reset();

@@ -60,7 +60,10 @@ struct ProfilerSnapshot {
   uint64_t decode_errors = 0;
   uint64_t events_processed = 0;
   uint64_t idle_shutdowns = 0;         // O7 reaper
+  uint64_t header_timeouts = 0;        // O7+ slowloris reaper
   uint64_t overload_suspensions = 0;   // O9 watermark trips
+  uint64_t requests_shed = 0;          // O9 shed tier (503 replies)
+  uint64_t per_ip_rejections = 0;      // per-IP connection cap
   uint64_t cache_invalidations = 0;    // O6 stale entries dropped
   double cache_hit_rate = 0.0;
 
@@ -81,7 +84,10 @@ class Profiler {
   void count_reply() { replies_.fetch_add(1, kRelaxed); }
   void count_decode_error() { decode_errors_.fetch_add(1, kRelaxed); }
   void count_idle_shutdown() { idle_shutdowns_.fetch_add(1, kRelaxed); }
+  void count_header_timeout() { header_timeouts_.fetch_add(1, kRelaxed); }
   void count_overload_suspension() { suspensions_.fetch_add(1, kRelaxed); }
+  void count_shed() { sheds_.fetch_add(1, kRelaxed); }
+  void count_per_ip_reject() { per_ip_rejects_.fetch_add(1, kRelaxed); }
 
   // Records a stage latency into this thread's shard.  Negative durations
   // (missing stamp — the stage was skipped) are dropped.
@@ -114,7 +120,10 @@ class Profiler {
   std::atomic<uint64_t> replies_{0};
   std::atomic<uint64_t> decode_errors_{0};
   std::atomic<uint64_t> idle_shutdowns_{0};
+  std::atomic<uint64_t> header_timeouts_{0};
   std::atomic<uint64_t> suspensions_{0};
+  std::atomic<uint64_t> sheds_{0};
+  std::atomic<uint64_t> per_ip_rejects_{0};
 
   // Profilers are identified by a never-recycled id so the thread-local
   // shard cache can never alias a new profiler with a destroyed one that

@@ -40,6 +40,18 @@ size_t RequestContext::server_connection_count() const {
   return server_.connection_count();
 }
 
+bool RequestContext::should_shed() const {
+  return server_.shedding_.load(std::memory_order_relaxed);
+}
+
+std::chrono::seconds RequestContext::shed_retry_after() const {
+  return server_.options_.overload_retry_after;
+}
+
+void RequestContext::note_shed() {
+  if (server_.options_.profiling) server_.profiler_.count_shed();
+}
+
 TraceContext& RequestContext::trace() { return conn_->trace(); }
 
 bool RequestContext::mark_resolved() {

@@ -13,6 +13,7 @@
 
 #include <any>
 #include <atomic>
+#include <chrono>
 #include <functional>
 #include <memory>
 #include <string>
@@ -60,6 +61,15 @@ class RequestContext : public std::enable_shared_from_this<RequestContext> {
   // snapshot and cache counters.  Cheap (relaxed atomic reads).
   [[nodiscard]] ProfilerSnapshot server_profile() const;
   [[nodiscard]] size_t server_connection_count() const;
+
+  // O9 shed tier: true while the server is overloaded and `overload_shed`
+  // is on — the Handle hook should answer with a cheap rejection (HTTP:
+  // 503 + Retry-After of shed_retry_after()) instead of doing the work,
+  // then call note_shed() so the rejection is counted.  Cheap (one relaxed
+  // atomic read); always false when shedding is not configured.
+  [[nodiscard]] bool should_shed() const;
+  [[nodiscard]] std::chrono::seconds shed_retry_after() const;
+  void note_shed();
 
   // The in-flight request's stage timestamps (O11+).  Hooks may add their
   // own reference stamps; the framework resets it per request.

@@ -59,6 +59,7 @@ Status Server::start() {
   if (options_.overload_control) {
     overload_ = std::make_unique<OverloadController>(
         options_.queue_high_watermark, options_.queue_low_watermark);
+    overload_->set_shed(options_.overload_shed);
     overload_->watch_queue("reactive",
                            [this] { return processor_->queue_depth(); });
     if (file_service_) {
@@ -169,6 +170,9 @@ size_t Server::count_active_pipelines() {
 
 bool Server::drain(std::chrono::milliseconds timeout) {
   if (!launched_.load() || stopping_.load()) return true;
+  // Visible to the admin endpoint immediately: /healthz flips to 503 so
+  // upstream health checks stop routing here while we finish in-flight work.
+  draining_.store(true, std::memory_order_relaxed);
   // Step 1: no new connections.
   {
     std::promise<void> done;
@@ -206,27 +210,44 @@ void Server::on_accept(net::TcpSocket socket) {
     note_event(EventKind::kAccept, 0, "rejected-max-connections");
     return;  // socket destructor sends RST/close
   }
+  std::string ip_key;
+  if (options_.max_connections_per_ip != 0) {
+    if (auto addr = socket.peer_address(); addr.is_ok()) {
+      ip_key = addr.value().host();
+      std::lock_guard lock(ip_counts_mutex_);
+      auto& count = ip_counts_[ip_key];
+      if (count >= options_.max_connections_per_ip) {
+        if (options_.profiling) profiler_.count_per_ip_reject();
+        note_event(EventKind::kAccept, 0, "rejected-per-ip-cap");
+        return;  // socket destructor sends RST/close
+      }
+      ++count;
+    }
+  }
   const size_t shard_index =
       next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
   if (options_.profiling) profiler_.count_accept();
   if (shard_index == 0) {
-    add_connection(0, std::move(socket));
+    add_connection(0, std::move(socket), std::move(ip_key));
   } else {
     // Hand the socket to its shard's dispatcher thread.
     auto* raw = new net::TcpSocket(std::move(socket));
-    shards_[shard_index]->reactor->post([this, shard_index, raw] {
-      net::TcpSocket sock(std::move(*raw));
-      delete raw;
-      add_connection(shard_index, std::move(sock));
-    });
+    shards_[shard_index]->reactor->post(
+        [this, shard_index, raw, ip_key = std::move(ip_key)]() mutable {
+          net::TcpSocket sock(std::move(*raw));
+          delete raw;
+          add_connection(shard_index, std::move(sock), std::move(ip_key));
+        });
   }
 }
 
-uint64_t Server::add_connection(size_t shard_index, net::TcpSocket socket) {
+uint64_t Server::add_connection(size_t shard_index, net::TcpSocket socket,
+                                std::string ip_key) {
   const uint64_t id = next_conn_id_.fetch_add(1);
   auto& shard = *shards_[shard_index];
   auto conn = std::make_shared<Connection>(*this, *shard.reactor,
                                            std::move(socket), id, shard_index);
+  conn->ip_key_ = std::move(ip_key);
   shard.connections.emplace(id, conn);
   if (options_.stats_export != StatsExport::kNone) {
     std::lock_guard lock(conn_registry_mutex_);
@@ -286,6 +307,11 @@ void Server::remove_connection(Connection& conn) {
   }
   if (shard.connections.erase(conn.id()) > 0) {
     num_connections_.fetch_sub(1);
+    if (!conn.ip_key_.empty()) {
+      std::lock_guard lock(ip_counts_mutex_);
+      auto it = ip_counts_.find(conn.ip_key_);
+      if (it != ip_counts_.end() && --it->second == 0) ip_counts_.erase(it);
+    }
     if (options_.profiling) profiler_.count_close();
     if (options_.logging) {
       COPS_INFO("closed connection " << conn.id());
@@ -482,11 +508,14 @@ void Server::housekeeping() {
       case OverloadController::Decision::kNoChange:
         break;
     }
+    // Shed tier (O9): mirror the controller's decision into the atomic the
+    // worker threads read through RequestContext::should_shed().
+    shedding_.store(overload_->should_shed(), std::memory_order_relaxed);
   }
 
   if (controller_) controller_->tick();
 
-  if (options_.shutdown_long_idle) {
+  if (options_.shutdown_long_idle || options_.header_read_timeout.count() > 0) {
     reap_idle(*shards_[0]);
     for (size_t i = 1; i < shards_.size(); ++i) {
       auto* shard = shards_[i].get();
@@ -499,12 +528,28 @@ void Server::housekeeping() {
 }
 
 void Server::reap_idle(Shard& shard) {
-  const auto deadline = now() - options_.idle_timeout;
+  const auto idle_deadline = now() - options_.idle_timeout;
+  const bool slowloris = options_.header_read_timeout.count() > 0;
+  const auto partial_deadline = now() - options_.header_read_timeout;
   std::vector<std::shared_ptr<Connection>> idle;
+  std::vector<std::shared_ptr<Connection>> stalled;
   for (auto& [id, conn] : shard.connections) {
-    if (!conn->pipeline_active() && conn->last_activity() < deadline) {
+    if (conn->pipeline_active()) continue;
+    // Slowloris defense: a connection stuck mid-request is judged against
+    // the (shorter) header_read_timeout from the moment the partial request
+    // began — last_activity() is irrelevant, since drip-feeding refreshes it.
+    if (slowloris && conn->partial_since() != TimePoint{} &&
+        conn->partial_since() < partial_deadline) {
+      stalled.push_back(conn);
+      continue;
+    }
+    if (options_.shutdown_long_idle && conn->last_activity() < idle_deadline) {
       idle.push_back(conn);
     }
+  }
+  for (auto& conn : stalled) {
+    if (options_.profiling) profiler_.count_header_timeout();
+    conn->close("header-timeout");
   }
   for (auto& conn : idle) {
     if (options_.profiling) profiler_.count_idle_shutdown();

@@ -68,6 +68,16 @@ class Server {
   [[nodiscard]] const ServerOptions& options() const { return options_; }
   [[nodiscard]] size_t connection_count() const { return num_connections_; }
   [[nodiscard]] bool accepting() const { return !accept_suspended_; }
+  // True once drain() has begun (and until stop completes); /healthz
+  // reports 503 while set so load balancers route around this instance.
+  [[nodiscard]] bool draining() const {
+    return draining_.load(std::memory_order_relaxed);
+  }
+  // True while the O9 shed tier is rejecting requests (overload_shed on and
+  // the overload controller reports overload).
+  [[nodiscard]] bool shedding() const {
+    return shedding_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] ProfilerSnapshot profile() const;
   // Everything the admin endpoint serves, in one consistent grab.
   [[nodiscard]] StatsSnapshot stats_snapshot() const;
@@ -104,7 +114,10 @@ class Server {
 
   // ---- accept path (reactor 0) ------------------------------------------
   void on_accept(net::TcpSocket socket);
-  uint64_t add_connection(size_t shard_index, net::TcpSocket socket);
+  // `ip_key` non-empty = this connection holds a per-IP accounting slot
+  // (accepted with max_connections_per_ip on); released on removal.
+  uint64_t add_connection(size_t shard_index, net::TcpSocket socket,
+                          std::string ip_key = {});
 
   // ---- pipeline steps (processor threads unless O2 = No) -----------------
   void submit_decode(const std::shared_ptr<Connection>& conn);
@@ -154,6 +167,12 @@ class Server {
   mutable std::mutex conn_registry_mutex_;
   std::unordered_map<uint64_t, std::weak_ptr<Connection>> conn_registry_;
 
+  // Per-client-IP open-connection counts (max_connections_per_ip).  Bumped
+  // on the accept path (reactor 0) and released on whichever shard thread
+  // closes the connection — hence the lock.
+  std::mutex ip_counts_mutex_;
+  std::unordered_map<std::string, size_t> ip_counts_;
+
   uint16_t port_ = 0;
   uint16_t admin_port_ = 0;
   std::atomic<uint64_t> next_conn_id_{1};
@@ -162,6 +181,11 @@ class Server {
   std::atomic<bool> started_{false};
   std::atomic<bool> launched_{false};  // dispatcher threads are running
   std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};  // drain() began; admin healthz → 503
+  // Mirror of the overload controller's shed decision, updated by
+  // housekeeping (reactor 0) and read by worker threads via
+  // RequestContext::should_shed(): atomic, not a plain bool.
+  std::atomic<bool> shedding_{false};
   // Written by housekeeping on the reactor-0 thread, read cross-thread via
   // accepting() (tests, admin endpoint): atomic, not a plain bool.
   std::atomic<bool> accept_suspended_{false};

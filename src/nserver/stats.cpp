@@ -119,9 +119,18 @@ std::string render_prometheus(const StatsSnapshot& s) {
   append_metric(out, "nserver_idle_shutdowns_total", "counter",
                 "Connections reaped by the idle timer (O7).",
                 c.idle_shutdowns);
+  append_metric(out, "nserver_header_timeouts_total", "counter",
+                "Connections reaped mid-request by the slowloris timer.",
+                c.header_timeouts);
   append_metric(out, "nserver_overload_suspensions_total", "counter",
                 "Acceptor suspensions by the overload controller (O9).",
                 c.overload_suspensions);
+  append_metric(out, "nserver_requests_shed_total", "counter",
+                "Requests answered 503 by the overload shed tier (O9).",
+                c.requests_shed);
+  append_metric(out, "nserver_per_ip_rejections_total", "counter",
+                "Accepts rejected by the per-IP connection cap.",
+                c.per_ip_rejections);
   append_metric(out, "nserver_connections_open", "gauge",
                 "Currently open connections.", s.connections_open);
   append_metric(out, "nserver_processor_queue_depth", "gauge",
@@ -170,7 +179,10 @@ std::string render_json(const StatsSnapshot& s) {
   append_json_field(out, "decode_errors", c.decode_errors);
   append_json_field(out, "events_processed", c.events_processed);
   append_json_field(out, "idle_shutdowns", c.idle_shutdowns);
+  append_json_field(out, "header_timeouts", c.header_timeouts);
   append_json_field(out, "overload_suspensions", c.overload_suspensions);
+  append_json_field(out, "requests_shed", c.requests_shed);
+  append_json_field(out, "per_ip_rejections", c.per_ip_rejections);
   append_json_field(out, "connections_open", s.connections_open);
   append_json_field(out, "queue_depth", s.queue_depth);
   append_json_field(out, "processor_threads", s.processor_threads);

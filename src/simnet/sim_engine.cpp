@@ -22,7 +22,8 @@ constexpr std::chrono::seconds kRunWallTimeout{120};
 void SimClient::connect(uint16_t port) {
   SimEngine::Lock lock(engine_->mutex_);
   auto listener = engine_->listeners_.find(port);
-  if (listener == engine_->listeners_.end() || listener->second.closed) {
+  if (listener == engine_->listeners_.end() || listener->second.closed ||
+      listener->second.killed) {
     engine_->record_locked("connect-refused port=" + std::to_string(port));
     engine_->failures_.push_back("connect refused: port " +
                                  std::to_string(port) + " not listening");
@@ -112,6 +113,7 @@ SimEngine::~SimEngine() {
   }
   cv_run_.notify_all();
   cv_done_.notify_all();
+  cv_sched_.notify_all();
   net::uninstall_sim_backend();
   simclock::uninstall();
 }
@@ -209,6 +211,12 @@ void SimEngine::deliver_locked() {
   }
 }
 
+void SimEngine::halt_locked() {
+  running_ = false;
+  cv_done_.notify_all();
+  cv_sched_.notify_all();  // wake parked pollers so they can notice
+}
+
 void SimEngine::check_done_locked() {
   if (!running_ || done_ || timed_out_) return;
   if (!script_.empty()) return;
@@ -218,8 +226,7 @@ void SimEngine::check_done_locked() {
     }
   }
   done_ = true;
-  running_ = false;
-  cv_done_.notify_all();
+  halt_locked();
 }
 
 void SimEngine::advance_to_locked(int64_t target_ns) {
@@ -227,8 +234,7 @@ void SimEngine::advance_to_locked(int64_t target_ns) {
   simclock::set_ns(target_ns);
   if (running_ && !done_ && target_ns >= deadline_ns_) {
     timed_out_ = true;
-    running_ = false;
-    cv_done_.notify_all();
+    halt_locked();
   }
 }
 
@@ -248,7 +254,7 @@ bool SimEngine::run(Duration virtual_deadline) {
     record_locked("FAIL run() wall-clock timeout (no virtual progress)");
     failures_.push_back("run() wall-clock timeout (no virtual progress)");
   }
-  running_ = false;
+  halt_locked();
   return done_;
 }
 
@@ -293,16 +299,100 @@ Result<int> SimEngine::sim_listen(const net::InetAddress& addr, int backlog) {
     return Status::invalid_argument("simnet: port already listening");
   }
   const int fd = next_fd_++;
-  listeners_[port] = Listener{fd, port, backlog, false, {}};
-  fds_[fd] = FdEntry{true, -1, port};
+  listeners_[port] = Listener{fd, port, backlog, false, false, {}};
+  fds_[fd] = FdEntry{true, false, -1, port};
   record_locked("listen fd=" + std::to_string(fd) +
                 " port=" + std::to_string(port));
   return fd;
 }
 
-Result<int> SimEngine::sim_connect(const net::InetAddress& /*peer*/) {
-  return Status::unavailable(
-      "simnet: outbound TcpSocket::connect is not simulated");
+Result<int> SimEngine::sim_connect(const net::InetAddress& peer) {
+  Lock lock(mutex_);
+  const uint16_t port = peer.port();
+  if (stalled_ports_.count(port) != 0) {
+    // SYN blackhole: hand out an fd that never becomes writable.
+    auto channel = std::make_unique<Channel>();
+    channel->id = next_channel_++;
+    channel->listen_port = port;
+    channel->client_port = next_client_port_++;
+    channel->established = false;
+    const int fd = next_fd_++;
+    channel->initiator_fd = fd;
+    fds_[fd] = FdEntry{false, true, channel->id, 0};
+    record_locked("connect-stall fd=" + std::to_string(fd) +
+                  " port=" + std::to_string(port));
+    channels_.emplace(channel->id, std::move(channel));
+    return fd;
+  }
+  auto listener = listeners_.find(port);
+  if (listener == listeners_.end() || listener->second.closed ||
+      listener->second.killed) {
+    record_locked("connect-refused port=" + std::to_string(port));
+    return Status::unavailable("simnet: connection refused");
+  }
+  if (listener->second.pending.size() >=
+      static_cast<size_t>(listener->second.backlog)) {
+    record_locked("connect-overflow port=" + std::to_string(port));
+    return Status::unavailable("simnet: accept queue full");
+  }
+  auto channel = std::make_unique<Channel>();
+  channel->id = next_channel_++;
+  channel->listen_port = port;
+  channel->client_port = next_client_port_++;
+  const int fd = next_fd_++;
+  channel->initiator_fd = fd;
+  fds_[fd] = FdEntry{false, true, channel->id, 0};
+  listener->second.pending.push_back(channel->id);
+  record_locked("connect fd=" + std::to_string(fd) +
+                " ch=" + std::to_string(channel->id) +
+                " port=" + std::to_string(port));
+  channels_.emplace(channel->id, std::move(channel));
+  return fd;
+}
+
+// ---- per-endpoint fault targeting -------------------------------------------
+
+void SimEngine::reset_channel_locked(Channel& ch) {
+  ch.c2s.reset = true;
+  ch.s2c.reset = true;
+  ch.c2s.buf.clear();
+  ch.s2c.buf.clear();
+}
+
+void SimEngine::kill_port(uint16_t port) {
+  Lock lock(mutex_);
+  record_locked("kill port=" + std::to_string(port));
+  if (auto it = listeners_.find(port); it != listeners_.end()) {
+    it->second.killed = true;
+    it->second.pending.clear();
+  }
+  for (auto& [id, ch_ptr] : channels_) {
+    Channel& ch = *ch_ptr;
+    if (ch.listen_port != port) continue;
+    if (ch.c2s.reset && ch.s2c.reset) continue;  // already dead
+    reset_channel_locked(ch);
+    record_locked("rst ch=" + std::to_string(id));
+  }
+}
+
+void SimEngine::revive_port(uint16_t port) {
+  Lock lock(mutex_);
+  record_locked("revive port=" + std::to_string(port));
+  if (auto it = listeners_.find(port); it != listeners_.end()) {
+    it->second.killed = false;
+  }
+}
+
+void SimEngine::stall_connects(uint16_t port, bool stalled) {
+  Lock lock(mutex_);
+  record_locked((stalled ? std::string("stall port=")
+                         : std::string("unstall port=")) +
+                std::to_string(port));
+  if (stalled) {
+    stalled_ports_.insert(port);
+  } else {
+    stalled_ports_.erase(port);
+  }
 }
 
 // ---- SimBackend: socket ops -------------------------------------------------
@@ -322,7 +412,7 @@ net::SysResult SimEngine::sim_accept(int listen_fd) {
   Channel& ch = *channels_.at(channel);
   const int fd = next_fd_++;
   ch.server_fd = fd;
-  fds_[fd] = FdEntry{false, channel, 0};
+  fds_[fd] = FdEntry{false, false, channel, 0};
   record_locked("accept fd=" + std::to_string(fd) +
                 " ch=" + std::to_string(channel));
   return {fd, 0};
@@ -330,9 +420,15 @@ net::SysResult SimEngine::sim_accept(int listen_fd) {
 
 net::SysResult SimEngine::sim_read(int fd, void* buf, size_t len) {
   Lock lock(mutex_);
+  auto entry = fds_.find(fd);
+  if (entry == fds_.end() || entry->second.is_listener) return {-1, EBADF};
+  const bool initiator = entry->second.initiator;
   Channel* ch = channel_of_fd_locked(fd);
-  if (ch == nullptr || ch->server_closed) return {-1, EBADF};
-  Pipe& pipe = ch->c2s;
+  if (ch == nullptr) return {-1, EBADF};
+  if (initiator ? ch->initiator_closed : ch->server_closed) return {-1, EBADF};
+  // The initiator end reads what the server wrote; the server end reads
+  // what the client/initiator wrote.
+  Pipe& pipe = initiator ? ch->s2c : ch->c2s;
   if (pipe.reset) {
     record_locked("read-rst fd=" + std::to_string(fd));
     return {-1, ECONNRESET};
@@ -364,14 +460,22 @@ net::SysResult SimEngine::sim_read(int fd, void* buf, size_t len) {
 
 net::SysResult SimEngine::sim_write(int fd, const void* buf, size_t len) {
   Lock lock(mutex_);
+  auto entry = fds_.find(fd);
+  if (entry == fds_.end() || entry->second.is_listener) return {-1, EBADF};
+  const bool initiator = entry->second.initiator;
   Channel* ch = channel_of_fd_locked(fd);
-  if (ch == nullptr || ch->server_closed) return {-1, EBADF};
-  Pipe& pipe = ch->s2c;
+  if (ch == nullptr) return {-1, EBADF};
+  if (initiator ? ch->initiator_closed : ch->server_closed) return {-1, EBADF};
+  Pipe& pipe = initiator ? ch->c2s : ch->s2c;
   if (pipe.reset) {
     record_locked("write-rst fd=" + std::to_string(fd));
     return {-1, ECONNRESET};
   }
-  if (ch->client != nullptr && ch->client->closed_) {
+  const bool peer_gone =
+      initiator ? ch->server_closed
+                : (ch->client != nullptr ? ch->client->closed_
+                                         : ch->initiator_closed);
+  if (peer_gone) {
     record_locked("write-epipe fd=" + std::to_string(fd));
     return {-1, EPIPE};
   }
@@ -395,9 +499,11 @@ net::SysResult SimEngine::sim_write(int fd, const void* buf, size_t len) {
 
 void SimEngine::sim_shutdown_write(int fd) {
   Lock lock(mutex_);
+  auto entry = fds_.find(fd);
+  if (entry == fds_.end() || entry->second.is_listener) return;
   Channel* ch = channel_of_fd_locked(fd);
   if (ch == nullptr) return;
-  ch->s2c.eof = true;
+  (entry->second.initiator ? ch->c2s : ch->s2c).eof = true;
   record_locked("shutdown-write fd=" + std::to_string(fd));
 }
 
@@ -413,7 +519,16 @@ void SimEngine::sim_close(int fd) {
     }
   } else if (auto ch = channels_.find(it->second.channel);
              ch != channels_.end()) {
-    close_server_side_locked(*ch->second);
+    if (it->second.initiator) {
+      if (!ch->second->initiator_closed) {
+        ch->second->initiator_closed = true;
+        ch->second->c2s.eof = true;  // FIN towards the server
+        record_locked("close fd=" + std::to_string(fd) +
+                      " ch=" + std::to_string(ch->second->id));
+      }
+    } else {
+      close_server_side_locked(*ch->second);
+    }
   }
   fds_.erase(it);
   for (auto& [poller, interests] : pollers_) interests.erase(fd);
@@ -428,13 +543,27 @@ Result<net::InetAddress> SimEngine::sim_local_address(int fd) {
   }
   Channel* ch = channel_of_fd_locked(fd);
   if (ch == nullptr) return Status::invalid_argument("simnet: bad fd");
+  if (it->second.initiator) {
+    return net::InetAddress::loopback(ch->client_port);
+  }
   return net::InetAddress::loopback(ch->listen_port);
 }
 
 Result<net::InetAddress> SimEngine::sim_peer_address(int fd) {
   Lock lock(mutex_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end() || it->second.is_listener) {
+    return Status::invalid_argument("simnet: bad fd");
+  }
   Channel* ch = channel_of_fd_locked(fd);
   if (ch == nullptr) return Status::invalid_argument("simnet: bad fd");
+  if (it->second.initiator) {
+    return net::InetAddress::loopback(ch->listen_port);
+  }
+  if (ch->client == nullptr) {
+    // Internal (in-process) peer: the initiator's ephemeral loopback port.
+    return net::InetAddress::loopback(ch->client_port);
+  }
   auto addr = net::InetAddress::parse("10.0.0.1", ch->client_port);
   if (!addr.is_ok()) return addr.status();
   return addr.value();
@@ -444,6 +573,7 @@ Result<net::InetAddress> SimEngine::sim_peer_address(int fd) {
 
 Status SimEngine::sim_poll_add(const void* poller, int fd, uint32_t interest) {
   Lock lock(mutex_);
+  note_poller_locked(poller);
   auto& interests = pollers_[poller];
   if (!interests.emplace(fd, interest).second) {
     return Status::invalid_argument("simnet: fd already registered");
@@ -489,17 +619,94 @@ void SimEngine::collect_ready_locked(const void* poller,
       continue;
     }
     Channel* ch = channel_of_fd_locked(fd);
-    if (ch == nullptr || ch->server_closed) continue;
+    if (ch == nullptr) continue;
     uint32_t events = 0;
-    if ((interest & net::kReadable) != 0 &&
-        (!ch->c2s.buf.empty() || ch->c2s.eof || ch->c2s.reset)) {
-      events |= net::kReadable;
-    }
-    if ((interest & net::kWritable) != 0 &&
-        (ch->s2c.reset || ch->s2c.buf.size() < plan_.channel_capacity)) {
-      events |= net::kWritable;
+    if (entry->second.initiator) {
+      if (ch->initiator_closed) continue;
+      // A pending (stalled) connect is neither readable nor writable —
+      // unless it was reset, which completes the connect with an error.
+      if (!ch->established && !ch->c2s.reset && !ch->s2c.reset) continue;
+      if ((interest & net::kReadable) != 0 &&
+          (!ch->s2c.buf.empty() || ch->s2c.eof || ch->s2c.reset)) {
+        events |= net::kReadable;
+      }
+      if ((interest & net::kWritable) != 0 &&
+          (ch->c2s.reset || ch->c2s.buf.size() < plan_.channel_capacity)) {
+        events |= net::kWritable;
+      }
+    } else {
+      if (ch->server_closed) continue;
+      if ((interest & net::kReadable) != 0 &&
+          (!ch->c2s.buf.empty() || ch->c2s.eof || ch->c2s.reset)) {
+        events |= net::kReadable;
+      }
+      if ((interest & net::kWritable) != 0 &&
+          (ch->s2c.reset || ch->s2c.buf.size() < plan_.channel_capacity)) {
+        events |= net::kWritable;
+      }
     }
     if (events != 0) out.push_back({fd, events});
+  }
+}
+
+bool SimEngine::has_ready_locked(const void* poller) {
+  std::vector<net::ReadyFd> scratch;
+  collect_ready_locked(poller, scratch);
+  return !scratch.empty();
+}
+
+void SimEngine::note_poller_locked(const void* poller) {
+  if (slots_.count(poller) != 0) return;
+  slots_[poller] = PollerSlot{};
+  poller_order_.push_back(poller);
+}
+
+// Grants exactly one parked poller once every known poller is parked.
+// Whichever thread happens to run this loop is irrelevant: every decision
+// depends only on engine state (registration order, fd readiness, virtual
+// deadlines), so the grant sequence replays bit-identically per seed.
+void SimEngine::schedule_locked() {
+  if (token_holder_ != nullptr) return;
+  for (const void* p : poller_order_) {
+    if (!slots_[p].waiting) return;  // someone is still active
+  }
+  while (running_ && !shutdown_) {
+    fire_due_locked();
+    deliver_locked();
+    check_done_locked();
+    if (!running_) return;
+    const int64_t now = now_ns_locked();
+    const size_t n = poller_order_.size();
+    for (size_t i = 0; i < n; ++i) {
+      const size_t idx = (rr_next_ + i) % n;
+      const void* p = poller_order_[idx];
+      auto& slot = slots_[p];
+      if (has_ready_locked(p) || slot.deadline_ns <= now) {
+        slot.granted = true;
+        token_holder_ = p;
+        rr_next_ = (idx + 1) % n;
+        cv_sched_.notify_all();
+        return;
+      }
+    }
+    // Nothing ready anywhere: advance virtual time to the next interesting
+    // instant — the next scripted action, the earliest parked poll deadline
+    // (i.e. some reactor's next timer), or the run deadline.
+    int64_t target = deadline_ns_;
+    if (!script_.empty()) {
+      target = std::min(target, script_.begin()->first.first);
+    }
+    for (const void* p : poller_order_) {
+      target = std::min(target, slots_[p].deadline_ns);
+    }
+    if (target <= now) {
+      // Every earlier candidate was consumed above, so only the run
+      // deadline remains — the scenario ran out of virtual time.
+      timed_out_ = true;
+      halt_locked();
+      return;
+    }
+    advance_to_locked(target);
   }
 }
 
@@ -507,7 +714,15 @@ size_t SimEngine::sim_poll_wait(const void* poller,
                                 std::vector<net::ReadyFd>& out,
                                 int timeout_ms) {
   Lock lock(mutex_);
+  if (token_holder_ == poller) token_holder_ = nullptr;
   if (shutdown_) return 0;
+  if (slots_.count(poller) == 0) {
+    // A poller with no registered sim fds (e.g. a reactor thread that has
+    // not set up yet) cannot affect the simulated world; idle briefly in
+    // real time so it neither blocks scheduling nor spins.
+    cv_run_.wait_for(lock, std::chrono::milliseconds(1));
+    return 0;
+  }
   if (!running_) {
     // Paused (pre-run, or the scenario finished): idle briefly in *real*
     // time with the virtual clock frozen, so the pre-run state is
@@ -517,27 +732,39 @@ size_t SimEngine::sim_poll_wait(const void* poller,
     }
     if (!running_ || shutdown_) return 0;
   }
-  fire_due_locked();
-  deliver_locked();
-  collect_ready_locked(poller, out);
-  if (!out.empty()) return out.size();
-  check_done_locked();
-  if (timeout_ms == 0 || !running_) return 0;
-  // Nothing ready: advance virtual time to the next interesting instant —
-  // the next scripted action, capped by the caller's timer-derived timeout
-  // and the run deadline — instead of sleeping.
-  int64_t target = now_ns_locked() + static_cast<int64_t>(timeout_ms) * 1'000'000;
-  if (!script_.empty()) {
-    target = std::min(target, script_.begin()->first.first);
+  if (timeout_ms == 0) {
+    // Non-blocking probe: issued by the thread that is currently running
+    // (pending user events or due timers), which is the token holder.  It
+    // keeps the token and handles what is ready without a scheduling round.
+    fire_due_locked();
+    deliver_locked();
+    collect_ready_locked(poller, out);
+    token_holder_ = poller;
+    if (out.empty()) check_done_locked();
+    return out.size();
   }
-  target = std::min(target, deadline_ns_);
-  advance_to_locked(target);
+  auto& slot = slots_[poller];
+  slot.waiting = true;
+  slot.granted = false;
+  const int64_t horizon =
+      timeout_ms < 0 ? deadline_ns_
+                     : now_ns_locked() +
+                           static_cast<int64_t>(timeout_ms) * 1'000'000;
+  slot.deadline_ns = horizon;
+  schedule_locked();
+  cv_sched_.wait(lock,
+                 [this, &slot] { return slot.granted || !running_ || shutdown_; });
+  slot.waiting = false;
+  slot.granted = false;
+  if (!running_ || shutdown_) return 0;
+  // We hold the token now: fire whatever is due at this instant and report
+  // readiness; the reactor dispatches, then re-enters to hand the token back.
+  token_holder_ = poller;
   fire_due_locked();
   deliver_locked();
   collect_ready_locked(poller, out);
-  if (!out.empty()) return out.size();
-  check_done_locked();
-  return 0;
+  if (out.empty()) check_done_locked();
+  return out.size();
 }
 
 }  // namespace cops::simnet

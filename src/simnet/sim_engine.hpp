@@ -15,12 +15,16 @@
 //     RST-on-write, slow-peer stalls, and accept bursts *underneath* the
 //     production retry logic, which is exactly the code being tested.
 //
-// Determinism contract: configure the server with one dispatcher and no
+// Determinism contract: configure each server with one dispatcher and no
 // separate processor pool (see deterministic_options() in sim_harness.hpp).
-// Everything then executes on the single reactor thread, which enters the
-// engine through Poller::wait; scripted client actions and deliveries run
-// inside that call.  The test thread only sets up the script, calls run(),
-// and inspects results afterwards.
+// Everything then executes on reactor threads, which enter the engine
+// through Poller::wait; scripted client actions and deliveries run inside
+// that call.  Several reactors (e.g. a load balancer plus N backend
+// servers) may share one engine: sim_poll_wait parks every reactor and a
+// cooperative scheduler grants exactly one at a time, in registration
+// order, so multi-process cluster scenarios replay bit-identically too.
+// The test thread only sets up the script, calls run(), and inspects
+// results afterwards.
 #pragma once
 
 #include <condition_variable>
@@ -31,6 +35,7 @@
 #include <memory>
 #include <mutex>
 #include <random>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -90,6 +95,20 @@ class SimEngine : public net::SimBackend {
   // Creates an inert client; connect it from a script callback.
   SimClient* new_client();
 
+  // ---- per-endpoint fault targeting (scripts or test thread) -------------
+  // Kills one backend at the network level: every established channel to
+  // `port` is reset (both ends see ECONNRESET) and new connects are refused
+  // until revive_port().  The listener process keeps running — exactly a
+  // machine dropping off the network, which is the failure the cluster
+  // resilience layer must survive without stopping the server object (a
+  // Server::stop() mid-run would join threads parked inside this engine).
+  void kill_port(uint16_t port);
+  void revive_port(uint16_t port);
+  // SYN-blackhole: connects to `port` return an fd but never become
+  // established (never writable), which is what exercises the Connector's
+  // connect deadline rather than its refusal path.
+  void stall_connects(uint16_t port, bool stalled);
+
   // ---- execution (test thread) ------------------------------------------
   // Unpauses the simulation and blocks until it goes quiescent (script
   // drained and every client closed) or `virtual_deadline` of simulated
@@ -139,12 +158,19 @@ class SimEngine : public net::SimBackend {
 
   struct Channel {
     int id = -1;
-    Pipe c2s;  // client -> server
-    Pipe s2c;  // server -> client
+    Pipe c2s;  // client/initiator -> server
+    Pipe s2c;  // server -> client/initiator
     int server_fd = -1;  // -1 until accepted
     uint16_t listen_port = 0;
     uint16_t client_port = 0;
+    // Exactly one of these identifies the active end: a scripted SimClient,
+    // or an in-process initiator fd from sim_connect (client == nullptr).
     SimClient* client = nullptr;
+    int initiator_fd = -1;
+    bool initiator_closed = false;
+    // False only for stalled connects (SYN blackhole): the initiator side
+    // never becomes writable, so connect deadlines fire.
+    bool established = true;
     bool server_closed = false;
     bool client_notified_close = false;
   };
@@ -154,13 +180,22 @@ class SimEngine : public net::SimBackend {
     uint16_t port = 0;
     int backlog = 0;
     bool closed = false;
+    bool killed = false;  // kill_port(): refuse connects until revived
     std::deque<int> pending;  // channel ids awaiting accept
   };
 
   struct FdEntry {
     bool is_listener = false;
-    int channel = -1;   // server-socket fds
+    bool initiator = false;  // active end of an internal sim_connect channel
+    int channel = -1;   // socket fds
     uint16_t port = 0;  // listener fds
+  };
+
+  // One registered poller (reactor thread) parked in sim_poll_wait.
+  struct PollerSlot {
+    bool waiting = false;
+    bool granted = false;
+    int64_t deadline_ns = 0;  // virtual instant its poll timeout expires
   };
 
   using Lock = std::unique_lock<std::recursive_mutex>;
@@ -172,18 +207,28 @@ class SimEngine : public net::SimBackend {
   void deliver_locked();
   void collect_ready_locked(const void* poller,
                             std::vector<net::ReadyFd>& out);
+  [[nodiscard]] bool has_ready_locked(const void* poller);
   void check_done_locked();
   void record_locked(std::string line);
   Channel* channel_of_fd_locked(int fd);
   void close_server_side_locked(Channel& ch);
+  void reset_channel_locked(Channel& ch);
+  void note_poller_locked(const void* poller);
+  // Grants exactly one parked poller (by rotation over registration order)
+  // once every known poller is parked and no poller is active; advances the
+  // virtual clock when nothing is ready.  The single-grant discipline is
+  // what serialises multiple reactor threads deterministically.
+  void schedule_locked();
+  void halt_locked();  // running_ = false + wake everything
 
   const uint64_t seed_;
   const FaultPlan plan_;
   std::mt19937_64 rng_;
 
   mutable std::recursive_mutex mutex_;
-  std::condition_variable_any cv_run_;   // paused pollers wait here
-  std::condition_variable_any cv_done_;  // run() waits here
+  std::condition_variable_any cv_run_;    // pre-run pollers idle here
+  std::condition_variable_any cv_done_;   // run() waits here
+  std::condition_variable_any cv_sched_;  // parked pollers await a grant
 
   bool running_ = false;
   bool done_ = false;
@@ -200,11 +245,23 @@ class SimEngine : public net::SimBackend {
   std::map<int, FdEntry> fds_;
   std::map<int, std::unique_ptr<Channel>> channels_;
   std::map<uint16_t, Listener> listeners_;  // by port
+  std::set<uint16_t> stalled_ports_;
   std::vector<std::unique_ptr<SimClient>> clients_;
   // (virtual ns, insertion seq) -> callback; fired in order.
   std::multimap<std::pair<int64_t, uint64_t>, std::function<void()>> script_;
   // poller instance -> fd -> interest (std::map: deterministic order).
   std::map<const void*, std::map<int, uint32_t>> pollers_;
+
+  // Cooperative multi-reactor scheduling.  poller_order_ is registration
+  // order (deterministic construction order of the servers under test) —
+  // never iterate pollers_ for scheduling decisions; its key order is heap
+  // addresses.  token_holder_ is the one poller allowed to run event
+  // handlers right now; it relinquishes the token by re-entering
+  // sim_poll_wait.
+  std::vector<const void*> poller_order_;
+  std::map<const void*, PollerSlot> slots_;
+  size_t rr_next_ = 0;
+  const void* token_holder_ = nullptr;
 
   std::vector<std::string> trace_;
   std::vector<std::string> failures_;

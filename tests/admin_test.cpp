@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "http/http_server.hpp"
 #include "loadgen/http_client.hpp"
@@ -174,6 +177,109 @@ TEST_F(AdminFixture, LoadgenScrapeMatchesObservedResponses) {
   EXPECT_GE(replies, static_cast<long>(stats.total_responses));
   EXPECT_GE(metric_value(stats.admin_stats_text, "nserver_requests_total"),
             static_cast<long>(stats.total_responses));
+}
+
+TEST_F(AdminFixture, HealthzReturns503WhileDraining) {
+  // An in-flight request (slowed by decode_delay) holds the drain open long
+  // enough to observe the admin endpoint report it: /healthz must flip to
+  // 503 "draining" the moment drain() starts, which is what upstream load
+  // balancer health checks key off to stop routing new sessions here.
+  auto options = admin_options();
+  options.processor_threads = 1;
+  HttpServerConfig config;
+  config.decode_delay = std::chrono::milliseconds(400);
+  start_server(options, std::move(config));
+
+  const auto before = test::http_get(admin_port_, "/healthz");
+  EXPECT_NE(before.find("200 OK"), std::string::npos);
+
+  test::BlockingClient slow;
+  ASSERT_TRUE(slow.connect("127.0.0.1", port_));
+  ASSERT_TRUE(slow.send_all(
+      "GET /index.html HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::thread drainer([this] {
+    EXPECT_TRUE(server_->server().drain(std::chrono::seconds(5)));
+  });
+  // The drain flag is visible immediately, while the request is in flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const auto during = test::http_get(admin_port_, "/healthz");
+  EXPECT_NE(during.find("503"), std::string::npos) << during;
+  EXPECT_NE(during.find("draining"), std::string::npos) << during;
+  drainer.join();
+
+  // The in-flight request was allowed to finish (graceful, not abrupt) —
+  // drain() ends in stop(), so the admin endpoint is gone afterwards, but
+  // the slow client's response was written before the connection wound down.
+  EXPECT_NE(slow.read_some().find("200 OK"), std::string::npos);
+}
+
+TEST_F(AdminFixture, OverloadShedReturns503WithRetryAfter) {
+  // O9 shed tier: while the processor queue is saturated the server answers
+  // with an explicit 503 + Retry-After instead of only suspending accept,
+  // and /healthz reports the overload — both visible, countable signals for
+  // an upstream balancer's passive ejection.
+  auto options = admin_options();
+  options.overload_control = true;
+  options.overload_shed = true;
+  options.queue_high_watermark = 3;
+  options.queue_low_watermark = 1;
+  options.housekeeping_interval = std::chrono::milliseconds(10);
+  options.processor_threads = 1;
+  HttpServerConfig config;
+  config.decode_delay = std::chrono::milliseconds(10);
+  start_server(options, std::move(config));
+
+  // Flood: 8 connections, each with 6 pipelined requests (the last one
+  // Connection: close so readers below terminate on EOF).  48 requests at
+  // 10ms decode each keep the single processor saturated for ~500ms.
+  const std::string keep =
+      "GET /index.html HTTP/1.1\r\nHost: t\r\nConnection: keep-alive\r\n\r\n";
+  const std::string last =
+      "GET /index.html HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+  std::vector<std::unique_ptr<test::BlockingClient>> flooders;
+  for (int i = 0; i < 8; ++i) {
+    auto client = std::make_unique<test::BlockingClient>();
+    ASSERT_TRUE(client->connect("127.0.0.1", port_));
+    std::string burst;
+    for (int r = 0; r < 5; ++r) burst += keep;
+    burst += last;
+    ASSERT_TRUE(client->send_all(burst));
+    flooders.push_back(std::move(client));
+  }
+
+  // Wait for the overload controller to trip…
+  bool suspended = false;
+  for (int i = 0; i < 2000 && !suspended; ++i) {
+    suspended = !server_->server().accepting();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(suspended);
+  // …and the admin health check reports it while the backlog lasts.
+  const auto health = test::http_get(admin_port_, "/healthz");
+  EXPECT_NE(health.find("503"), std::string::npos) << health;
+  EXPECT_NE(health.find("overloaded"), std::string::npos) << health;
+
+  // Some pipelined requests were answered with the shed response.
+  bool saw_shed_response = false;
+  for (auto& client : flooders) {
+    const auto raw = client->read_some(0, 5000);
+    if (raw.find("503 Service Unavailable") != std::string::npos &&
+        raw.find("Retry-After: 1") != std::string::npos) {
+      saw_shed_response = true;
+    }
+  }
+  EXPECT_TRUE(saw_shed_response);
+  flooders.clear();
+
+  const auto shed = server_->server().profile().requests_shed;
+  EXPECT_GT(shed, 0u);
+  // The counter is exported through /stats.
+  const auto response = test::http_get(admin_port_, "/stats");
+  const auto body = response.substr(response.find("\r\n\r\n") + 4);
+  EXPECT_EQ(metric_value(body, "nserver_requests_shed_total"),
+            static_cast<long>(shed));
 }
 
 TEST_F(AdminFixture, AdminSurvivesManyScrapes) {
