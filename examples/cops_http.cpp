@@ -23,6 +23,7 @@ void usage() {
       "          [--cache lru|lfu|lru-min|lru-threshold|hyper-g|none]\n"
       "          [--cache-mb N] [--scheduling] [--overload] [--idle-ms N]\n"
       "          [--auto-index] [--debug] [--profiling] [--logging]\n"
+      "          [--send-path copy|writev|sendfile] [--sendfile-min BYTES]\n"
       "          [--admin] [--admin-port N] [--run-seconds N]");
 }
 
@@ -88,6 +89,14 @@ int main(int argc, char** argv) {
       options.profiling = true;
       options.stats_export = cops::nserver::StatsExport::kAdminHttp;
       options.admin_port = static_cast<uint16_t>(std::atoi(next()));
+    } else if (arg == "--send-path") {
+      const std::string mode = next();
+      options.send_path = mode == "copy" ? cops::nserver::SendPath::kCopy
+                          : mode == "sendfile"
+                              ? cops::nserver::SendPath::kSendfile
+                              : cops::nserver::SendPath::kWritev;
+    } else if (arg == "--sendfile-min") {
+      options.sendfile_min_bytes = static_cast<size_t>(std::atol(next()));
     } else if (arg == "--logging") {
       options.logging = true;
     } else if (arg == "--run-seconds") {

@@ -365,6 +365,9 @@ nserver::ServerOptions CopsFtpServer::default_options() {
   options.mode = nserver::ServerMode::kProduction;                  // O10
   options.profiling = false;                                        // O11
   options.logging = false;                                          // O12
+  // Control-channel replies are short strings; FTP data transfers run on a
+  // separate blocking connection, so the copy path costs nothing here.
+  options.send_path = nserver::SendPath::kCopy;
   return options;
 }
 

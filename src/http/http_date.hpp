@@ -13,6 +13,10 @@
 
 namespace cops::http {
 
+// IMF-fixdate is fixed-width: "Sun, 06 Nov 1994 08:49:37 GMT" is always
+// 29 bytes.  Lets the serializer reserve exactly.
+inline constexpr std::size_t kHttpDateLength = 29;
+
 // Formats a UNIX timestamp; `now_http_date()` uses the current time (cached
 // per second — a Date header is emitted on every reply, and formatting on
 // the hot path would be a measurable cost).

@@ -178,6 +178,30 @@ std::string HttpAppHooks::encode(nserver::RequestContext& /*ctx*/,
   return std::any_cast<HttpResponse>(std::move(response)).serialize();
 }
 
+EncodedReply HttpAppHooks::encode_reply(nserver::RequestContext& ctx,
+                                                 std::any response) {
+  responses_.fetch_add(1, std::memory_order_relaxed);
+  const HttpResponse resp = std::any_cast<HttpResponse>(std::move(response));
+  // Inline bodies (errors, listings, 304s) and HEAD replies are small; one
+  // flat buffer is the right shape for them on every send path.
+  if (ctx.send_path() == nserver::SendPath::kCopy || resp.head_only ||
+      !resp.file || resp.file->size() == 0) {
+    return EncodedReply::from_string(resp.serialize());
+  }
+  EncodedReply reply;
+  reply.add_owned(resp.serialize_headers());
+  if (resp.file->fd >= 0) {
+    // Large uncached file opened for sendfile: the kernel moves the bytes.
+    reply.add_file(resp.file, resp.file->fd, 0, resp.file->fd_size);
+  } else {
+    // Cached file: gather the cache's bytes directly — no body copy.  The
+    // FileDataPtr keepalive pins the snapshot past cache eviction.
+    reply.add_shared(resp.file, resp.file->bytes.data(),
+                     resp.file->bytes.size());
+  }
+  return reply;
+}
+
 nserver::ServerOptions CopsHttpServer::default_options() {
   nserver::ServerOptions options;
   options.dispatcher_threads = 1;                                  // O1
@@ -194,6 +218,7 @@ nserver::ServerOptions CopsHttpServer::default_options() {
   options.mode = nserver::ServerMode::kProduction;                 // O10
   options.profiling = false;                                       // O11
   options.logging = false;                                         // O12
+  options.send_path = nserver::SendPath::kWritev;  // zero-copy reply path
   return options;
 }
 

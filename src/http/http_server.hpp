@@ -55,6 +55,12 @@ class HttpAppHooks : public nserver::AppHooks {
   void handle(nserver::RequestContext& ctx, std::any request) override;
   std::string encode(nserver::RequestContext& ctx,
                      std::any response) override;
+  // Segment-producing Encode Reply: owned header block + the body as a
+  // refcounted cache slice (send_path=writev) or an open-fd sendfile segment
+  // (send_path=sendfile).  Falls back to one flat buffer for send_path=copy,
+  // HEAD, and inline bodies.
+  EncodedReply encode_reply(nserver::RequestContext& ctx,
+                                     std::any response) override;
 
   [[nodiscard]] uint64_t responses_sent() const { return responses_.load(); }
   [[nodiscard]] const HttpServerConfig& config() const { return config_; }

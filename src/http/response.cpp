@@ -4,23 +4,72 @@
 
 namespace cops::http {
 
-std::string HttpResponse::serialize() const {
+namespace {
+// Case-sensitive compare is fine here: the server itself is the only writer
+// of response headers and uses canonical capitalisation throughout.
+bool header_eq(std::string_view a, std::string_view b) { return a == b; }
+
+size_t digits_of(size_t v) {
+  size_t d = 1;
+  while (v >= 10) {
+    v /= 10;
+    ++d;
+  }
+  return d;
+}
+}  // namespace
+
+void HttpResponse::set_header(std::string name, std::string value) {
+  for (auto& [existing, val] : headers) {
+    if (header_eq(existing, name)) {
+      val = std::move(value);
+      return;
+    }
+  }
+  headers.emplace_back(std::move(name), std::move(value));
+}
+
+const std::string* HttpResponse::find_header(std::string_view name) const {
+  for (const auto& [existing, value] : headers) {
+    if (header_eq(existing, name)) return &value;
+  }
+  return nullptr;
+}
+
+std::string HttpResponse::serialize_headers() const {
+  const std::string status_code = std::to_string(static_cast<int>(status));
+  const std::string_view reason = reason_phrase(status);
+  const bool need_server = find_header("Server") == nullptr;
+  const bool need_date = find_header("Date") == nullptr;
+  const bool need_length = find_header("Content-Length") == nullptr;
+  const size_t length = body_size();
+
+  // Exact byte count: the serialized block must never reallocate.
+  size_t total = 9 /* "HTTP/1.1 " */ + status_code.size() + 1 + reason.size() +
+                 2 /* CRLF */ + 2 /* final CRLF */;
+  if (need_server) total += sizeof("Server: COPS-HTTP/1.0\r\n") - 1;
+  if (need_date) total += 6 /* "Date: " */ + kHttpDateLength + 2;
+  if (need_length) total += 16 /* "Content-Length: " */ + digits_of(length) + 2;
+  for (const auto& [name, value] : headers) {
+    total += name.size() + 2 + value.size() + 2;
+  }
+
   std::string out;
-  out.reserve(256 + (head_only ? 0 : body_size()));
+  out.reserve(total);
   out += "HTTP/1.1 ";
-  out += std::to_string(static_cast<int>(status));
+  out += status_code;
   out += ' ';
-  out += reason_phrase(status);
+  out += reason;
   out += "\r\n";
-  if (headers.count("Server") == 0) out += "Server: COPS-HTTP/1.0\r\n";
-  if (headers.count("Date") == 0) {
+  if (need_server) out += "Server: COPS-HTTP/1.0\r\n";
+  if (need_date) {
     out += "Date: ";
     out += now_http_date();
     out += "\r\n";
   }
-  if (headers.count("Content-Length") == 0) {
+  if (need_length) {
     out += "Content-Length: ";
-    out += std::to_string(body_size());
+    out += std::to_string(length);
     out += "\r\n";
   }
   for (const auto& [name, value] : headers) {
@@ -30,7 +79,14 @@ std::string HttpResponse::serialize() const {
     out += "\r\n";
   }
   out += "\r\n";
+  return out;
+}
+
+std::string HttpResponse::serialize() const {
+  std::string out = serialize_headers();
   if (!head_only) {
+    const size_t body_bytes = file ? file->bytes.size() : body.size();
+    out.reserve(out.size() + body_bytes);
     if (file) {
       out += file->bytes;
     } else {

@@ -1,9 +1,11 @@
 // HTTP response builder (the Encode Reply step's output format).
 #pragma once
 
-#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "http/status_code.hpp"
 #include "nserver/file_io_service.hpp"
@@ -12,21 +14,28 @@ namespace cops::http {
 
 struct HttpResponse {
   StatusCode status = StatusCode::kOk;
-  std::map<std::string, std::string> headers;
+  // Flat vector instead of std::map: a response carries a handful of headers,
+  // and the send path serializes every one — insertion order with linear
+  // replace-or-append beats tree allocation per header.
+  std::vector<std::pair<std::string, std::string>> headers;
   // Body either inline or as a shared file snapshot (zero-copy from cache).
   std::string body;
   cops::nserver::FileDataPtr file;
   bool head_only = false;  // HEAD: emit headers, suppress body bytes
 
-  void set_header(std::string name, std::string value) {
-    headers[std::move(name)] = std::move(value);
-  }
+  void set_header(std::string name, std::string value);
+  [[nodiscard]] const std::string* find_header(std::string_view name) const;
   [[nodiscard]] size_t body_size() const {
     return file ? file->size() : body.size();
   }
 
-  // Serializes status line + headers + body.  Adds Content-Length, Server,
-  // and Date headers if absent.
+  // Serializes status line + headers + the blank separator line.  Adds
+  // Content-Length, Server, and Date headers if absent.  This is the owned
+  // prefix of a segmented reply; the body rides as a refcounted slice.
+  [[nodiscard]] std::string serialize_headers() const;
+
+  // Serializes status line + headers + body into one flat buffer (the
+  // send_path=copy format).  Reserves the exact size up front.
   [[nodiscard]] std::string serialize() const;
 };
 

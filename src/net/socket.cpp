@@ -1,11 +1,14 @@
 #include "net/socket.hpp"
 
+#include <csignal>
 #include <fcntl.h>
 #include <netinet/tcp.h>
+#include <sys/sendfile.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <mutex>
 
 #include "net/transport.hpp"
 
@@ -33,6 +36,36 @@ ssize_t sys_send(int fd, const void* buf, size_t len) {
     return r.n;
   }
   return ::send(fd, buf, len, MSG_NOSIGNAL);
+}
+
+ssize_t sys_writev(int fd, const struct iovec* iov, int iovcnt) {
+  if (is_sim_fd(fd)) [[unlikely]] {
+    const SysResult r = sim_backend()->sim_writev(fd, iov, iovcnt);
+    errno = r.err;
+    return r.n;
+  }
+  // sendmsg rather than writev: scatter-gather with MSG_NOSIGNAL, matching
+  // the EPIPE (not SIGPIPE) semantics of the sys_send path.
+  msghdr msg{};
+  msg.msg_iov = const_cast<struct iovec*>(iov);
+  msg.msg_iovlen = static_cast<size_t>(iovcnt);
+  return ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+}
+
+ssize_t sys_sendfile(int out_fd, int in_fd, uint64_t offset, size_t count) {
+  if (is_sim_fd(out_fd)) [[unlikely]] {
+    const SysResult r = sim_backend()->sim_sendfile(out_fd, in_fd, offset,
+                                                    count);
+    errno = r.err;
+    return r.n;
+  }
+  // sendfile has no MSG_NOSIGNAL equivalent: a peer reset between the poll
+  // and the call would raise SIGPIPE and kill the process.  Ignore it once,
+  // process-wide; every other send path already opts out per call.
+  static std::once_flag sigpipe_once;
+  std::call_once(sigpipe_once, [] { std::signal(SIGPIPE, SIG_IGN); });
+  off_t off = static_cast<off_t>(offset);
+  return ::sendfile(out_fd, in_fd, &off, count);
 }
 
 int sys_accept(int fd) {
@@ -154,6 +187,34 @@ Result<size_t> TcpSocket::write(std::string_view data) {
   if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::would_block();
   if (errno == EPIPE || errno == ECONNRESET) return Status::closed();
   return Status::from_errno("send");
+}
+
+Result<size_t> TcpSocket::writev(const struct iovec* iov, int iovcnt) {
+  ssize_t n;
+  do {
+    n = sys_writev(fd_.get(), iov, iovcnt);
+  } while (n < 0 && errno == EINTR);
+  if (n > 0) return static_cast<size_t>(n);
+  if (n == 0) return Status::would_block();  // zero-length gather
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::would_block();
+  if (errno == EPIPE || errno == ECONNRESET) return Status::closed();
+  return Status::from_errno("sendmsg");
+}
+
+Result<size_t> TcpSocket::sendfile_from(int in_fd, uint64_t offset,
+                                        size_t count) {
+  ssize_t n;
+  do {
+    n = sys_sendfile(fd_.get(), in_fd, offset, count);
+  } while (n < 0 && errno == EINTR);
+  if (n > 0) return static_cast<size_t>(n);
+  // 0 from sendfile means the file ended short of `count` (truncated since
+  // open); would-block keeps the caller's drain loop from spinning, and the
+  // queue length check upstream bounds the retry.
+  if (n == 0) return Status::io_error("sendfile: unexpected EOF");
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::would_block();
+  if (errno == EPIPE || errno == ECONNRESET) return Status::closed();
+  return Status::from_errno("sendfile");
 }
 
 Status TcpSocket::set_nodelay(bool on) {

@@ -5,6 +5,8 @@
 // StatusCode::kWouldBlock so the reactor can re-arm interest.
 #pragma once
 
+#include <sys/uio.h>
+
 #include <cstddef>
 #include <utility>
 
@@ -65,6 +67,13 @@ class TcpSocket {
   // returned count says how many).
   Result<size_t> write(ByteBuffer& buf);
   Result<size_t> write(std::string_view data);
+  // Scatter-gather write (one syscall for header + body segments).  Sends
+  // what fits and returns the byte count; kWouldBlock when nothing could be
+  // sent.  The caller consumes the count from its segment queue.
+  Result<size_t> writev(const struct iovec* iov, int iovcnt);
+  // Zero-copy file transmit: sendfile(2) from `in_fd` at `offset`.  Same
+  // partial-send/kWouldBlock contract as writev.
+  Result<size_t> sendfile_from(int in_fd, uint64_t offset, size_t count);
 
   Status set_nodelay(bool on);
   void shutdown_write();

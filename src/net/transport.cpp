@@ -1,6 +1,30 @@
 #include "net/transport.hpp"
 
+#include <unistd.h>
+
+#include <cerrno>
+
 namespace cops::net {
+
+SysResult SimBackend::sim_writev(int fd, const struct iovec* iov, int iovcnt) {
+  for (int i = 0; i < iovcnt; ++i) {
+    if (iov[i].iov_len > 0) {
+      return sim_write(fd, iov[i].iov_base, iov[i].iov_len);
+    }
+  }
+  return {0, 0};
+}
+
+SysResult SimBackend::sim_sendfile(int out_fd, int in_fd, uint64_t offset,
+                                   size_t count) {
+  char buf[64 * 1024];
+  const size_t want = count < sizeof(buf) ? count : sizeof(buf);
+  const ssize_t got =
+      ::pread(in_fd, buf, want, static_cast<off_t>(offset));
+  if (got < 0) return {-1, errno};
+  if (got == 0) return {0, 0};
+  return sim_write(out_fd, buf, static_cast<size_t>(got));
+}
 
 namespace detail {
 std::atomic<SimBackend*> g_sim_backend{nullptr};

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <sys/types.h>
+#include <sys/uio.h>
 
 #include <atomic>
 #include <cstdint>
@@ -53,6 +54,16 @@ class SimBackend {
   // ---- socket ops on sim fds (kernel ABI semantics) ---------------------
   virtual SysResult sim_read(int fd, void* buf, size_t len) = 0;
   virtual SysResult sim_write(int fd, const void* buf, size_t len) = 0;
+  // Scatter-gather write.  The default decomposes to sim_write on the first
+  // non-empty iovec — a legal (partial) writev result; SimEngine overrides
+  // with a gather that can short-write across segment boundaries.
+  virtual SysResult sim_writev(int fd, const struct iovec* iov, int iovcnt);
+  // sendfile(out_fd=sim, in_fd=real file): the default and the SimEngine
+  // override both pread the real file and push the bytes through the
+  // sim_write fault machinery, so partial sendfiles and EAGAIN bursts hit
+  // the exact resumption code that runs in production.
+  virtual SysResult sim_sendfile(int out_fd, int in_fd, uint64_t offset,
+                                 size_t count);
   // n >= 0 is the accepted (sim) fd.
   virtual SysResult sim_accept(int listen_fd) = 0;
   virtual void sim_shutdown_write(int fd) = 0;

@@ -118,25 +118,63 @@ void Connection::continue_pipeline() {
   server_.submit_decode(shared_from_this());
 }
 
-void Connection::queue_send(std::string bytes, bool completes_request) {
+void Connection::queue_send(EncodedReply reply, bool completes_request) {
   if (closed()) return;
-  out_.append(bytes);
+  if (server_.options_.profiling && reply.copied_bytes > 0) {
+    server_.profiler_.count_send_copied(reply.copied_bytes);
+  }
+  out_.push(std::move(reply));
   if (completes_request) reply_pending_drain_ = true;
   flush_out();
 }
 
+void Connection::queue_send(std::string bytes, bool completes_request) {
+  queue_send(EncodedReply::from_string(std::move(bytes)), completes_request);
+}
+
+namespace {
+// Gather batch per writev: enough for several pipelined header+body replies
+// in one syscall, small enough to sit on the stack.
+constexpr int kSendIovBatch = 16;
+}  // namespace
+
 void Connection::flush_out() {
-  if (out_.readable() > 0) {
-    auto n = socket_.write(out_);
-    if (!n.is_ok() && n.status().code() != StatusCode::kWouldBlock) {
-      close("write-error");
-      return;
-    }
-    if (n.is_ok()) {
-      bytes_sent_total_.fetch_add(n.value(), std::memory_order_relaxed);
-      if (server_.options_.profiling) {
-        server_.profiler_.count_bytes_sent(n.value());
+  // Drain loop: scatter-gather the leading memory segments into one writev
+  // per round; a leading file segment goes out via sendfile instead.  Stop
+  // on would-block (write interest re-arms below) or error.
+  while (out_.readable() > 0) {
+    const Result<size_t> n = [&]() -> Result<size_t> {
+      if (out_.front_is_file()) {
+        auto sent = socket_.sendfile_from(out_.front_file_fd(),
+                                          out_.front_file_offset(),
+                                          out_.front_file_remaining());
+        if (sent.is_ok()) {
+          out_.consume_file(sent.value());
+          if (server_.options_.profiling) {
+            server_.profiler_.count_send_sendfile(sent.value());
+          }
+        }
+        return sent;
       }
+      struct iovec iov[kSendIovBatch];
+      const int iovcnt = out_.fill_iovec(iov, kSendIovBatch);
+      auto sent = socket_.writev(iov, iovcnt);
+      if (sent.is_ok()) {
+        out_.consume(sent.value());
+        if (server_.options_.profiling) server_.profiler_.count_send_writev();
+      }
+      return sent;
+    }();
+    if (!n.is_ok()) {
+      if (n.status().code() != StatusCode::kWouldBlock) {
+        close("write-error");
+        return;
+      }
+      break;
+    }
+    bytes_sent_total_.fetch_add(n.value(), std::memory_order_relaxed);
+    if (server_.options_.profiling) {
+      server_.profiler_.count_bytes_sent(n.value());
     }
     last_activity_ = now();
   }

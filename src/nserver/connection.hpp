@@ -22,6 +22,7 @@
 
 #include "common/byte_buffer.hpp"
 #include "common/clock.hpp"
+#include "common/send_queue.hpp"
 #include "net/event_handler.hpp"
 #include "net/reactor.hpp"
 #include "net/socket.hpp"
@@ -45,8 +46,12 @@ class Connection : public net::EventHandler,
   void handle_event(int fd, uint32_t readiness) override;
 
   // ---- reactor-thread operations (workers invoke via Reactor::post) -----
-  // Appends bytes to the out buffer and starts draining.  When
-  // `completes_request` is true the pipeline continues after the drain.
+  // Moves the reply's segments into the send queue and starts draining.
+  // When `completes_request` is true the pipeline continues after the
+  // drain.
+  void queue_send(EncodedReply reply, bool completes_request);
+  // Thin forwarding overload for callers holding flat bytes (greetings,
+  // raw sends); the string is moved, never copied, into the queue.
   void queue_send(std::string bytes, bool completes_request);
   // Re-arms read interest (decode needs more data).
   void resume_reading();
@@ -130,7 +135,7 @@ class Connection : public net::EventHandler,
   std::string peer_;
 
   ByteBuffer in_;
-  ByteBuffer out_;
+  SendQueue out_;
   std::shared_ptr<void> app_state_;
   TraceContext trace_;
   std::atomic<uint64_t> bytes_read_total_{0};

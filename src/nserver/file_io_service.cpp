@@ -1,10 +1,16 @@
 #include "nserver/file_io_service.hpp"
 
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <fstream>
 
 namespace cops::nserver {
+
+FileData::~FileData() {
+  if (fd >= 0) ::close(fd);
+}
 
 FileIoService::FileIoService(size_t threads) : pool_(threads) {}
 
@@ -13,12 +19,29 @@ FileIoService::~FileIoService() { stop(); }
 void FileIoService::stop() { pool_.stop(); }
 
 Result<FileDataPtr> FileIoService::read_file(const std::string& path) {
+  return load_file(path, FileLoadOptions{});
+}
+
+Result<FileDataPtr> FileIoService::load_file(const std::string& path,
+                                             const FileLoadOptions& load) {
   struct stat st{};
   if (::stat(path.c_str(), &st) != 0) {
     return Status::not_found(path);
   }
   if (!S_ISREG(st.st_mode)) {
     return Status::invalid_argument(path + " is not a regular file");
+  }
+  if (load.open_for_sendfile &&
+      static_cast<size_t>(st.st_size) >= load.sendfile_min_bytes) {
+    // sendfile-eligible: hand back an open descriptor, no bytes in memory.
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Status::from_errno("open");
+    auto data = std::make_shared<FileData>();
+    data->path = path;
+    data->mtime_seconds = static_cast<int64_t>(st.st_mtime);
+    data->fd = fd;
+    data->fd_size = static_cast<uint64_t>(st.st_size);
+    return FileDataPtr(std::move(data));
   }
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::not_found(path);
@@ -36,10 +59,18 @@ Result<FileDataPtr> FileIoService::read_file(const std::string& path) {
 void FileIoService::async_read(std::string path, CompletionToken token,
                                FileCallback callback,
                                CompletionExecutor executor) {
+  async_load(std::move(path), FileLoadOptions{}, token, std::move(callback),
+             std::move(executor));
+}
+
+void FileIoService::async_load(std::string path, FileLoadOptions load,
+                               CompletionToken token, FileCallback callback,
+                               CompletionExecutor executor) {
   (void)token;  // carried by the caller's closure; see header
-  pool_.submit([this, path = std::move(path), callback = std::move(callback),
+  pool_.submit([this, path = std::move(path), load,
+                callback = std::move(callback),
                 executor = std::move(executor)]() mutable {
-    auto result = read_file(path);
+    auto result = load_file(path, load);
     completed_.fetch_add(1, std::memory_order_relaxed);
     executor([callback = std::move(callback), result = std::move(result)] {
       callback(result);

@@ -23,16 +23,34 @@
 namespace cops::nserver {
 
 // An open-and-read file snapshot ("File Handle" + contents in one immutable
-// object; shared by the cache and in-flight replies).
+// object; shared by the cache and in-flight replies).  On the sendfile send
+// path a large uncached file is *opened*, not read: `fd` then holds the
+// descriptor (owned — closed on destruction) and `bytes` stays empty.
 struct FileData {
   std::string path;
   std::string bytes;
   int64_t mtime_seconds = 0;
+  int fd = -1;
+  uint64_t fd_size = 0;
 
-  [[nodiscard]] size_t size() const { return bytes.size(); }
+  FileData() = default;
+  FileData(const FileData&) = delete;  // owns fd
+  FileData& operator=(const FileData&) = delete;
+  ~FileData();
+
+  [[nodiscard]] size_t size() const {
+    return fd >= 0 ? static_cast<size_t>(fd_size) : bytes.size();
+  }
 };
 
 using FileDataPtr = std::shared_ptr<const FileData>;
+
+// How fetch misses are materialised (see ServerOptions::send_path).
+struct FileLoadOptions {
+  // Open files >= sendfile_min_bytes for sendfile instead of reading them.
+  bool open_for_sendfile = false;
+  size_t sendfile_min_bytes = 0;
+};
 using FileCallback = std::function<void(Result<FileDataPtr>)>;
 // Runs a completion on the appropriate event flow (see class comment).
 using CompletionExecutor = std::function<void(std::function<void()>)>;
@@ -45,6 +63,10 @@ class FileIoService {
   // Blocking read of a whole file (used in synchronous completion mode O4,
   // and internally by the async path).
   static Result<FileDataPtr> read_file(const std::string& path);
+  // Blocking load honouring FileLoadOptions: either a full read (cacheable,
+  // memory-backed) or — for sendfile-eligible sizes — an open descriptor.
+  static Result<FileDataPtr> load_file(const std::string& path,
+                                       const FileLoadOptions& load);
 
   // Asynchronous read: performs the blocking I/O on the pool, then invokes
   // `callback` via `executor`.  `token` travels with the request purely for
@@ -52,6 +74,10 @@ class FileIoService {
   // it.
   void async_read(std::string path, CompletionToken token,
                   FileCallback callback, CompletionExecutor executor);
+  // async_read with FileLoadOptions (the sendfile-aware variant).
+  void async_load(std::string path, FileLoadOptions load,
+                  CompletionToken token, FileCallback callback,
+                  CompletionExecutor executor);
 
   void stop();
 

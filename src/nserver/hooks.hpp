@@ -18,6 +18,7 @@
 #include <string>
 
 #include "common/byte_buffer.hpp"
+#include "common/send_queue.hpp"
 #include "nserver/file_io_service.hpp"
 
 namespace cops::nserver {
@@ -76,6 +77,15 @@ class AppHooks {
   virtual std::string encode(RequestContext& ctx, std::any response) {
     (void)ctx;
     return std::any_cast<std::string>(std::move(response));
+  }
+
+  // Segment-producing Encode Reply step.  The framework calls this one; the
+  // default wraps encode() into a single owned segment, so protocols that
+  // only implement the string hook behave exactly as before.  Zero-copy
+  // protocols override it to emit owned header bytes plus refcounted body
+  // slices (see ctx.send_path() and HttpAppHooks::encode_reply).
+  virtual EncodedReply encode_reply(RequestContext& ctx, std::any response) {
+    return EncodedReply::from_string(encode(ctx, std::move(response)));
   }
 };
 

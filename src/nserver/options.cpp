@@ -31,6 +31,15 @@ const char* to_string(StatsExport mode) {
   return mode == StatsExport::kNone ? "None" : "AdminHttp";
 }
 
+const char* to_string(SendPath path) {
+  switch (path) {
+    case SendPath::kCopy: return "Copy";
+    case SendPath::kWritev: return "Writev";
+    case SendPath::kSendfile: return "Sendfile";
+  }
+  return "?";
+}
+
 std::string ServerOptions::validate() const {
   if (dispatcher_threads < 1) {
     return "O1: dispatcher_threads must be >= 1";
@@ -78,6 +87,10 @@ std::string ServerOptions::validate() const {
   }
   if (overload_shed && overload_retry_after.count() <= 0) {
     return "O9: overload_retry_after must be positive";
+  }
+  if (send_path == SendPath::kSendfile && sendfile_min_bytes == 0) {
+    return "send_path: sendfile needs a positive size threshold "
+           "(sendfile_min_bytes) so small files still populate the cache";
   }
   if (stats_export == StatsExport::kAdminHttp && !profiling) {
     return "O11+: the admin export serves the profiler's statistics; "

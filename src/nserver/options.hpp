@@ -52,11 +52,24 @@ enum class StatsExport {
   kAdminHttp,  // second listener serving /stats, /stats.json, /healthz
 };
 
+// Send-path option: how the Send Reply step moves encoded replies to the
+// socket.  kCopy is the original single-string path (Encode materialises
+// one flat buffer); kWritev keeps header bytes and refcounted body slices
+// as separate segments and drains them with one scatter-gather syscall
+// (zero body copies on cache hits); kSendfile additionally routes large
+// uncached files through sendfile(2) so their bytes never enter user space.
+enum class SendPath {
+  kCopy,
+  kWritev,
+  kSendfile,
+};
+
 [[nodiscard]] const char* to_string(CompletionMode mode);
 [[nodiscard]] const char* to_string(ThreadAllocation alloc);
 [[nodiscard]] const char* to_string(CachePolicyKind kind);
 [[nodiscard]] const char* to_string(ServerMode mode);
 [[nodiscard]] const char* to_string(StatsExport mode);
+[[nodiscard]] const char* to_string(SendPath path);
 
 struct ServerOptions {
   // O1: # of dispatcher threads (1, or 2..N reactors sharding connections).
@@ -142,6 +155,14 @@ struct ServerOptions {
 
   // O12: logging.
   bool logging = false;
+
+  // Send-path option (appended after O12, like stats_export, to preserve
+  // the paper's option numbering).  See enum SendPath.
+  SendPath send_path = SendPath::kWritev;
+  // kSendfile only: files at or above this size that miss the cache are
+  // opened (not read) and transmitted with sendfile(2); smaller files take
+  // the normal read-and-cache path.
+  size_t sendfile_min_bytes = 256 * 1024;
 
   // --- non-option runtime knobs -----------------------------------------
   std::string listen_host = "127.0.0.1";

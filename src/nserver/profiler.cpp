@@ -20,6 +20,9 @@ std::string ProfilerSnapshot::to_string() const {
       << " requests_shed=" << requests_shed
       << " per_ip_rejections=" << per_ip_rejections
       << " cache_invalidations=" << cache_invalidations
+      << " send_writev_calls=" << send_writev_calls
+      << " send_bytes_copied=" << send_bytes_copied
+      << " send_sendfile_bytes=" << send_sendfile_bytes
       << " cache_hit_rate=" << cache_hit_rate;
   for (size_t i = 0; i < kStageCount; ++i) {
     if (stages[i].count() == 0) continue;
@@ -85,6 +88,9 @@ ProfilerSnapshot Profiler::snapshot(uint64_t events_processed,
   s.overload_suspensions = suspensions_.load();
   s.requests_shed = sheds_.load();
   s.per_ip_rejections = per_ip_rejects_.load();
+  s.send_writev_calls = send_writevs_.load();
+  s.send_bytes_copied = send_copied_.load();
+  s.send_sendfile_bytes = send_sendfile_.load();
   s.events_processed = events_processed;
   s.cache_hit_rate = cache_hit_rate;
   s.cache_invalidations = cache_invalidations;
@@ -106,6 +112,9 @@ void Profiler::reset() {
   suspensions_.store(0);
   sheds_.store(0);
   per_ip_rejects_.store(0);
+  send_writevs_.store(0);
+  send_copied_.store(0);
+  send_sendfile_.store(0);
   std::lock_guard lock(shards_mutex_);
   for (auto& shard : shards_) {
     for (auto& histogram : shard->histograms) histogram.reset();

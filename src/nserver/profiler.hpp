@@ -65,6 +65,9 @@ struct ProfilerSnapshot {
   uint64_t requests_shed = 0;          // O9 shed tier (503 replies)
   uint64_t per_ip_rejections = 0;      // per-IP connection cap
   uint64_t cache_invalidations = 0;    // O6 stale entries dropped
+  uint64_t send_writev_calls = 0;      // send path: completed writev gathers
+  uint64_t send_bytes_copied = 0;      // bytes materialised per reply path
+  uint64_t send_sendfile_bytes = 0;    // bytes moved by sendfile(2)
   double cache_hit_rate = 0.0;
 
   // Merged per-stage latency distributions (index by Stage).
@@ -88,6 +91,13 @@ class Profiler {
   void count_overload_suspension() { suspensions_.fetch_add(1, kRelaxed); }
   void count_shed() { sheds_.fetch_add(1, kRelaxed); }
   void count_per_ip_reject() { per_ip_rejects_.fetch_add(1, kRelaxed); }
+  void count_send_writev() { send_writevs_.fetch_add(1, kRelaxed); }
+  void count_send_copied(uint64_t n) {
+    send_copied_.fetch_add(n, kRelaxed);
+  }
+  void count_send_sendfile(uint64_t n) {
+    send_sendfile_.fetch_add(n, kRelaxed);
+  }
 
   // Records a stage latency into this thread's shard.  Negative durations
   // (missing stamp — the stage was skipped) are dropped.
@@ -124,6 +134,9 @@ class Profiler {
   std::atomic<uint64_t> suspensions_{0};
   std::atomic<uint64_t> sheds_{0};
   std::atomic<uint64_t> per_ip_rejects_{0};
+  std::atomic<uint64_t> send_writevs_{0};
+  std::atomic<uint64_t> send_copied_{0};
+  std::atomic<uint64_t> send_sendfile_{0};
 
   // Profilers are identified by a never-recycled id so the thread-local
   // shard cache can never alias a new profiler with a destroyed one that

@@ -54,6 +54,17 @@ void RequestContext::note_shed() {
 
 TraceContext& RequestContext::trace() { return conn_->trace(); }
 
+SendPath RequestContext::send_path() const {
+  return server_.options_.send_path;
+}
+
+void RequestContext::send_segments(EncodedReply reply) {
+  auto conn = conn_;
+  conn->reactor().post([conn, reply = std::move(reply)]() mutable {
+    conn->queue_send(std::move(reply), /*completes_request=*/false);
+  });
+}
+
 bool RequestContext::mark_resolved() {
   bool expected = false;
   if (!resolved_.compare_exchange_strong(expected, true)) {

@@ -18,8 +18,10 @@
 #include <memory>
 #include <string>
 
+#include "common/send_queue.hpp"
 #include "common/status.hpp"
 #include "nserver/file_io_service.hpp"
+#include "nserver/options.hpp"
 #include "nserver/profiler.hpp"
 #include "nserver/trace_context.hpp"
 
@@ -75,10 +77,17 @@ class RequestContext : public std::enable_shared_from_this<RequestContext> {
   // own reference stamps; the framework resets it per request.
   [[nodiscard]] TraceContext& trace();
 
+  // The server's configured send path.  Encode hooks consult this to decide
+  // between a flat serialized reply (kCopy) and header/body segments.
+  [[nodiscard]] SendPath send_path() const;
+
   // ---- output ------------------------------------------------------------
   // Enqueues bytes without completing the request (multi-part replies,
   // greetings, FTP intermediate responses).
   void send(std::string bytes);
+  // Segment-level variant of send(): enqueues an EncodedReply (owned header
+  // bytes + refcounted body slices) without completing the request.
+  void send_segments(EncodedReply reply);
   // Completes the request: response → Encode Reply hook (O3) → Send Reply.
   void reply(std::any response);
   // Completes the request with pre-encoded bytes (skips the Encode hook).

@@ -420,11 +420,11 @@ void Server::resolve_with_reply(RequestContext& ctx, std::any response) {
     profiler_.record_stage(
         Stage::kHandle, TraceContext::elapsed(trace.handle_start_us, now_us));
   }
-  std::string bytes;
+  EncodedReply reply;
   if (options_.encode_decode) {
     note_event(EventKind::kEncode, ctx.conn_->id(), "encode");
     try {
-      bytes = hooks_->encode(ctx, std::move(response));
+      reply = hooks_->encode_reply(ctx, std::move(response));
     } catch (const std::exception& e) {
       COPS_WARN("encode hook threw: " << e.what());
       auto conn = ctx.conn_;
@@ -432,7 +432,8 @@ void Server::resolve_with_reply(RequestContext& ctx, std::any response) {
       return;
     }
   } else {
-    bytes = std::any_cast<std::string>(std::move(response));
+    reply = EncodedReply::from_string(
+        std::any_cast<std::string>(std::move(response)));
   }
   if (options_.profiling) {
     auto& trace = ctx.conn_->trace();
@@ -442,8 +443,8 @@ void Server::resolve_with_reply(RequestContext& ctx, std::any response) {
                            TraceContext::elapsed(trace.resolve_us, now_us));
   }
   auto conn = ctx.conn_;
-  conn->reactor().post([conn, bytes = std::move(bytes)]() mutable {
-    conn->queue_send(std::move(bytes), /*completes_request=*/true);
+  conn->reactor().post([conn, reply = std::move(reply)]() mutable {
+    conn->queue_send(std::move(reply), /*completes_request=*/true);
   });
 }
 
@@ -457,6 +458,12 @@ void Server::fetch_file(RequestContextPtr ctx, std::string path,
       return;
     }
   }
+  // send_path = sendfile: large cache misses come back as open descriptors
+  // (drained by the connection with sendfile) instead of in-memory bytes;
+  // they bypass the cache, which keeps holding the small, hot files.
+  FileLoadOptions load;
+  load.open_for_sendfile = options_.send_path == SendPath::kSendfile;
+  load.sendfile_min_bytes = options_.sendfile_min_bytes;
   if (options_.completion == CompletionMode::kAsynchronous && file_service_) {
     CompletionToken token{ctx->conn_->id(), ctx->conn_->generation()};
     const int priority = ctx->priority();
@@ -469,10 +476,10 @@ void Server::fetch_file(RequestContextPtr ctx, std::string path,
       event.action = std::move(fn);
       processor_->submit(std::move(event));
     };
-    file_service_->async_read(
-        path, token,
+    file_service_->async_load(
+        path, load, token,
         [this, ctx, done = std::move(done)](Result<FileDataPtr> result) {
-          if (result.is_ok() && cache_) {
+          if (result.is_ok() && cache_ && result.value()->fd < 0) {
             cache_->insert(result.value()->path, result.value());
           }
           if (ctx->connection_closed()) return;  // stale completion token
@@ -481,8 +488,10 @@ void Server::fetch_file(RequestContextPtr ctx, std::string path,
         std::move(executor));
   } else {
     // Synchronous completions (O4): block this processor thread.
-    auto result = FileIoService::read_file(path);
-    if (result.is_ok() && cache_) cache_->insert(path, result.value());
+    auto result = FileIoService::load_file(path, load);
+    if (result.is_ok() && cache_ && result.value()->fd < 0) {
+      cache_->insert(path, result.value());
+    }
     done(*ctx, std::move(result));
   }
 }

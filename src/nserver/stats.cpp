@@ -131,6 +131,15 @@ std::string render_prometheus(const StatsSnapshot& s) {
   append_metric(out, "nserver_per_ip_rejections_total", "counter",
                 "Accepts rejected by the per-IP connection cap.",
                 c.per_ip_rejections);
+  append_metric(out, "cops_send_writev_calls_total", "counter",
+                "Completed scatter-gather writev calls on the send path.",
+                c.send_writev_calls);
+  append_metric(out, "cops_send_bytes_copied_total", "counter",
+                "Reply bytes materialised into owned buffers before send.",
+                c.send_bytes_copied);
+  append_metric(out, "cops_send_sendfile_bytes_total", "counter",
+                "Reply bytes moved by sendfile(2) (send_path=sendfile).",
+                c.send_sendfile_bytes);
   append_metric(out, "nserver_connections_open", "gauge",
                 "Currently open connections.", s.connections_open);
   append_metric(out, "nserver_processor_queue_depth", "gauge",
@@ -183,6 +192,9 @@ std::string render_json(const StatsSnapshot& s) {
   append_json_field(out, "overload_suspensions", c.overload_suspensions);
   append_json_field(out, "requests_shed", c.requests_shed);
   append_json_field(out, "per_ip_rejections", c.per_ip_rejections);
+  append_json_field(out, "send_writev_calls", c.send_writev_calls);
+  append_json_field(out, "send_bytes_copied", c.send_bytes_copied);
+  append_json_field(out, "send_sendfile_bytes", c.send_sendfile_bytes);
   append_json_field(out, "connections_open", s.connections_open);
   append_json_field(out, "queue_depth", s.queue_depth);
   append_json_field(out, "processor_threads", s.processor_threads);

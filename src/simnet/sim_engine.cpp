@@ -1,5 +1,7 @@
 #include "simnet/sim_engine.hpp"
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstring>
 #include <sstream>
@@ -458,8 +460,10 @@ net::SysResult SimEngine::sim_read(int fd, void* buf, size_t len) {
   return {static_cast<ssize_t>(n), 0};
 }
 
-net::SysResult SimEngine::sim_write(int fd, const void* buf, size_t len) {
-  Lock lock(mutex_);
+net::SysResult SimEngine::sim_write_gather_locked(int fd,
+                                                  const struct iovec* iov,
+                                                  int iovcnt,
+                                                  const char* op) {
   auto entry = fds_.find(fd);
   if (entry == fds_.end() || entry->second.is_listener) return {-1, EBADF};
   const bool initiator = entry->second.initiator;
@@ -488,13 +492,54 @@ net::SysResult SimEngine::sim_write(int fd, const void* buf, size_t len) {
     record_locked("fault write-eagain fd=" + std::to_string(fd));
     return {-1, EAGAIN};
   }
+  size_t len = 0;
+  for (int i = 0; i < iovcnt; ++i) len += iov[i].iov_len;
   size_t n = std::min(len, plan_.channel_capacity - pipe.buf.size());
   if (n > 1 && chance_locked(plan_.short_write)) {
+    // May land inside any iovec — the short write the resumption tests need
+    // mid-segment.
     n = 1 + static_cast<size_t>(rng_() % n);
   }
-  pipe.buf.append(static_cast<const char*>(buf), n);
-  record_locked("write fd=" + std::to_string(fd) + " n=" + std::to_string(n));
+  size_t left = n;
+  for (int i = 0; i < iovcnt && left > 0; ++i) {
+    const size_t take = std::min(left, static_cast<size_t>(iov[i].iov_len));
+    pipe.buf.append(static_cast<const char*>(iov[i].iov_base), take);
+    left -= take;
+  }
+  record_locked(std::string(op) + " fd=" + std::to_string(fd) +
+                " n=" + std::to_string(n));
   return {static_cast<ssize_t>(n), 0};
+}
+
+net::SysResult SimEngine::sim_write(int fd, const void* buf, size_t len) {
+  Lock lock(mutex_);
+  struct iovec iov;
+  iov.iov_base = const_cast<void*>(buf);
+  iov.iov_len = len;
+  return sim_write_gather_locked(fd, &iov, 1, "write");
+}
+
+net::SysResult SimEngine::sim_writev(int fd, const struct iovec* iov,
+                                     int iovcnt) {
+  Lock lock(mutex_);
+  return sim_write_gather_locked(fd, iov, iovcnt, "writev");
+}
+
+net::SysResult SimEngine::sim_sendfile(int out_fd, int in_fd, uint64_t offset,
+                                       size_t count) {
+  Lock lock(mutex_);
+  // The file side is a real descriptor (sim covers the network only); read
+  // a chunk and push it through the same fault machinery as every other
+  // write, so sendfile sees partial sends, EAGAIN bursts, and RSTs too.
+  char buf[64 * 1024];
+  const size_t want = std::min(count, sizeof(buf));
+  const ssize_t got = ::pread(in_fd, buf, want, static_cast<off_t>(offset));
+  if (got < 0) return {-1, errno};
+  if (got == 0) return {0, 0};
+  struct iovec iov;
+  iov.iov_base = buf;
+  iov.iov_len = static_cast<size_t>(got);
+  return sim_write_gather_locked(out_fd, &iov, 1, "sendfile");
 }
 
 void SimEngine::sim_shutdown_write(int fd) {

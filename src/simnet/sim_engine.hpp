@@ -133,6 +133,10 @@ class SimEngine : public net::SimBackend {
   // ---- net::SimBackend ----------------------------------------------------
   net::SysResult sim_read(int fd, void* buf, size_t len) override;
   net::SysResult sim_write(int fd, const void* buf, size_t len) override;
+  net::SysResult sim_writev(int fd, const struct iovec* iov,
+                            int iovcnt) override;
+  net::SysResult sim_sendfile(int out_fd, int in_fd, uint64_t offset,
+                              size_t count) override;
   net::SysResult sim_accept(int listen_fd) override;
   void sim_shutdown_write(int fd) override;
   void sim_close(int fd) override;
@@ -210,6 +214,12 @@ class SimEngine : public net::SimBackend {
   [[nodiscard]] bool has_ready_locked(const void* poller);
   void check_done_locked();
   void record_locked(std::string line);
+  // Shared write-fault machinery: sim_write / sim_writev / sim_sendfile all
+  // funnel their gathered bytes through here, so one fault plan exercises
+  // every send path identically (RST, EPIPE, EINTR, capacity EAGAIN, short
+  // writes — including short writes across iovec boundaries).
+  net::SysResult sim_write_gather_locked(int fd, const struct iovec* iov,
+                                         int iovcnt, const char* op);
   Channel* channel_of_fd_locked(int fd);
   void close_server_side_locked(Channel& ch);
   void reset_channel_locked(Channel& ch);

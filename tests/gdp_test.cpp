@@ -334,6 +334,61 @@ TEST(NServerTemplate, StatsExportOnGeneratesAdminWiring) {
             std::string::npos);
 }
 
+TEST(NServerTemplate, SendPathOptionCrosscutsGeneratedUnits) {
+  const auto tmpl = make_nserver_template();
+  // The HTTP preset (send_path=writev) emits the send unit and wires the
+  // segmented path; flipping to copy removes both without disturbing the
+  // other units.
+  auto writev_set = nserver_http_options();
+  auto copy_set = writev_set;
+  copy_set.set("send_path", "copy");
+  auto on = tmpl.render_all(writev_set, {{"app_name", "A"}, {"listen_port", "0"}});
+  auto off = tmpl.render_all(copy_set, {{"app_name", "A"}, {"listen_port", "0"}});
+  ASSERT_TRUE(on.is_ok());
+  ASSERT_TRUE(off.is_ok());
+  EXPECT_TRUE(on.value().count("send_config.hpp"));
+  EXPECT_FALSE(off.value().count("send_config.hpp"));
+  EXPECT_NE(on.value().at("traits.hpp").find("kZeroCopySend = true"),
+            std::string::npos);
+  EXPECT_NE(off.value().at("traits.hpp").find("kZeroCopySend = false"),
+            std::string::npos);
+  EXPECT_NE(on.value().at("server_main.cpp").find("SendPath::kWritev"),
+            std::string::npos);
+  EXPECT_NE(off.value().at("server_main.cpp").find("SendPath::kCopy"),
+            std::string::npos);
+
+  auto sendfile_set = writev_set;
+  sendfile_set.set("send_path", "sendfile");
+  auto sf = tmpl.render_all(sendfile_set,
+                            {{"app_name", "A"}, {"listen_port", "0"}});
+  ASSERT_TRUE(sf.is_ok());
+  EXPECT_NE(sf.value().at("send_config.hpp").find("kSendfileMinBytes"),
+            std::string::npos);
+  EXPECT_NE(sf.value().at("server_main.cpp").find("sendfile_min_bytes"),
+            std::string::npos);
+  EXPECT_NE(sf.value().at("traits.hpp").find("kSendfile = true"),
+            std::string::npos);
+}
+
+TEST(NServerTemplate, SendPathAppendsWithoutRenumbering) {
+  // The crosscut (Table 2) gains a send_path column while the paper's
+  // original columns stay put — the README option table still lists every
+  // option in order.
+  const auto tmpl = make_nserver_template();
+  auto matrix = tmpl.crosscut();
+  ASSERT_TRUE(matrix.is_ok());
+  EXPECT_TRUE(matrix.value().at("Send Reply").at("send_path").existence);
+  auto rendered = tmpl.render_all(nserver_http_options(),
+                                  {{"app_name", "A"}, {"listen_port", "0"}});
+  ASSERT_TRUE(rendered.is_ok());
+  const auto& readme = rendered.value().at("README.md");
+  const size_t stats_row = readme.find("O11+ statistics export");
+  const size_t send_row = readme.find("S1 send-reply path");
+  ASSERT_NE(stats_row, std::string::npos);
+  ASSERT_NE(send_row, std::string::npos);
+  EXPECT_LT(stats_row, send_row) << "send_path must append after O11+";
+}
+
 TEST(NServerTemplate, ConstraintRejectsExportWithoutProfiling) {
   const auto tmpl = make_nserver_template();
   auto bad = nserver_http_options();
