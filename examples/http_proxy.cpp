@@ -43,7 +43,10 @@ std::string fetch_upstream(const std::string& host, uint16_t port,
                      " HTTP/1.1\r\nHost: upstream\r\nConnection: close\r\n";
   for (const auto& [name, value] : request.headers) {
     if (name == "host" || name == "connection") continue;
-    wire += name + ": " + value + "\r\n";
+    wire.append(name);
+    wire.append(": ");
+    wire.append(value);
+    wire.append("\r\n");
   }
   wire += "\r\n" + request.body;
   size_t sent = 0;
@@ -76,6 +79,7 @@ class ProxyHooks : public cops::nserver::AppHooks {
       case cops::http::ParseOutcome::kIncomplete:
         return cops::nserver::DecodeResult::need_more();
       case cops::http::ParseOutcome::kMalformed:
+      case cops::http::ParseOutcome::kReject:  // wrapper maps these away
         return cops::nserver::DecodeResult::error();
       case cops::http::ParseOutcome::kComplete:
         return cops::nserver::DecodeResult::request_ready(std::move(request));

@@ -1,0 +1,165 @@
+// Slab/pool layer for the allocation-free request path (buffer_mgmt=pooled).
+//
+// Three recyclers, all thread-safe, all counting how often they could hand
+// back recycled memory (hit) versus having to grow from the heap (miss):
+//
+//   SlabPool    fixed-size blocks carved from large chunks — backs pooled
+//               RequestContext allocation via PoolAllocator +
+//               std::allocate_shared (object and control block share one
+//               slab block, one freelist push/pop per request).
+//   BufferPool  recycles std::vector<uint8_t> backing stores for connection
+//               read buffers (ByteBuffer::adopt_storage/release_storage),
+//               so accepting a connection reuses a previous connection's
+//               grown buffer instead of re-growing a fresh one.
+//   Arena       bump allocator for small, same-lifetime scratch; reset()
+//               recycles every chunk in O(1).
+//
+// The heap-traffic counters (hits / misses / heap bytes) surface on /stats
+// as cops_pool_hits_total, cops_pool_misses_total, cops_alloc_bytes_total.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <vector>
+
+namespace cops {
+
+// Fixed-size block allocator.  Requests up to block_bytes() are served from
+// a freelist of blocks carved out of chunk-sized heap slabs; larger requests
+// fall back to the heap (counted as misses, never pooled).
+class SlabPool {
+ public:
+  explicit SlabPool(size_t block_bytes, size_t blocks_per_chunk = 64);
+  ~SlabPool();
+  SlabPool(const SlabPool&) = delete;
+  SlabPool& operator=(const SlabPool&) = delete;
+
+  void* allocate(size_t bytes);
+  void deallocate(void* ptr, size_t bytes) noexcept;
+
+  [[nodiscard]] size_t block_bytes() const { return block_bytes_; }
+  // Blocks currently sitting on the freelist.
+  [[nodiscard]] size_t free_blocks() const;
+  [[nodiscard]] uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  // Total bytes this pool pulled from the heap (chunk growth + oversize
+  // fallbacks).  Flat in steady state — that is the whole point.
+  [[nodiscard]] uint64_t heap_bytes() const {
+    return heap_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void grow_locked();
+
+  const size_t block_bytes_;
+  const size_t blocks_per_chunk_;
+  mutable std::mutex mutex_;
+  std::vector<void*> free_list_;
+  std::vector<char*> chunks_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> heap_bytes_{0};
+};
+
+// Minimal std allocator over a shared SlabPool, for allocate_shared and
+// friends.  Copyable across types (rebind) — all copies share the pool.
+template <typename T>
+class PoolAllocator {
+ public:
+  using value_type = T;
+
+  explicit PoolAllocator(std::shared_ptr<SlabPool> pool)
+      : pool_(std::move(pool)) {}
+  template <typename U>
+  PoolAllocator(const PoolAllocator<U>& other)  // NOLINT(google-explicit-constructor)
+      : pool_(other.pool_) {}
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(pool_->allocate(n * sizeof(T)));
+  }
+  void deallocate(T* ptr, size_t n) noexcept {
+    pool_->deallocate(ptr, n * sizeof(T));
+  }
+
+  template <typename U>
+  bool operator==(const PoolAllocator<U>& other) const {
+    return pool_ == other.pool_;
+  }
+  template <typename U>
+  bool operator!=(const PoolAllocator<U>& other) const {
+    return !(*this == other);
+  }
+
+  std::shared_ptr<SlabPool> pool_;
+};
+
+// Recycles vector<uint8_t> backing stores (connection read buffers).  Every
+// handed-out vector has capacity >= block_bytes(); a vector that grew while
+// in use comes back with its larger capacity and benefits the next user.
+class BufferPool {
+ public:
+  explicit BufferPool(size_t block_bytes, size_t max_free = 64);
+
+  [[nodiscard]] std::vector<uint8_t> acquire();
+  void release(std::vector<uint8_t> storage);
+
+  [[nodiscard]] size_t block_bytes() const { return block_bytes_; }
+  [[nodiscard]] size_t free_buffers() const;
+  [[nodiscard]] uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t heap_bytes() const {
+    return heap_bytes_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const size_t block_bytes_;
+  const size_t max_free_;
+  mutable std::mutex mutex_;
+  std::vector<std::vector<uint8_t>> free_list_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> heap_bytes_{0};
+};
+
+// Bump allocator for small scratch allocations that all die together.  Not
+// thread-safe (one arena per owner); reset() recycles chunks without
+// touching the heap.
+class Arena {
+ public:
+  explicit Arena(size_t chunk_bytes = 4096);
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* allocate(size_t bytes, size_t align = alignof(std::max_align_t));
+  void reset();
+
+  [[nodiscard]] size_t chunk_count() const { return chunks_.size(); }
+  [[nodiscard]] uint64_t heap_bytes() const { return heap_bytes_; }
+
+ private:
+  struct Chunk {
+    char* data;
+    size_t size;
+  };
+
+  const size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;
+  size_t current_ = 0;  // chunk being bumped
+  size_t offset_ = 0;   // bump cursor within it
+  uint64_t heap_bytes_ = 0;
+};
+
+}  // namespace cops

@@ -47,6 +47,21 @@ void ByteBuffer::clear() {
   prepared_ = 0;
 }
 
+void ByteBuffer::adopt_storage(std::vector<uint8_t>&& storage) {
+  data_ = std::move(storage);
+  data_.clear();
+  read_pos_ = 0;
+  prepared_ = 0;
+}
+
+std::vector<uint8_t> ByteBuffer::release_storage() {
+  std::vector<uint8_t> storage = std::move(data_);
+  data_ = std::vector<uint8_t>();
+  read_pos_ = 0;
+  prepared_ = 0;
+  return storage;
+}
+
 std::string ByteBuffer::take_string() {
   std::string out(view());
   clear();

@@ -48,6 +48,14 @@ class ByteBuffer {
   [[nodiscard]] size_t capacity() const { return data_.capacity(); }
   void clear();
 
+  // ---- storage recycling (buffer_mgmt=pooled) --------------------------
+  // Replaces the backing store with a (typically pre-reserved, pooled)
+  // vector; any buffered bytes are discarded.
+  void adopt_storage(std::vector<uint8_t>&& storage);
+  // Surrenders the backing store (for return to a BufferPool), leaving the
+  // buffer empty with no capacity.
+  [[nodiscard]] std::vector<uint8_t> release_storage();
+
   // Extracts everything readable as a string (consuming it).
   std::string take_string();
 

@@ -4,21 +4,33 @@
 
 namespace cops::ftp {
 
-std::optional<FtpCommand> parse_command(std::string_view line) {
+bool parse_command_into(std::string_view line, FtpCommand& out) {
   line = cops::trim(line);
-  if (line.empty() || line.size() > 512) return std::nullopt;
+  if (line.empty() || line.size() > 512) return false;
   const size_t space = line.find(' ');
-  FtpCommand cmd;
+  // assign() + in-place upper-casing: verb/arg keep their capacity across
+  // commands, so a recycled FtpCommand decodes without allocating.
   if (space == std::string_view::npos) {
-    cmd.verb = cops::to_upper(line);
+    out.verb.assign(line);
+    out.arg.clear();
   } else {
-    cmd.verb = cops::to_upper(line.substr(0, space));
-    cmd.arg = std::string(cops::trim(line.substr(space + 1)));
+    out.verb.assign(line.substr(0, space));
+    const std::string_view arg = cops::trim(line.substr(space + 1));
+    out.arg.assign(arg);
   }
-  if (cmd.verb.empty() || cmd.verb.size() > 4) return std::nullopt;
-  for (char c : cmd.verb) {
-    if (c < 'A' || c > 'Z') return std::nullopt;
+  for (char& c : out.verb) {
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
   }
+  if (out.verb.empty() || out.verb.size() > 4) return false;
+  for (char c : out.verb) {
+    if (c < 'A' || c > 'Z') return false;
+  }
+  return true;
+}
+
+std::optional<FtpCommand> parse_command(std::string_view line) {
+  FtpCommand cmd;
+  if (!parse_command_into(line, cmd)) return std::nullopt;
   return cmd;
 }
 

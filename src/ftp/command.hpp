@@ -15,6 +15,11 @@ struct FtpCommand {
 // Parses one "VERB [arg]\r\n" line (without the terminator).
 [[nodiscard]] std::optional<FtpCommand> parse_command(std::string_view line);
 
+// Allocation-free variant: parses into `out`, reusing its string capacity
+// (buffer_mgmt=pooled decode path).  Returns false on a syntax error, in
+// which case `out` is unspecified.
+bool parse_command_into(std::string_view line, FtpCommand& out);
+
 // Parses the PORT h1,h2,h3,h4,p1,p2 argument; returns {host, port}.
 [[nodiscard]] std::optional<std::pair<std::string, uint16_t>> parse_port_arg(
     std::string_view arg);

@@ -10,7 +10,7 @@ void FtpAppHooks::on_connect(nserver::RequestContext& ctx) {
   ctx.send(service_ready().serialize());
 }
 
-nserver::DecodeResult FtpAppHooks::decode(nserver::RequestContext& /*ctx*/,
+nserver::DecodeResult FtpAppHooks::decode(nserver::RequestContext& ctx,
                                           ByteBuffer& in) {
   const size_t eol = in.find("\r\n");
   size_t line_len = eol;
@@ -25,13 +25,26 @@ nserver::DecodeResult FtpAppHooks::decode(nserver::RequestContext& /*ctx*/,
     line_len = lf;
     term_len = 1;
   }
-  const std::string line(in.view().substr(0, line_len));
+  const std::string_view line = in.view().substr(0, line_len);
+  if (ctx.buffer_mgmt() == nserver::BufferMgmt::kPooled) {
+    // Parse straight from the buffer into the session's recycled command
+    // (verb/arg capacities survive across commands — no allocations in
+    // steady state), then consume and pass Handle a pointer.
+    FtpCommand& cmd = session_of(ctx).scratch_command;
+    if (!parse_command_into(line, cmd)) {
+      // Unrecognized syntax is an FTP-level error (500), not a connection
+      // error: keep the session alive.
+      cmd.verb.clear();
+      cmd.arg.assign(line);
+    }
+    in.consume(line_len + term_len);
+    return nserver::DecodeResult::request_ready(std::any(&cmd));
+  }
+  const std::string line_copy(line);
   in.consume(line_len + term_len);
-  auto command = parse_command(line);
+  auto command = parse_command(line_copy);
   if (!command) {
-    // Unrecognized syntax is an FTP-level error (500), not a connection
-    // error: keep the session alive.
-    return nserver::DecodeResult::request_ready(FtpCommand{"", line});
+    return nserver::DecodeResult::request_ready(FtpCommand{"", line_copy});
   }
   return nserver::DecodeResult::request_ready(std::move(*command));
 }
@@ -49,7 +62,17 @@ FtpSession& FtpAppHooks::session_of(nserver::RequestContext& ctx) {
 
 void FtpAppHooks::handle(nserver::RequestContext& ctx, std::any request) {
   commands_.fetch_add(1, std::memory_order_relaxed);
-  const auto cmd = std::any_cast<FtpCommand>(std::move(request));
+  // Pooled decode passes a pointer to the session's scratch command;
+  // per_request passes the FtpCommand by value.
+  FtpCommand moved;
+  const FtpCommand* cmdp;
+  if (auto* pp = std::any_cast<FtpCommand*>(&request)) {
+    cmdp = *pp;
+  } else {
+    moved = std::any_cast<FtpCommand>(std::move(request));
+    cmdp = &moved;
+  }
+  const FtpCommand& cmd = *cmdp;
   auto& session = session_of(ctx);
 
   if (cmd.verb.empty()) {
@@ -368,6 +391,10 @@ nserver::ServerOptions CopsFtpServer::default_options() {
   // Control-channel replies are short strings; FTP data transfers run on a
   // separate blocking connection, so the copy path costs nothing here.
   options.send_path = nserver::SendPath::kCopy;
+  // Command lines are tiny and sessions long-lived; the per-request shape
+  // keeps COPS-FTP as the generated per_request exemplar (contrast with
+  // COPS-HTTP's pooled setting).
+  options.buffer_mgmt = nserver::BufferMgmt::kPerRequest;
   return options;
 }
 

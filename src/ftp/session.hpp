@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/status.hpp"
+#include "ftp/command.hpp"
 
 namespace cops::ftp {
 
@@ -48,6 +49,12 @@ class FtpSession {
   char transfer_type = 'I';
   // Pending RNFR source path (consumed by RNTO).
   std::string rename_from;
+
+  // buffer_mgmt=pooled: the Decode hook parses into this recycled command
+  // (verb/arg keep their capacity) and Handle receives a pointer to it.
+  // Safe because the pipeline token invariant allows at most one command in
+  // flight per connection.
+  FtpCommand scratch_command;
 
   // ---- data connection setup ----------------------------------------------
   // Passive mode: binds an ephemeral listener; the reply advertises its port.

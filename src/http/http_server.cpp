@@ -8,14 +8,32 @@
 
 namespace cops::http {
 
-nserver::DecodeResult HttpAppHooks::decode(nserver::RequestContext& /*ctx*/,
+nserver::DecodeResult HttpAppHooks::decode(nserver::RequestContext& ctx,
                                            ByteBuffer& in) {
-  HttpRequest request;
-  switch (parse_request(in, request)) {
+  // buffer_mgmt (S2): pooled reuses the connection's scratch request and
+  // hands Handle a pointer (zero steady-state allocations per keep-alive
+  // request); per_request builds a fresh HttpRequest and moves it through
+  // the std::any, as the original COPS-HTTP did.
+  const bool pooled = ctx.buffer_mgmt() == nserver::BufferMgmt::kPooled;
+  HttpRequest local;
+  HttpRequest* request = &local;
+  if (pooled) {
+    auto& state = ctx.app_state();
+    if (!state) state = std::make_shared<HttpConnState>();
+    request = &static_cast<HttpConnState*>(state.get())->scratch;
+  }
+  StatusCode reject_status = StatusCode::kBadRequest;
+  switch (parse_request(in, *request, ParseLimits{}, &reject_status)) {
     case ParseOutcome::kIncomplete:
       return nserver::DecodeResult::need_more();
     case ParseOutcome::kMalformed:
       return nserver::DecodeResult::error();
+    case ParseOutcome::kReject:
+      // Deterministic protocol rejection (bad Content-Length, oversize
+      // body, Transfer-Encoding) — answered with a status reply and a
+      // close so no smuggled follow-up bytes are ever interpreted.
+      return nserver::DecodeResult::reject(
+          make_error_response(reject_status, /*keep_alive=*/false));
     case ParseOutcome::kComplete:
       break;
   }
@@ -24,9 +42,12 @@ nserver::DecodeResult HttpAppHooks::decode(nserver::RequestContext& /*ctx*/,
   }
   int priority = 0;
   if (config_.priority_classifier) {
-    priority = config_.priority_classifier(request);
+    priority = config_.priority_classifier(*request);
   }
-  return nserver::DecodeResult::request_ready(std::move(request), priority);
+  if (pooled) {
+    return nserver::DecodeResult::request_ready(std::any(request), priority);
+  }
+  return nserver::DecodeResult::request_ready(std::move(local), priority);
 }
 
 void HttpAppHooks::reply_error(nserver::RequestContext& ctx, StatusCode status,
@@ -36,7 +57,17 @@ void HttpAppHooks::reply_error(nserver::RequestContext& ctx, StatusCode status,
 }
 
 void HttpAppHooks::handle(nserver::RequestContext& ctx, std::any request) {
-  auto req = std::any_cast<HttpRequest>(std::move(request));
+  // Pooled decode passes a pointer to the connection's scratch request;
+  // per_request passes the HttpRequest by value.
+  HttpRequest moved;
+  const HttpRequest* reqp;
+  if (auto* pp = std::any_cast<HttpRequest*>(&request)) {
+    reqp = *pp;
+  } else {
+    moved = std::any_cast<HttpRequest>(std::move(request));
+    reqp = &moved;
+  }
+  const HttpRequest& req = *reqp;
   const bool keep_alive = req.keep_alive();
 
   // O9 shed tier: while overloaded, answer with an explicit 503 instead of
@@ -87,9 +118,8 @@ void HttpAppHooks::handle(nserver::RequestContext& ctx, std::any request) {
   // Conditional GET: a valid If-Modified-Since newer than the file yields
   // 304 Not Modified (no body) — the cache-friendly path browsers use.
   int64_t if_modified_since = -1;
-  if (auto header = req.headers.find("if-modified-since");
-      header != req.headers.end()) {
-    if_modified_since = parse_http_date(header->second);
+  if (auto header = req.header("if-modified-since")) {
+    if_modified_since = parse_http_date(std::string(*header));
   }
   ctx.fetch_file(
       fs_path, [this, keep_alive, head_only, path, if_modified_since](
@@ -219,6 +249,7 @@ nserver::ServerOptions CopsHttpServer::default_options() {
   options.profiling = false;                                       // O11
   options.logging = false;                                         // O12
   options.send_path = nserver::SendPath::kWritev;  // zero-copy reply path
+  options.buffer_mgmt = nserver::BufferMgmt::kPooled;  // S2: recycle buffers
   return options;
 }
 

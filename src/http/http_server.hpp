@@ -45,6 +45,17 @@ struct HttpServerConfig {
   std::chrono::milliseconds decode_delay{0};
 };
 
+// Per-connection session state (hung off RequestContext::app_state).  Under
+// buffer_mgmt=pooled the Decode hook parses into `scratch` instead of a
+// fresh HttpRequest — the pipeline token invariant guarantees exactly one
+// request in flight per connection, so the scratch object stays valid until
+// the next decode, which cannot start before Handle resolves.  Across
+// keep-alive requests every string inside keeps its capacity: steady-state
+// decoding allocates nothing.
+struct HttpConnState {
+  HttpRequest scratch;
+};
+
 class HttpAppHooks : public nserver::AppHooks {
  public:
   explicit HttpAppHooks(HttpServerConfig config)

@@ -1,6 +1,6 @@
 #include "http/request_parser.hpp"
 
-#include <vector>
+#include <cstdint>
 
 #include "common/string_util.hpp"
 
@@ -23,7 +23,8 @@ bool parse_request_line(std::string_view line, HttpRequest& out) {
   auto method = parse_method(line.substr(0, sp1));
   if (!method) return false;
   out.method = *method;
-  out.target = std::string(cops::trim(line.substr(sp1 + 1, sp2 - sp1 - 1)));
+  const std::string_view target = cops::trim(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  out.target.assign(target);
   if (out.target.empty()) return false;
   auto version = line.substr(sp2 + 1);
   if (!cops::starts_with(version, "HTTP/") || version.size() != 8 ||
@@ -38,83 +39,124 @@ bool parse_request_line(std::string_view line, HttpRequest& out) {
   out.version_minor = version[7] - '0';
 
   // Split target into path + query.
-  const size_t q = out.target.find('?');
-  const std::string raw_path =
-      q == std::string::npos ? out.target : out.target.substr(0, q);
-  out.query = q == std::string::npos ? "" : out.target.substr(q + 1);
-  out.path = sanitize_path(raw_path);
+  const size_t q = target.find('?');
+  const std::string_view raw_path =
+      q == std::string_view::npos ? target : target.substr(0, q);
+  if (q == std::string_view::npos) {
+    out.query.clear();
+  } else {
+    out.query.assign(target.substr(q + 1));
+  }
+  if (!sanitize_path_into(raw_path, out.path)) out.path.clear();
   return true;
 }
 
 bool parse_header_line(std::string_view line, HttpRequest& out) {
   const size_t colon = line.find(':');
   if (colon == std::string_view::npos || colon == 0) return false;
-  auto name = cops::to_lower(cops::trim(line.substr(0, colon)));
-  auto value = std::string(cops::trim(line.substr(colon + 1)));
-  auto [it, inserted] = out.headers.emplace(std::move(name), std::move(value));
-  if (!inserted) {
-    // RFC 7230 §5.4: more than one Host field is unambiguously malformed —
-    // routing and caching decisions must not depend on which one a proxy in
-    // front of us happened to pick.
-    if (it->first == "host") return false;
-    // RFC 7230 §3.3.3: repeated Content-Length is a request-smuggling
-    // vector unless every value is identical; identical repeats collapse.
-    if (it->first == "content-length") {
-      return it->second == cops::trim(line.substr(colon + 1));
-    }
-    // Other repeated headers combine with a comma per RFC 7230 §3.2.2.
-    it->second += ", ";
-    it->second += cops::trim(line.substr(colon + 1));
+  const std::string_view name = cops::trim(line.substr(0, colon));
+  const std::string_view value = cops::trim(line.substr(colon + 1));
+  const size_t existing = out.headers.find_index(name);
+  if (existing == HeaderMap::npos) {
+    out.headers.add(name, value);
+    return true;
   }
+  // RFC 7230 §5.4: more than one Host field is unambiguously malformed —
+  // routing and caching decisions must not depend on which one a proxy in
+  // front of us happened to pick.
+  if (cops::iequals(name, "host")) return false;
+  // RFC 7230 §3.3.3: repeated Content-Length is a request-smuggling
+  // vector unless every value is identical; identical repeats collapse.
+  if (cops::iequals(name, "content-length")) {
+    return out.headers.at(existing).value == value;
+  }
+  // Other repeated headers combine with a comma per RFC 7230 §3.2.2.
+  out.headers.append_to_value(existing, value);
+  return true;
+}
+
+// Strict Content-Length: digits only — no sign, no whitespace, no suffix —
+// and no overflow past int64.  Anything else earns a 400 (kReject) rather
+// than the silent close lenient parsers give, and never a wrapped-around
+// small value.
+bool parse_content_length(std::string_view s, uint64_t* value) {
+  if (s.empty()) return false;
+  constexpr uint64_t kMax = static_cast<uint64_t>(INT64_MAX);
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (v > (kMax - digit) / 10) return false;
+    v = v * 10 + digit;
+  }
+  *value = v;
   return true;
 }
 
 }  // namespace
 
-std::string sanitize_path(std::string_view raw_path) {
-  // Percent-decode.
-  std::string decoded;
-  decoded.reserve(raw_path.size());
+bool sanitize_path_into(std::string_view raw_path, std::string& out) {
+  // Percent-decode into `out` (capacity recycles across calls).  An encoded
+  // NUL (%00) is rejected here, before it could truncate a filesystem path.
+  out.clear();
   for (size_t i = 0; i < raw_path.size(); ++i) {
-    if (raw_path[i] == '%') {
-      if (i + 2 >= raw_path.size()) return {};
+    char c = raw_path[i];
+    if (c == '%') {
+      if (i + 2 >= raw_path.size()) return false;
       const int hi = hex_digit(raw_path[i + 1]);
       const int lo = hex_digit(raw_path[i + 2]);
-      if (hi < 0 || lo < 0) return {};
-      decoded.push_back(static_cast<char>(hi * 16 + lo));
+      if (hi < 0 || lo < 0) return false;
+      c = static_cast<char>(hi * 16 + lo);
       i += 2;
-    } else {
-      decoded.push_back(raw_path[i]);
     }
+    if (c == '\0') return false;
+    out.push_back(c);
   }
-  if (decoded.empty() || decoded.front() != '/') return {};
-  if (decoded.find('\0') != std::string::npos) return {};
+  if (out.empty() || out.front() != '/') return false;
 
-  // Normalize segments; refuse traversal above the root.
-  std::vector<std::string> segments;
-  for (const auto& seg : cops::split(decoded.substr(1), '/')) {
-    if (seg.empty() || seg == ".") continue;
-    if (seg == "..") {
-      if (segments.empty()) return {};  // escaping the document root
-      segments.pop_back();
-      continue;
+  // Normalize segments in place — the traversal check runs on the *decoded*
+  // bytes, so %2e%2e%2f cannot sneak a ".." past it.  Two cursors over the
+  // same buffer: out[0..w) is the normalized "/seg/seg" prefix, r scans the
+  // decoded input; w <= r always, so the forward copies never overlap.
+  const bool want_trailing = out.size() > 1 && out.back() == '/';
+  const size_t n = out.size();
+  size_t w = 0;
+  size_t r = 1;
+  while (r <= n) {
+    size_t e = r;
+    while (e < n && out[e] != '/') ++e;
+    const size_t seg_len = e - r;
+    if (seg_len == 0 || (seg_len == 1 && out[r] == '.')) {
+      // "//" and "/./" collapse.
+    } else if (seg_len == 2 && out[r] == '.' && out[r + 1] == '.') {
+      if (w == 0) return false;  // escaping the document root
+      do {
+        --w;
+      } while (w > 0 && out[w] != '/');
+    } else {
+      out[w++] = '/';
+      for (size_t i = r; i < e; ++i) out[w++] = out[i];
     }
-    segments.push_back(seg);
+    r = e + 1;
   }
-  std::string out = "/";
-  for (size_t i = 0; i < segments.size(); ++i) {
-    out += segments[i];
-    if (i + 1 < segments.size()) out += '/';
-  }
+  if (w == 0) out[w++] = '/';
   // Preserve a trailing slash (directory request).
-  if (decoded.size() > 1 && decoded.back() == '/' && out.back() != '/') {
-    out += '/';
-  }
+  if (want_trailing && out[w - 1] != '/') out[w++] = '/';
+  out.resize(w);
+  return true;
+}
+
+std::string sanitize_path(std::string_view raw_path) {
+  std::string out;
+  if (!sanitize_path_into(raw_path, out)) return {};
   return out;
 }
 
 ParseOutcome parse_request(cops::ByteBuffer& in, HttpRequest& out,
-                           const ParseLimits& limits) {
+                           const ParseLimits& limits,
+                           StatusCode* reject_status) {
+  out.reset();
+  if (reject_status) *reject_status = StatusCode::kBadRequest;
   const auto view = in.view();
   const size_t header_end = view.find("\r\n\r\n");
   if (header_end == std::string_view::npos) {
@@ -123,7 +165,6 @@ ParseOutcome parse_request(cops::ByteBuffer& in, HttpRequest& out,
   }
   if (header_end > limits.max_header_bytes) return ParseOutcome::kMalformed;
 
-  HttpRequest request;
   const auto header_block = view.substr(0, header_end);
   size_t line_start = 0;
   bool first = true;
@@ -132,36 +173,58 @@ ParseOutcome parse_request(cops::ByteBuffer& in, HttpRequest& out,
     if (line_end == std::string_view::npos) line_end = header_block.size();
     const auto line = header_block.substr(line_start, line_end - line_start);
     if (first) {
-      if (!parse_request_line(line, request)) return ParseOutcome::kMalformed;
+      if (!parse_request_line(line, out)) return ParseOutcome::kMalformed;
       first = false;
     } else if (!line.empty()) {
-      if (!parse_header_line(line, request)) return ParseOutcome::kMalformed;
+      if (!parse_header_line(line, out)) return ParseOutcome::kMalformed;
     }
     if (line_end == header_block.size()) break;
     line_start = line_end + 2;
   }
   if (first) return ParseOutcome::kMalformed;
-  if (request.path.empty() && request.target != "*") {
+  if (out.path.empty() && out.target != "*") {
     return ParseOutcome::kMalformed;
+  }
+
+  // Transfer-Encoding (chunked or otherwise) is unimplemented in a
+  // static-content server; attempting to skip an unparsed chunk body would
+  // desynchronize the connection and open a request-smuggling window.
+  // Deterministic 501 + close instead.  The unread body is deliberately
+  // left unconsumed — the connection closes with it.
+  if (out.headers.find_index("transfer-encoding") != HeaderMap::npos) {
+    in.consume(header_end + 4);
+    if (reject_status) *reject_status = StatusCode::kNotImplemented;
+    return ParseOutcome::kReject;
   }
 
   // Body (Content-Length only; chunked uploads are out of scope for a
   // static-content server, as in COPS-HTTP).
-  size_t body_len = 0;
-  if (auto it = request.headers.find("content-length");
-      it != request.headers.end()) {
-    const long n = cops::parse_non_negative(it->second);
-    if (n < 0 || static_cast<size_t>(n) > limits.max_body_bytes) {
-      return ParseOutcome::kMalformed;
+  uint64_t body_len = 0;
+  if (auto content_length = out.headers.get("content-length")) {
+    if (!parse_content_length(*content_length, &body_len)) {
+      in.consume(header_end + 4);
+      if (reject_status) *reject_status = StatusCode::kBadRequest;
+      return ParseOutcome::kReject;
     }
-    body_len = static_cast<size_t>(n);
+    if (body_len > limits.max_body_bytes) {
+      in.consume(header_end + 4);
+      if (reject_status) *reject_status = StatusCode::kPayloadTooLarge;
+      return ParseOutcome::kReject;
+    }
   }
-  const size_t total = header_end + 4 + body_len;
+  const size_t total = header_end + 4 + static_cast<size_t>(body_len);
   if (view.size() < total) return ParseOutcome::kIncomplete;
-  request.body = std::string(view.substr(header_end + 4, body_len));
+  out.body.assign(view.data() + header_end + 4,
+                  static_cast<size_t>(body_len));
   in.consume(total);
-  out = std::move(request);
   return ParseOutcome::kComplete;
+}
+
+ParseOutcome parse_request(cops::ByteBuffer& in, HttpRequest& out,
+                           const ParseLimits& limits) {
+  StatusCode ignored = StatusCode::kBadRequest;
+  const auto outcome = parse_request(in, out, limits, &ignored);
+  return outcome == ParseOutcome::kReject ? ParseOutcome::kMalformed : outcome;
 }
 
 }  // namespace cops::http

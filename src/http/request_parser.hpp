@@ -3,19 +3,33 @@
 // Feed it a ByteBuffer; it consumes exactly one complete request (headers +
 // Content-Length body) per call, leaving pipelined follow-up requests in the
 // buffer — the contract the N-Server Decode step needs.
+//
+// The parser writes into a caller-owned HttpRequest whose fields recycle
+// their capacity (HttpRequest::reset()), so a connection that reuses one
+// scratch request across keep-alive requests parses with zero steady-state
+// heap allocations (buffer_mgmt=pooled).
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "common/byte_buffer.hpp"
 #include "http/request.hpp"
+#include "http/status_code.hpp"
 
 namespace cops::http {
 
 enum class ParseOutcome {
   kIncomplete,  // need more bytes
   kComplete,    // one request parsed and consumed
-  kMalformed,
+  kMalformed,   // garbage: close silently, no reply owed
+  // Well-formed enough to answer deterministically, but unacceptable:
+  // bad/overflowing Content-Length (400), body over the limit (413),
+  // Transfer-Encoding (501 — chunked uploads are unimplemented and parsing
+  // past them would desynchronize the connection).  The caller must send
+  // the status from `reject_status` and close; the header block has been
+  // consumed, the (possibly chunked) body deliberately has not.
+  kReject,
 };
 
 struct ParseLimits {
@@ -23,15 +37,28 @@ struct ParseLimits {
   size_t max_body_bytes = 1 * 1024 * 1024;
 };
 
-// Parses one request from `in`.  On kComplete the request is stored in
-// `out` and its bytes consumed; on kIncomplete nothing is consumed; on
-// kMalformed the buffer state is unspecified (the caller closes).
+// Parses one request from `in` into `out` (resetting it first).  On
+// kComplete the request's bytes are consumed; on kIncomplete nothing is
+// consumed; on kReject the header block is consumed and *reject_status
+// holds the response status; on kMalformed the buffer state is unspecified
+// (the caller closes).
+ParseOutcome parse_request(cops::ByteBuffer& in, HttpRequest& out,
+                           const ParseLimits& limits,
+                           StatusCode* reject_status);
+
+// Compatibility wrapper: rejects fold into kMalformed (silent close), the
+// pre-kReject behaviour that the baseline server and older callers expect.
 ParseOutcome parse_request(cops::ByteBuffer& in, HttpRequest& out,
                            const ParseLimits& limits = {});
 
-// Percent-decodes and normalizes a request path.  Returns an empty string
-// for traversal attempts ("..") or malformed escapes — callers must treat
-// that as Forbidden.
+// Percent-decodes and normalizes a request path into `out`, reusing its
+// capacity (no allocations once warmed).  Returns false — and callers must
+// treat the path as Forbidden — for traversal attempts ("..", including
+// percent-encoded ones, re-checked *after* decoding), embedded NULs
+// ("%00"), malformed escapes, and relative paths.
+bool sanitize_path_into(std::string_view raw_path, std::string& out);
+
+// Allocating convenience wrapper; empty string = rejected.
 [[nodiscard]] std::string sanitize_path(std::string_view raw_path);
 
 }  // namespace cops::http

@@ -20,9 +20,15 @@ Connection::Connection(Server& server, net::Reactor& reactor,
   if (auto addr = socket_.peer_address(); addr.is_ok()) {
     peer_ = addr.value().to_string();
   }
+  // buffer_mgmt=pooled: adopt a recycled read-buffer backing store instead
+  // of growing a fresh vector from nothing.
+  buffer_pool_ = server_.shards_[shard_index_]->read_buffer_pool;
+  if (buffer_pool_) in_.adopt_storage(buffer_pool_->acquire());
 }
 
-Connection::~Connection() = default;
+Connection::~Connection() {
+  if (buffer_pool_) buffer_pool_->release(in_.release_storage());
+}
 
 void Connection::start() {
   want_read_ = true;
@@ -37,7 +43,7 @@ void Connection::start() {
   // on_connect hook: greeting etc.  Runs on the dispatcher; any send() it
   // performs is posted back to this reactor and ordered before request
   // replies.
-  auto ctx = std::make_shared<RequestContext>(server_, shared_from_this());
+  auto ctx = server_.make_context(shared_from_this());
   server_.hooks_->on_connect(*ctx);
 }
 

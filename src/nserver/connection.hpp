@@ -20,6 +20,7 @@
 #include <memory>
 #include <string>
 
+#include "common/buffer_pool.hpp"
 #include "common/byte_buffer.hpp"
 #include "common/clock.hpp"
 #include "common/send_queue.hpp"
@@ -135,6 +136,11 @@ class Connection : public net::EventHandler,
   std::string peer_;
 
   ByteBuffer in_;
+  // buffer_mgmt=pooled: where in_'s backing store came from and returns to
+  // (in ~Connection — never earlier, a worker may still be decoding from
+  // in_ when close() runs).  The connection holds its own reference so the
+  // return outlives any Server teardown ordering.
+  std::shared_ptr<BufferPool> buffer_pool_;
   SendQueue out_;
   std::shared_ptr<void> app_state_;
   TraceContext trace_;

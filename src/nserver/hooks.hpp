@@ -29,6 +29,10 @@ enum class DecodeStatus {
   kNeedMore,  // incomplete request: re-arm the socket for reading
   kRequest,   // one complete request extracted from the buffer
   kError,     // malformed input: the framework closes the connection
+  // Input the protocol can answer deterministically but not serve (bad
+  // Content-Length, unsupported Transfer-Encoding, ...): the framework
+  // encodes and sends the carried response, then closes the connection.
+  kReject,
 };
 
 struct DecodeResult {
@@ -43,6 +47,11 @@ struct DecodeResult {
   static DecodeResult error() { return {DecodeStatus::kError, {}, 0}; }
   static DecodeResult request_ready(std::any request, int priority = 0) {
     return {DecodeStatus::kRequest, std::move(request), priority};
+  }
+  // `response` goes through the Encode Reply hook like a normal reply, then
+  // the connection closes.
+  static DecodeResult reject(std::any response) {
+    return {DecodeStatus::kReject, std::move(response), 0};
   }
 };
 

@@ -40,6 +40,10 @@ const char* to_string(SendPath path) {
   return "?";
 }
 
+const char* to_string(BufferMgmt mgmt) {
+  return mgmt == BufferMgmt::kPerRequest ? "PerRequest" : "Pooled";
+}
+
 std::string ServerOptions::validate() const {
   if (dispatcher_threads < 1) {
     return "O1: dispatcher_threads must be >= 1";
@@ -91,6 +95,10 @@ std::string ServerOptions::validate() const {
   if (send_path == SendPath::kSendfile && sendfile_min_bytes == 0) {
     return "send_path: sendfile needs a positive size threshold "
            "(sendfile_min_bytes) so small files still populate the cache";
+  }
+  if (buffer_mgmt == BufferMgmt::kPooled && read_buffer_block_bytes == 0) {
+    return "buffer_mgmt: pooled buffers need a positive block size "
+           "(read_buffer_block_bytes)";
   }
   if (stats_export == StatsExport::kAdminHttp && !profiling) {
     return "O11+: the admin export serves the profiler's statistics; "

@@ -64,12 +64,25 @@ enum class SendPath {
   kSendfile,
 };
 
+// Buffer-management option: how the receive half of the request cycle gets
+// its memory.  kPerRequest is the naive path — a fresh read buffer per
+// connection, a fresh request object and RequestContext per request.
+// kPooled recycles all three: connection read buffers come from a per-shard
+// BufferPool, Decode hooks reuse a per-connection scratch request parsed
+// in place, and RequestContexts are allocated from a per-shard slab
+// free-list — zero steady-state allocations per keep-alive request.
+enum class BufferMgmt {
+  kPerRequest,
+  kPooled,
+};
+
 [[nodiscard]] const char* to_string(CompletionMode mode);
 [[nodiscard]] const char* to_string(ThreadAllocation alloc);
 [[nodiscard]] const char* to_string(CachePolicyKind kind);
 [[nodiscard]] const char* to_string(ServerMode mode);
 [[nodiscard]] const char* to_string(StatsExport mode);
 [[nodiscard]] const char* to_string(SendPath path);
+[[nodiscard]] const char* to_string(BufferMgmt mgmt);
 
 struct ServerOptions {
   // O1: # of dispatcher threads (1, or 2..N reactors sharding connections).
@@ -163,6 +176,14 @@ struct ServerOptions {
   // opened (not read) and transmitted with sendfile(2); smaller files take
   // the normal read-and-cache path.
   size_t sendfile_min_bytes = 256 * 1024;
+
+  // Buffer-management option (appended after send_path to preserve the
+  // paper's option numbering).  See enum BufferMgmt.
+  BufferMgmt buffer_mgmt = BufferMgmt::kPooled;
+  // kPooled only: initial capacity of pooled connection read buffers (they
+  // still grow past it on demand, and the grown capacity is what the pool
+  // recycles).  Also sizes the RequestContext slab blocks.
+  size_t read_buffer_block_bytes = 16 * 1024;
 
   // --- non-option runtime knobs -----------------------------------------
   std::string listen_host = "127.0.0.1";

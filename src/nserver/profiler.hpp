@@ -68,6 +68,12 @@ struct ProfilerSnapshot {
   uint64_t send_writev_calls = 0;      // send path: completed writev gathers
   uint64_t send_bytes_copied = 0;      // bytes materialised per reply path
   uint64_t send_sendfile_bytes = 0;    // bytes moved by sendfile(2)
+  // buffer_mgmt=pooled recycler totals, aggregated over every shard's
+  // context slab + read-buffer pool by Server::profile() (all three stay 0
+  // under per_request).
+  uint64_t pool_hits = 0;        // allocations served from a free-list
+  uint64_t pool_misses = 0;      // pool had to grow (or oversize fallback)
+  uint64_t pool_alloc_bytes = 0; // heap bytes the pools pulled in total
   double cache_hit_rate = 0.0;
 
   // Merged per-stage latency distributions (index by Stage).

@@ -58,6 +58,14 @@ SendPath RequestContext::send_path() const {
   return server_.options_.send_path;
 }
 
+BufferMgmt RequestContext::buffer_mgmt() const {
+  return server_.options_.buffer_mgmt;
+}
+
+std::shared_ptr<RequestContext> RequestContext::make_handle() const {
+  return server_.make_context(conn_);
+}
+
 void RequestContext::send_segments(EncodedReply reply) {
   auto conn = conn_;
   conn->reactor().post([conn, reply = std::move(reply)]() mutable {

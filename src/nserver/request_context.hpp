@@ -81,6 +81,11 @@ class RequestContext : public std::enable_shared_from_this<RequestContext> {
   // between a flat serialized reply (kCopy) and header/body segments.
   [[nodiscard]] SendPath send_path() const;
 
+  // The server's configured buffer management (S2).  Decode hooks consult
+  // this to decide between per-request objects and a per-connection scratch
+  // request recycled across keep-alive requests.
+  [[nodiscard]] BufferMgmt buffer_mgmt() const;
+
   // ---- output ------------------------------------------------------------
   // Enqueues bytes without completing the request (multi-part replies,
   // greetings, FTP intermediate responses).
@@ -105,9 +110,7 @@ class RequestContext : public std::enable_shared_from_this<RequestContext> {
   // server-initiated sends outside any request (e.g. chat broadcasts,
   // server push).  send()/close() on the handle stay valid for the
   // connection's lifetime; after the connection closes they are no-ops.
-  [[nodiscard]] std::shared_ptr<RequestContext> make_handle() const {
-    return std::make_shared<RequestContext>(server_, conn_);
-  }
+  [[nodiscard]] std::shared_ptr<RequestContext> make_handle() const;
 
  private:
   friend class Server;

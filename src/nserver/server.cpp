@@ -73,6 +73,15 @@ Status Server::start() {
   for (int i = 0; i < n_reactors; ++i) {
     auto shard = std::make_unique<Shard>();
     shard->reactor = std::make_unique<net::Reactor>();
+    if (options_.buffer_mgmt == BufferMgmt::kPooled) {
+      // Context objects are small; size the slab blocks to fit the object
+      // plus shared_ptr control block with headroom, and recycle read-buffer
+      // backing stores at the configured block size.
+      shard->ctx_pool = std::make_shared<SlabPool>(
+          sizeof(RequestContext) + 128, /*blocks_per_chunk=*/64);
+      shard->read_buffer_pool =
+          std::make_shared<BufferPool>(options_.read_buffer_block_bytes);
+    }
     shards_.push_back(std::move(shard));
   }
 
@@ -322,6 +331,20 @@ void Server::remove_connection(Connection& conn) {
 
 // ---- pipeline ---------------------------------------------------------------
 
+RequestContextPtr Server::make_context(
+    const std::shared_ptr<Connection>& conn) {
+  if (options_.buffer_mgmt == BufferMgmt::kPooled) {
+    const auto& pool = shards_[conn->shard_index()]->ctx_pool;
+    if (pool) {
+      // Object + control block in one slab block: the per-request context
+      // allocation becomes a free-list pop.
+      return std::allocate_shared<RequestContext>(
+          PoolAllocator<RequestContext>(pool), *this, conn);
+    }
+  }
+  return std::make_shared<RequestContext>(*this, conn);
+}
+
 void Server::submit_decode(const std::shared_ptr<Connection>& conn) {
   note_event(EventKind::kDecode, conn->id(), "queued");
   Event event;
@@ -335,8 +358,9 @@ void Server::submit_decode(const std::shared_ptr<Connection>& conn) {
 void Server::run_decode(const std::shared_ptr<Connection>& conn) {
   if (conn->closed()) return;
   DecodeResult result;
+  RequestContextPtr ctx;
   if (options_.encode_decode) {
-    auto ctx = std::make_shared<RequestContext>(*this, conn);
+    ctx = make_context(conn);
     try {
       result = hooks_->decode(*ctx, conn->in_buffer());
     } catch (const std::exception& e) {
@@ -359,6 +383,15 @@ void Server::run_decode(const std::shared_ptr<Connection>& conn) {
     case DecodeStatus::kError:
       if (options_.profiling) profiler_.count_decode_error();
       conn->reactor().post([conn] { conn->close("decode-error"); });
+      return;
+    case DecodeStatus::kReject:
+      // Protocol-level rejection (400/413/501, ...): the carried response
+      // goes through the normal Encode + Send path, then the connection
+      // closes — deterministic for the peer, no parser desync for us.
+      if (options_.profiling) profiler_.count_decode_error();
+      note_event(EventKind::kEncode, conn->id(), "decode-reject");
+      ctx->close_after_reply();
+      ctx->reply(std::move(result.request));
       return;
     case DecodeStatus::kRequest:
       break;
@@ -401,7 +434,7 @@ void Server::run_handle(const std::shared_ptr<Connection>& conn,
     conn->trace().handle_start_us.store(trace_now_us(),
                                         TraceContext::kRelaxed);
   }
-  auto ctx = std::make_shared<RequestContext>(*this, conn);
+  auto ctx = make_context(conn);
   ctx->priority_ = priority;
   try {
     hooks_->handle(*ctx, std::move(request));
@@ -573,9 +606,23 @@ void Server::note_event(EventKind kind, uint64_t conn_id, const char* detail) {
 }
 
 ProfilerSnapshot Server::profile() const {
-  return profiler_.snapshot(processor_ ? processor_->processed() : 0,
-                            cache_ ? cache_->hit_rate() : 0.0,
-                            cache_ ? cache_->invalidations() : 0);
+  auto snapshot = profiler_.snapshot(processor_ ? processor_->processed() : 0,
+                                     cache_ ? cache_->hit_rate() : 0.0,
+                                     cache_ ? cache_->invalidations() : 0);
+  // buffer_mgmt=pooled recycler totals, summed over the per-shard pools.
+  for (const auto& shard : shards_) {
+    if (shard->ctx_pool) {
+      snapshot.pool_hits += shard->ctx_pool->hits();
+      snapshot.pool_misses += shard->ctx_pool->misses();
+      snapshot.pool_alloc_bytes += shard->ctx_pool->heap_bytes();
+    }
+    if (shard->read_buffer_pool) {
+      snapshot.pool_hits += shard->read_buffer_pool->hits();
+      snapshot.pool_misses += shard->read_buffer_pool->misses();
+      snapshot.pool_alloc_bytes += shard->read_buffer_pool->heap_bytes();
+    }
+  }
+  return snapshot;
 }
 
 StatsSnapshot Server::stats_snapshot() const {

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/buffer_pool.hpp"
 #include "net/acceptor.hpp"
 #include "net/connector.hpp"
 #include "net/reactor.hpp"
@@ -110,7 +111,18 @@ class Server {
     std::unique_ptr<net::Reactor> reactor;
     // Confined to the shard's reactor thread.
     std::unordered_map<uint64_t, std::shared_ptr<Connection>> connections;
+    // buffer_mgmt=pooled recyclers (null under per_request).  The shared_ptrs
+    // are set once in start() and read-only afterwards; the pools themselves
+    // are internally synchronized — contexts and buffers are released from
+    // whichever thread drops the last reference.
+    std::shared_ptr<SlabPool> ctx_pool;
+    std::shared_ptr<BufferPool> read_buffer_pool;
   };
+
+  // Allocates a RequestContext — from the shard's slab free-list under
+  // buffer_mgmt=pooled, from the heap under per_request.
+  [[nodiscard]] RequestContextPtr make_context(
+      const std::shared_ptr<Connection>& conn);
 
   // ---- accept path (reactor 0) ------------------------------------------
   void on_accept(net::TcpSocket socket);

@@ -140,6 +140,16 @@ std::string render_prometheus(const StatsSnapshot& s) {
   append_metric(out, "cops_send_sendfile_bytes_total", "counter",
                 "Reply bytes moved by sendfile(2) (send_path=sendfile).",
                 c.send_sendfile_bytes);
+  append_metric(out, "cops_pool_hits_total", "counter",
+                "Pool allocations served from a free-list "
+                "(buffer_mgmt=pooled).",
+                c.pool_hits);
+  append_metric(out, "cops_pool_misses_total", "counter",
+                "Pool allocations that had to grow the pool.",
+                c.pool_misses);
+  append_metric(out, "cops_alloc_bytes_total", "counter",
+                "Heap bytes acquired by the request-path pools.",
+                c.pool_alloc_bytes);
   append_metric(out, "nserver_connections_open", "gauge",
                 "Currently open connections.", s.connections_open);
   append_metric(out, "nserver_processor_queue_depth", "gauge",
@@ -195,6 +205,9 @@ std::string render_json(const StatsSnapshot& s) {
   append_json_field(out, "send_writev_calls", c.send_writev_calls);
   append_json_field(out, "send_bytes_copied", c.send_bytes_copied);
   append_json_field(out, "send_sendfile_bytes", c.send_sendfile_bytes);
+  append_json_field(out, "pool_hits", c.pool_hits);
+  append_json_field(out, "pool_misses", c.pool_misses);
+  append_json_field(out, "alloc_bytes", c.pool_alloc_bytes);
   append_json_field(out, "connections_open", s.connections_open);
   append_json_field(out, "queue_depth", s.queue_depth);
   append_json_field(out, "processor_threads", s.processor_threads);

@@ -171,6 +171,8 @@ void check_http_invariants(const std::string& input) {
     }
     case cops::http::ParseOutcome::kMalformed:
       break;  // buffer state unspecified; caller closes
+    case cops::http::ParseOutcome::kReject:
+      FAIL() << "the 3-arg wrapper must fold kReject into kMalformed";
   }
   // Determinism of the outcome itself.
   cops::ByteBuffer fresh{std::string_view(input)};

@@ -389,6 +389,59 @@ TEST(NServerTemplate, SendPathAppendsWithoutRenumbering) {
   EXPECT_LT(stats_row, send_row) << "send_path must append after O11+";
 }
 
+TEST(NServerTemplate, BufferMgmtOptionCrosscutsGeneratedUnits) {
+  const auto tmpl = make_nserver_template();
+  // The HTTP preset (buffer_mgmt=pooled) emits the buffer unit and wires
+  // the pooled path; flipping to per_request removes both.
+  auto pooled_set = nserver_http_options();
+  auto per_request_set = pooled_set;
+  per_request_set.set("buffer_mgmt", "per_request");
+  auto on =
+      tmpl.render_all(pooled_set, {{"app_name", "A"}, {"listen_port", "0"}});
+  auto off = tmpl.render_all(per_request_set,
+                             {{"app_name", "A"}, {"listen_port", "0"}});
+  ASSERT_TRUE(on.is_ok());
+  ASSERT_TRUE(off.is_ok());
+  EXPECT_TRUE(on.value().count("buffer_config.hpp"));
+  EXPECT_FALSE(off.value().count("buffer_config.hpp"));
+  EXPECT_NE(on.value().at("traits.hpp").find("kPooledBuffers = true"),
+            std::string::npos);
+  EXPECT_NE(off.value().at("traits.hpp").find("kPooledBuffers = false"),
+            std::string::npos);
+  EXPECT_NE(on.value().at("server_main.cpp").find("BufferMgmt::kPooled"),
+            std::string::npos);
+  EXPECT_NE(
+      off.value().at("server_main.cpp").find("BufferMgmt::kPerRequest"),
+      std::string::npos);
+  EXPECT_NE(on.value().at("buffer_config.hpp").find("kReadBufferBlockBytes"),
+            std::string::npos);
+  EXPECT_NE(on.value().at("server_main.cpp").find("read_buffer_block_bytes"),
+            std::string::npos);
+  // The FTP preset stays per_request (one short command per connection
+  // gains nothing from recycling).
+  EXPECT_EQ(nserver_ftp_options().get("buffer_mgmt"), "per_request");
+}
+
+TEST(NServerTemplate, BufferMgmtAppendsWithoutRenumbering) {
+  // buffer_mgmt joins Table 2 as its own column while everything already
+  // there stays put; in the README option table it rows after send_path.
+  const auto tmpl = make_nserver_template();
+  auto matrix = tmpl.crosscut();
+  ASSERT_TRUE(matrix.is_ok());
+  EXPECT_TRUE(
+      matrix.value().at("Buffer Management").at("buffer_mgmt").existence);
+  EXPECT_TRUE(matrix.value().at("Send Reply").at("send_path").existence);
+  auto rendered = tmpl.render_all(nserver_http_options(),
+                                  {{"app_name", "A"}, {"listen_port", "0"}});
+  ASSERT_TRUE(rendered.is_ok());
+  const auto& readme = rendered.value().at("README.md");
+  const size_t send_row = readme.find("S1 send-reply path");
+  const size_t buffer_row = readme.find("S2 buffer management");
+  ASSERT_NE(send_row, std::string::npos);
+  ASSERT_NE(buffer_row, std::string::npos);
+  EXPECT_LT(send_row, buffer_row) << "buffer_mgmt must append after S1";
+}
+
 TEST(NServerTemplate, ConstraintRejectsExportWithoutProfiling) {
   const auto tmpl = make_nserver_template();
   auto bad = nserver_http_options();

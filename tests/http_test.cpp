@@ -214,6 +214,175 @@ TEST(KeepAlive, Http10ExplicitOn) {
   EXPECT_TRUE(req.keep_alive());
 }
 
+// Connection is a comma-separated token *list* (RFC 7230 §6.1): `close`
+// anywhere in the list closes, regardless of what else rides along, and
+// matching is per-token — substrings must not count.
+TEST(KeepAlive, CloseTokenInListCloses) {
+  HttpRequest req;
+  ASSERT_EQ(parse("GET / HTTP/1.1\r\nConnection: foo, close\r\n\r\n", req),
+            ParseOutcome::kComplete);
+  EXPECT_FALSE(req.keep_alive());
+}
+
+TEST(KeepAlive, CloseTokenCaseInsensitiveWithSpaces) {
+  HttpRequest req;
+  ASSERT_EQ(
+      parse("GET / HTTP/1.1\r\nConnection: keep-alive ,  CLOSE\r\n\r\n", req),
+      ParseOutcome::kComplete);
+  EXPECT_FALSE(req.keep_alive());
+}
+
+TEST(KeepAlive, CloseSubstringDoesNotClose) {
+  HttpRequest req;
+  ASSERT_EQ(parse("GET / HTTP/1.1\r\nConnection: closedown\r\n\r\n", req),
+            ParseOutcome::kComplete);
+  EXPECT_TRUE(req.keep_alive());
+}
+
+TEST(KeepAlive, Http10MixedCaseKeepAliveTokenOn) {
+  HttpRequest req;
+  ASSERT_EQ(parse("GET / HTTP/1.0\r\nConnection: x, Keep-Alive\r\n\r\n", req),
+            ParseOutcome::kComplete);
+  EXPECT_TRUE(req.keep_alive());
+}
+
+// ---------- strict decode rejections (kReject + status) ------------------------
+
+// 4-arg parse_request: deterministic rejection with a mapped status code
+// instead of the silent close the 3-arg wrapper gives legacy callers.
+std::pair<ParseOutcome, StatusCode> parse_strict(const std::string& wire,
+                                                 HttpRequest& out) {
+  ByteBuffer buf{std::string_view(wire)};
+  StatusCode status = StatusCode::kOk;
+  const ParseOutcome outcome =
+      parse_request(buf, out, ParseLimits{}, &status);
+  return {outcome, status};
+}
+
+TEST(StrictContentLength, PlusSignRejectedWith400) {
+  HttpRequest req;
+  auto [outcome, status] = parse_strict(
+      "POST / HTTP/1.1\r\nContent-Length: +5\r\n\r\nhello", req);
+  EXPECT_EQ(outcome, ParseOutcome::kReject);
+  EXPECT_EQ(status, StatusCode::kBadRequest);
+}
+
+TEST(StrictContentLength, TrailingGarbageRejectedWith400) {
+  HttpRequest req;
+  auto [outcome, status] = parse_strict(
+      "POST / HTTP/1.1\r\nContent-Length: 5x\r\n\r\nhello", req);
+  EXPECT_EQ(outcome, ParseOutcome::kReject);
+  EXPECT_EQ(status, StatusCode::kBadRequest);
+}
+
+TEST(StrictContentLength, InteriorWhitespaceRejectedWith400) {
+  HttpRequest req;
+  auto [outcome, status] = parse_strict(
+      "POST / HTTP/1.1\r\nContent-Length: 1 2\r\n\r\nxxx", req);
+  EXPECT_EQ(outcome, ParseOutcome::kReject);
+  EXPECT_EQ(status, StatusCode::kBadRequest);
+}
+
+TEST(StrictContentLength, Int64OverflowRejectedNotWrapped) {
+  // INT64_MAX + 1: a wrapping parser would read a small bogus length and
+  // desynchronize the connection.
+  HttpRequest req;
+  auto [outcome, status] = parse_strict(
+      "POST / HTTP/1.1\r\nContent-Length: 9223372036854775808\r\n\r\n", req);
+  EXPECT_EQ(outcome, ParseOutcome::kReject);
+  EXPECT_EQ(status, StatusCode::kBadRequest);
+}
+
+TEST(StrictContentLength, HugeDigitStringRejectedNotWrapped) {
+  HttpRequest req;
+  auto [outcome, status] = parse_strict(
+      "POST / HTTP/1.1\r\nContent-Length: 99999999999999999999999999\r\n\r\n",
+      req);
+  EXPECT_EQ(outcome, ParseOutcome::kReject);
+  EXPECT_EQ(status, StatusCode::kBadRequest);
+}
+
+TEST(StrictContentLength, MaxInt64ItselfIsParsedNotRejected) {
+  // The boundary value is legal; it trips the body-size limit (413), not
+  // the syntax check (400).
+  HttpRequest req;
+  auto [outcome, status] = parse_strict(
+      "POST / HTTP/1.1\r\nContent-Length: 9223372036854775807\r\n\r\n", req);
+  EXPECT_EQ(outcome, ParseOutcome::kReject);
+  EXPECT_EQ(status, StatusCode::kPayloadTooLarge);
+}
+
+TEST(StrictContentLength, OversizeBodyRejectedWith413) {
+  const ParseLimits limits;  // max_body_bytes = 1 MiB
+  HttpRequest req;
+  ByteBuffer buf{std::string_view(
+      "POST / HTTP/1.1\r\nContent-Length: 1048577\r\n\r\n")};
+  StatusCode status = StatusCode::kOk;
+  EXPECT_EQ(parse_request(buf, req, limits, &status), ParseOutcome::kReject);
+  EXPECT_EQ(status, StatusCode::kPayloadTooLarge);
+}
+
+TEST(StrictTransferEncoding, ChunkedRejectedWith501) {
+  // No chunked decoder exists; guessing at framing would open a
+  // request-smuggling window, so the reject is deterministic.
+  HttpRequest req;
+  auto [outcome, status] = parse_strict(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5\r\nhello\r\n0\r\n\r\n",
+      req);
+  EXPECT_EQ(outcome, ParseOutcome::kReject);
+  EXPECT_EQ(status, StatusCode::kNotImplemented);
+}
+
+TEST(StrictTransferEncoding, AnyTransferEncodingRejected) {
+  HttpRequest req;
+  auto [outcome, status] = parse_strict(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n", req);
+  EXPECT_EQ(outcome, ParseOutcome::kReject);
+  EXPECT_EQ(status, StatusCode::kNotImplemented);
+}
+
+TEST(StrictRejects, LegacyWrapperMapsRejectToMalformed) {
+  // The 3-arg overload keeps the old silent-close contract for the baseline
+  // servers: kReject degrades to kMalformed.
+  HttpRequest req;
+  EXPECT_EQ(parse("POST / HTTP/1.1\r\nContent-Length: +5\r\n\r\nhello", req),
+            ParseOutcome::kMalformed);
+  EXPECT_EQ(
+      parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", req),
+      ParseOutcome::kMalformed);
+}
+
+// ---------- percent-decode hardening -------------------------------------------
+
+TEST(SanitizePath, RejectsEncodedNul) {
+  // %00 would truncate a C filesystem path at the NUL.
+  EXPECT_EQ(sanitize_path("/a%00.txt"), "");
+  EXPECT_EQ(sanitize_path("/%00"), "");
+  EXPECT_EQ(sanitize_path("/a.txt%00.jpg"), "");
+}
+
+TEST(SanitizePath, TraversalCheckRunsOnDecodedBytes) {
+  // Every encoding of ".." must hit the same post-decode check.
+  EXPECT_EQ(sanitize_path("/%2e%2e/secret"), "");
+  EXPECT_EQ(sanitize_path("/%2E%2E/secret"), "");
+  EXPECT_EQ(sanitize_path("/a/%2e%2e/%2e%2e/etc/passwd"), "");
+  EXPECT_EQ(sanitize_path("/.%2e/secret"), "");
+  EXPECT_EQ(sanitize_path("/%2e./secret"), "");
+}
+
+TEST(SanitizePath, DotDotWithinRootResolves) {
+  EXPECT_EQ(sanitize_path("/a/%2e%2e/b"), "/b");
+  EXPECT_EQ(sanitize_path("/a/b/%2e%2e/c"), "/a/c");
+}
+
+TEST(SanitizePath, ReusedOutputBufferIsFullyReplaced) {
+  std::string out = "stale previous contents";
+  ASSERT_TRUE(sanitize_path_into("/x.txt", out));
+  EXPECT_EQ(out, "/x.txt");
+  ASSERT_FALSE(sanitize_path_into("/%00", out));
+}
+
 // ---------- response serialization ---------------------------------------------------
 
 TEST(Response, SerializeBasics) {

@@ -256,5 +256,59 @@ TEST(HttpModelDeterminismTest, SameSeedSameFullStackTrace) {
   }
 }
 
+// Anti-smuggling: a pipelined POST declaring Transfer-Encoding: chunked is
+// answered with a deterministic 501 and the connection closes *immediately*
+// — the chunked body and the GET smuggled after it must never be parsed as
+// a second request.  A lenient server that ignored the TE header would read
+// the chunk framing as a body of some guessed length and then happily serve
+// the smuggled GET on the same keep-alive connection.
+TEST(HttpSmugglingTest, ChunkedPostGetsOne501AndCloses) {
+  for (const auto& plan : {FaultPlan::none(), FaultPlan::chaos()}) {
+    SimEngine engine(31337, plan);
+    test::TempDir dir;
+    dir.write_file("a.txt", file_a());
+
+    auto options = http::CopsHttpServer::default_options();
+    make_deterministic(options);
+    options.listen_port = 8090;
+    http::HttpServerConfig config;
+    config.doc_root = dir.str();
+    http::CopsHttpServer server(std::move(options), config);
+    ASSERT_TRUE(server.start().is_ok());
+
+    auto* client = engine.new_client();
+    engine.at(milliseconds(1), [client] { client->connect(8090); });
+    engine.at(milliseconds(2), [client] {
+      client->send(
+          "POST /a.txt HTTP/1.1\r\n"
+          "Host: sim\r\n"
+          "Transfer-Encoding: chunked\r\n"
+          "\r\n"
+          "1c\r\nGET /a.txt HTTP/1.1\r\n\r\n\r\n0\r\n\r\n"
+          "GET /a.txt HTTP/1.1\r\nHost: sim\r\n\r\n");
+    });
+    ASSERT_TRUE(engine.run(std::chrono::seconds(120)))
+        << engine.trace_text();
+    server.stop();
+
+    const std::string& received = client->received();
+    // Exactly one response, and it is the 501.
+    EXPECT_EQ(received.rfind("HTTP/1.1 501", 0), 0u)
+        << "first reply is not a 501:\n" << received;
+    size_t status_lines = 0;
+    for (size_t at = received.find("HTTP/1.1 ");
+         at != std::string::npos;
+         at = received.find("HTTP/1.1 ", at + 1)) {
+      ++status_lines;
+    }
+    EXPECT_EQ(status_lines, 1u)
+        << "smuggled GET was answered:\n" << received;
+    EXPECT_EQ(received.find(" 200 "), std::string::npos);
+    // And the connection is closed — nothing after the reject is decoded.
+    EXPECT_TRUE(client->peer_closed());
+    EXPECT_TRUE(engine.failures().empty());
+  }
+}
+
 }  // namespace
 }  // namespace cops::simnet

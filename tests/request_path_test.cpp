@@ -1,0 +1,365 @@
+// Request-path pooling tests (buffer_mgmt = pooled, option S2).
+//
+// Three layers:
+//   1. Unit coverage of the slab/pool layer (SlabPool, BufferPool, Arena)
+//      and of ByteBuffer storage adoption + HeaderMap arena reuse.
+//   2. Pool behaviour under pressure: exhaustion grows the pool (counted as
+//      misses), recycling turns subsequent traffic into hits.
+//   3. Full-stack simnet differentials: the same seeded scenario, replayed
+//      under chaos fault plans, must produce byte-identical reply streams
+//      with buffer_mgmt=pooled and buffer_mgmt=per_request — pooling is a
+//      pure optimisation with no observable protocol effect.
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/buffer_pool.hpp"
+#include "common/byte_buffer.hpp"
+#include "http/http_server.hpp"
+#include "http/request.hpp"
+#include "simnet/sim_harness.hpp"
+#include "tests/test_util.hpp"
+
+namespace cops {
+namespace {
+
+using std::chrono::milliseconds;
+
+// ---- SlabPool ------------------------------------------------------------
+
+TEST(SlabPoolTest, RecyclesBlocksAsHits) {
+  SlabPool pool(256, /*blocks_per_chunk=*/4);
+  void* a = pool.allocate(100);
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(pool.misses(), 1u);  // first allocation grew the pool
+  EXPECT_EQ(pool.hits(), 0u);
+  EXPECT_EQ(pool.free_blocks(), 3u);
+
+  pool.deallocate(a, 100);
+  EXPECT_EQ(pool.free_blocks(), 4u);
+  void* b = pool.allocate(256);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+  pool.deallocate(b, 256);
+}
+
+TEST(SlabPoolTest, ExhaustionGrowsByWholeChunks) {
+  SlabPool pool(64, /*blocks_per_chunk=*/2);
+  std::vector<void*> blocks;
+  for (int i = 0; i < 7; ++i) blocks.push_back(pool.allocate(64));
+  // 7 live blocks from 2-block chunks: four growth steps, 8 blocks total.
+  EXPECT_EQ(pool.misses(), 4u);
+  EXPECT_EQ(pool.hits(), 3u);  // the second block of each grown chunk
+  EXPECT_EQ(pool.free_blocks(), 1u);
+  const uint64_t grown_bytes = pool.heap_bytes();
+  EXPECT_GE(grown_bytes, 8u * 64u);
+
+  for (void* b : blocks) pool.deallocate(b, 64);
+  // Steady state: everything recycles, the heap footprint stays flat.
+  for (int round = 0; round < 3; ++round) {
+    std::vector<void*> again;
+    for (int i = 0; i < 8; ++i) again.push_back(pool.allocate(64));
+    for (void* b : again) pool.deallocate(b, 64);
+  }
+  EXPECT_EQ(pool.heap_bytes(), grown_bytes);
+  EXPECT_EQ(pool.misses(), 4u);
+}
+
+TEST(SlabPoolTest, OversizeRequestsFallBackToHeap) {
+  SlabPool pool(64);
+  void* big = pool.allocate(1024);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_EQ(pool.free_blocks(), 0u);  // never enters the freelist
+  std::memset(big, 0xab, 1024);       // really is 1024 usable bytes
+  pool.deallocate(big, 1024);
+  EXPECT_EQ(pool.free_blocks(), 0u);
+}
+
+TEST(PoolAllocatorTest, AllocateSharedUsesTheSlab) {
+  auto pool = std::make_shared<SlabPool>(256, 4);
+  struct Payload {
+    uint64_t a = 1;
+    uint64_t b = 2;
+  };
+  {
+    auto p = std::allocate_shared<Payload>(PoolAllocator<Payload>(pool));
+    EXPECT_EQ(p->a + p->b, 3u);
+    EXPECT_EQ(pool->misses() + pool->hits(), 1u);
+  }
+  // Destroyed object's block is recycled: the next one is a hit.
+  auto q = std::allocate_shared<Payload>(PoolAllocator<Payload>(pool));
+  EXPECT_GE(pool->hits(), 1u);
+}
+
+// ---- BufferPool ----------------------------------------------------------
+
+TEST(BufferPoolTest, AcquireReleaseRecyclesCapacity) {
+  BufferPool pool(4096, /*max_free=*/2);
+  auto a = pool.acquire();
+  EXPECT_GE(a.capacity(), 4096u);
+  EXPECT_EQ(pool.misses(), 1u);
+  // A buffer that grew while in use returns with its larger capacity.
+  a.resize(64 * 1024);
+  const size_t grown = a.capacity();
+  pool.release(std::move(a));
+  auto b = pool.acquire();
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_GE(b.capacity(), grown);
+  EXPECT_TRUE(b.empty());  // recycled buffers come back cleared
+}
+
+TEST(BufferPoolTest, FreeListIsBoundedAndUndersizedRejected) {
+  BufferPool pool(4096, /*max_free=*/2);
+  pool.release(std::vector<uint8_t>(8192));
+  pool.release(std::vector<uint8_t>(8192));
+  pool.release(std::vector<uint8_t>(8192));  // over max_free: dropped
+  EXPECT_EQ(pool.free_buffers(), 2u);
+  pool.release(std::vector<uint8_t>(16));  // under block size: dropped
+  EXPECT_EQ(pool.free_buffers(), 2u);
+}
+
+// ---- Arena ---------------------------------------------------------------
+
+TEST(ArenaTest, BumpAllocatesAlignedAndResetsInPlace) {
+  Arena arena(256);
+  void* a = arena.allocate(10, 8);
+  void* b = arena.allocate(10, 8);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(a) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(b) % 8, 0u);
+  // Overflow the first chunk; a second one is added.
+  arena.allocate(300, 8);
+  EXPECT_GE(arena.chunk_count(), 2u);
+  const uint64_t footprint = arena.heap_bytes();
+
+  // reset() recycles: the same sequence fits in the existing chunks.
+  for (int round = 0; round < 5; ++round) {
+    arena.reset();
+    arena.allocate(10, 8);
+    arena.allocate(10, 8);
+    arena.allocate(300, 8);
+  }
+  EXPECT_EQ(arena.heap_bytes(), footprint);
+}
+
+// ---- ByteBuffer storage adoption -----------------------------------------
+
+TEST(ByteBufferAdoptTest, AdoptedStorageRoundTrips) {
+  BufferPool pool(4096);
+  ByteBuffer buffer;
+  buffer.adopt_storage(pool.acquire());
+  const char msg[] = "hello pooled world";
+  buffer.append(msg, sizeof(msg) - 1);
+  EXPECT_EQ(buffer.view(), "hello pooled world");
+  buffer.consume(6);
+  EXPECT_EQ(buffer.view(), "pooled world");
+
+  auto storage = buffer.release_storage();
+  EXPECT_GE(storage.capacity(), 4096u);
+  EXPECT_EQ(buffer.readable(), 0u);  // buffer is reusable after release
+  buffer.append("x", 1);
+  EXPECT_EQ(buffer.view(), "x");
+  pool.release(std::move(storage));
+  EXPECT_EQ(pool.free_buffers(), 1u);
+}
+
+// ---- HeaderMap -----------------------------------------------------------
+
+TEST(HeaderMapTest, LowercasesNamesAndLooksUpCaseInsensitively) {
+  http::HeaderMap map;
+  map.add("Content-Type", "text/html");
+  map.add("X-MiXeD", "v");
+  ASSERT_EQ(map.size(), 2u);
+  EXPECT_EQ(map.at(0).name, "content-type");
+  ASSERT_TRUE(map.get("CONTENT-TYPE").has_value());
+  EXPECT_EQ(*map.get("content-type"), "text/html");
+  EXPECT_EQ(*map.get("x-mixed"), "v");
+  EXPECT_FALSE(map.get("missing").has_value());
+}
+
+TEST(HeaderMapTest, AppendToValueJoinsWithCommaSpace) {
+  http::HeaderMap map;
+  map.add("Accept", "text/html");
+  map.append_to_value(0, "text/plain");
+  EXPECT_EQ(*map.get("accept"), "text/html, text/plain");
+}
+
+TEST(HeaderMapTest, ResetKeepsNoEntriesAndEqualityIsOrdered) {
+  http::HeaderMap a;
+  http::HeaderMap b;
+  a.add("One", "1");
+  a.add("Two", "2");
+  b.add("one", "1");
+  b.add("two", "2");
+  EXPECT_TRUE(a == b);
+  b.reset();
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_FALSE(a == b);
+  b.add("two", "2");
+  b.add("one", "1");
+  EXPECT_FALSE(a == b);  // same pairs, different wire order
+}
+
+// ---- full-stack simnet differential --------------------------------------
+
+// Replays a fixed multi-request keep-alive scenario (including a request
+// line delivered byte-by-byte — the short-read split case) through the full
+// COPS-HTTP stack over the simulated network and returns the client's
+// received byte stream.
+std::string run_scenario(uint64_t seed, const simnet::FaultPlan& plan,
+                         nserver::BufferMgmt buffer_mgmt,
+                         size_t read_buffer_block_bytes = 16 * 1024,
+                         bool* closed_out = nullptr) {
+  simnet::SimEngine engine(seed, plan);
+
+  test::TempDir dir;
+  dir.write_file("a.txt", "alpha file: the quick brown fox\n");
+  std::string big;
+  for (int i = 0; i < 2000; ++i) big += static_cast<char>('A' + (i * 7) % 26);
+  dir.write_file("b.bin", big);
+  // Pin the docroot mtimes: Last-Modified must not depend on which
+  // wall-clock second this run created its files in, or the pooled and
+  // per_request differential runs can straddle a second boundary.
+  const auto fixed_mtime = std::chrono::file_clock::from_sys(
+      std::chrono::sys_seconds(std::chrono::seconds(784111777)));
+  std::filesystem::last_write_time(dir.path() / "a.txt", fixed_mtime);
+  std::filesystem::last_write_time(dir.path() / "b.bin", fixed_mtime);
+
+  auto options = http::CopsHttpServer::default_options();
+  simnet::make_deterministic(options);
+  options.listen_port = 8090;
+  options.buffer_mgmt = buffer_mgmt;
+  options.read_buffer_block_bytes = read_buffer_block_bytes;
+  http::HttpServerConfig config;
+  config.doc_root = dir.str();
+  http::CopsHttpServer server(std::move(options), config);
+  auto started = server.start();
+  EXPECT_TRUE(started.is_ok()) << started.to_string();
+
+  const std::string wire =
+      "GET /a.txt HTTP/1.1\r\nHost: sim\r\n\r\n"
+      "GET /b.bin HTTP/1.1\r\nHost: sim\r\n\r\n"
+      "HEAD /a.txt HTTP/1.1\r\nHost: sim\r\n\r\n"
+      "GET /missing.txt HTTP/1.1\r\nHost: sim\r\n\r\n"
+      "GET /a.txt HTTP/1.1\r\nHost: sim\r\nConnection: close\r\n\r\n";
+
+  auto* client = engine.new_client();
+  engine.at(milliseconds(1), [client] { client->connect(8090); });
+  // Deliver the first request line one byte at a time (every parse sees an
+  // incomplete request and must re-examine the buffer), then the rest in
+  // seeded random segments.
+  const size_t drip = std::strlen("GET /a.txt HTTP/1.1\r\n");
+  int when_ms = 2;
+  for (size_t i = 0; i < drip; ++i) {
+    const std::string piece(1, wire[i]);
+    engine.at(milliseconds(when_ms++), [client, piece] {
+      client->send(piece);
+    });
+  }
+  std::mt19937_64 rng(seed);
+  size_t pos = drip;
+  while (pos < wire.size()) {
+    const size_t chunk = 1 + rng() % (wire.size() - pos);
+    const std::string piece = wire.substr(pos, chunk);
+    engine.at(milliseconds(when_ms), [client, piece] { client->send(piece); });
+    pos += chunk;
+    when_ms += static_cast<int>(rng() % 3);
+  }
+
+  EXPECT_TRUE(engine.run(std::chrono::seconds(120)))
+      << "scenario did not quiesce\n"
+      << engine.trace_text();
+  server.stop();
+  EXPECT_TRUE(engine.failures().empty());
+  if (closed_out != nullptr) *closed_out = client->peer_closed();
+  return client->received();
+}
+
+class RequestPathDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RequestPathDifferentialTest, PooledRepliesAreByteIdentical) {
+  const auto seed = static_cast<uint64_t>(GetParam());
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  bool pooled_closed = false;
+  bool per_request_closed = false;
+  const std::string pooled =
+      run_scenario(seed, simnet::FaultPlan::chaos(),
+                   nserver::BufferMgmt::kPooled, 16 * 1024, &pooled_closed);
+  const std::string per_request = run_scenario(
+      seed, simnet::FaultPlan::chaos(), nserver::BufferMgmt::kPerRequest,
+      16 * 1024, &per_request_closed);
+  ASSERT_FALSE(pooled.empty());
+  EXPECT_EQ(pooled, per_request)
+      << "buffer_mgmt must not change a single reply byte";
+  EXPECT_TRUE(pooled_closed);
+  EXPECT_EQ(pooled_closed, per_request_closed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RequestPathDifferentialTest,
+                         ::testing::Range(1, 7),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// A read-buffer block far smaller than the requests forces the adopted
+// storage to grow mid-request under chaos segmentation — the pool-miss
+// growth path.  Replies must still be byte-identical to per_request.
+TEST(RequestPathDifferentialTest, TinyPooledBlocksGrowAndStayCorrect) {
+  bool closed = false;
+  const std::string pooled =
+      run_scenario(99, simnet::FaultPlan::chaos(),
+                   nserver::BufferMgmt::kPooled, /*block=*/32, &closed);
+  const std::string per_request =
+      run_scenario(99, simnet::FaultPlan::chaos(),
+                   nserver::BufferMgmt::kPerRequest);
+  ASSERT_FALSE(pooled.empty());
+  EXPECT_EQ(pooled, per_request);
+  EXPECT_TRUE(closed);
+}
+
+// Pool counters actually move on the live server: serve traffic pooled and
+// expect hits + misses > 0 via the profiler aggregation.
+TEST(RequestPathPoolCountersTest, ProfileAggregatesPoolTraffic) {
+  simnet::SimEngine engine(7, simnet::FaultPlan::none());
+  test::TempDir dir;
+  dir.write_file("a.txt", "alpha\n");
+
+  auto options = http::CopsHttpServer::default_options();
+  simnet::make_deterministic(options);
+  options.listen_port = 8090;
+  options.profiling = true;
+  options.buffer_mgmt = nserver::BufferMgmt::kPooled;
+  http::HttpServerConfig config;
+  config.doc_root = dir.str();
+  http::CopsHttpServer server(std::move(options), config);
+  ASSERT_TRUE(server.start().is_ok());
+
+  auto* client = engine.new_client();
+  engine.at(milliseconds(1), [client] { client->connect(8090); });
+  engine.at(milliseconds(2), [client] {
+    client->send("GET /a.txt HTTP/1.1\r\nHost: sim\r\n\r\n");
+  });
+  engine.at(milliseconds(5), [client] {
+    client->send(
+        "GET /a.txt HTTP/1.1\r\nHost: sim\r\nConnection: close\r\n\r\n");
+  });
+  ASSERT_TRUE(engine.run(std::chrono::seconds(120)));
+
+  const auto profile = server.server().profile();
+  server.stop();
+  // The connection's read buffer and each request's context came from the
+  // shard pools.
+  EXPECT_GT(profile.pool_hits + profile.pool_misses, 0u);
+  EXPECT_GT(profile.pool_alloc_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace cops
