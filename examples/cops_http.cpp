@@ -24,6 +24,7 @@ void usage() {
       "          [--cache-mb N] [--scheduling] [--overload] [--idle-ms N]\n"
       "          [--auto-index] [--debug] [--profiling] [--logging]\n"
       "          [--send-path copy|writev|sendfile] [--sendfile-min BYTES]\n"
+      "          [--body-framing content_length|chunked] [--chunked-min BYTES]\n"
       "          [--admin] [--admin-port N] [--run-seconds N]");
 }
 
@@ -97,6 +98,12 @@ int main(int argc, char** argv) {
                               : cops::nserver::SendPath::kWritev;
     } else if (arg == "--sendfile-min") {
       options.sendfile_min_bytes = static_cast<size_t>(std::atol(next()));
+    } else if (arg == "--body-framing") {
+      options.body_framing = std::string(next()) == "chunked"
+                                 ? cops::nserver::BodyFraming::kChunked
+                                 : cops::nserver::BodyFraming::kContentLength;
+    } else if (arg == "--chunked-min") {
+      options.chunked_min_bytes = static_cast<size_t>(std::atol(next()));
     } else if (arg == "--logging") {
       options.logging = true;
     } else if (arg == "--run-seconds") {

@@ -42,11 +42,24 @@ std::string fetch_upstream(const std::string& host, uint16_t port,
                      " " + request.target +
                      " HTTP/1.1\r\nHost: upstream\r\nConnection: close\r\n";
   for (const auto& [name, value] : request.headers) {
-    if (name == "host" || name == "connection") continue;
+    // The parser already decoded the body: chunked uploads arrive here
+    // de-chunked, so the original framing headers must not be forwarded
+    // (and the expectation was already answered on the client side).
+    if (name == "host" || name == "connection" ||
+        name == "transfer-encoding" || name == "content-length" ||
+        name == "expect") {
+      continue;
+    }
     wire.append(name);
     wire.append(": ");
     wire.append(value);
     wire.append("\r\n");
+  }
+  // Re-frame the decoded body with an explicit length.
+  if (!request.body.empty() ||
+      request.headers.find_index("content-length") != cops::http::HeaderMap::npos ||
+      request.headers.find_index("transfer-encoding") != cops::http::HeaderMap::npos) {
+    wire += "Content-Length: " + std::to_string(request.body.size()) + "\r\n";
   }
   wire += "\r\n" + request.body;
   size_t sent = 0;
@@ -72,16 +85,34 @@ class ProxyHooks : public cops::nserver::AppHooks {
   ProxyHooks(std::string upstream_host, uint16_t upstream_port)
       : host_(std::move(upstream_host)), port_(upstream_port) {}
 
-  cops::nserver::DecodeResult decode(cops::nserver::RequestContext&,
+  cops::nserver::DecodeResult decode(cops::nserver::RequestContext& ctx,
                                      cops::ByteBuffer& in) override {
+    // 100-continue latch for the request currently dripping in (decode
+    // fires needs_continue on every incomplete attempt).
+    auto& state = ctx.app_state();
+    if (!state) state = std::make_shared<bool>(false);
+    auto* continue_sent = static_cast<bool*>(state.get());
     cops::http::HttpRequest request;
-    switch (cops::http::parse_request(in, request)) {
+    cops::http::ParseEvents events;
+    switch (cops::http::parse_request(in, request, {}, events)) {
       case cops::http::ParseOutcome::kIncomplete:
+        if (events.needs_continue && !*continue_sent) {
+          *continue_sent = true;
+          ctx.send("HTTP/1.1 100 Continue\r\n\r\n");
+        }
         return cops::nserver::DecodeResult::need_more();
       case cops::http::ParseOutcome::kMalformed:
-      case cops::http::ParseOutcome::kReject:  // wrapper maps these away
         return cops::nserver::DecodeResult::error();
+      case cops::http::ParseOutcome::kReject:
+        // Deterministic rejection (CL+TE, bad chunk framing, ...): answer
+        // with the status the parser chose and close — never forward
+        // ambiguous framing upstream.
+        return cops::nserver::DecodeResult::reject(
+            cops::http::make_error_response(events.reject_status,
+                                            /*keep_alive=*/false)
+                .serialize());
       case cops::http::ParseOutcome::kComplete:
+        *continue_sent = false;
         return cops::nserver::DecodeResult::request_ready(std::move(request));
     }
     return cops::nserver::DecodeResult::error();

@@ -63,6 +63,15 @@ OptionTable make_nserver_option_table() {
   // request, making the steady-state request path allocation-free.
   table.add({"buffer_mgmt", "S2: Buffer management", OptionType::kEnum,
              {"per_request", "pooled"}, "pooled"});
+  // Body-framing extension — appended after S2, again preserving the
+  // earlier column numbering: how the Encode Reply step frames response
+  // bodies.  `content_length` is the classical one-length-header shape;
+  // `chunked` advertises Transfer-Encoding: chunked and frames large
+  // bodies in fixed windows (RFC 7230 §4.1) — the streaming-reply shape —
+  // with only the tiny framing lines copied, the body segments staying
+  // zero-copy.  Chunked *request* decoding is unconditional either way.
+  table.add({"body_framing", "S3: Body framing", OptionType::kEnum,
+             {"content_length", "chunked"}, "content_length"});
 
   table.add_constraint(
       "O2/O8 interaction", [](const OptionSet& set) -> std::string {
@@ -177,6 +186,11 @@ inline constexpr bool kSendfile = false;
 inline constexpr bool kPooledBuffers = true;
 //% else
 inline constexpr bool kPooledBuffers = false;
+//% end
+//% if body_framing == "chunked"
+inline constexpr bool kChunkedReplies = true;
+//% else
+inline constexpr bool kChunkedReplies = false;
 //% end
 
 }  // namespace ${app_name}_traits
@@ -443,6 +457,32 @@ inline constexpr bool kCountPools = true;
 }  // namespace ${app_name}_gen
 )tmpl";
 
+constexpr const char* kFramingConfigHpp = R"tmpl(// Generated: chunked reply framing (exists when body_framing = chunked).
+// The Encode Reply step frames bodies with chunked transfer coding
+// (RFC 7230 section 4.1): per window an owned hex size line, the zero-copy
+// body slice, and a CRLF — riding the same writev/sendfile gather loop as
+// length-framed replies.  Request-side chunked decoding is always on; this
+// unit only configures the reply side.
+#pragma once
+
+#include <cstddef>
+
+namespace ${app_name}_gen {
+
+// Bodies at or above this size are chunk-framed; smaller replies keep
+// Content-Length, where the length is already known and framing overhead
+// buys nothing.
+inline constexpr std::size_t kChunkedMinBytes = 4u * 1024u;
+// Size of each chunk window on the reply side.
+inline constexpr std::size_t kReplyChunkBytes = 64u * 1024u;
+//% if profiling
+// Profiling (O11) exports the chunked-reply counter.
+inline constexpr bool kCountChunkedReplies = true;
+//% end
+
+}  // namespace ${app_name}_gen
+)tmpl";
+
 constexpr const char* kHooksHpp = R"tmpl(// Generated hook-method stubs for ${app_name}.
 // These are the ONLY methods you implement — the three application-dependent
 // steps of the five-step request cycle (Decode Request, Handle Request,
@@ -545,6 +585,9 @@ constexpr const char* kServerMainCpp = R"tmpl(// Generated server main for ${app
 #include "buffer_config.hpp"
 //% end
 #include "event_config.hpp"
+//% if body_framing == "chunked"
+#include "framing_config.hpp"
+//% end
 #include "hooks.hpp"
 #include "reactor_config.hpp"
 //% if send_path != "copy"
@@ -637,6 +680,13 @@ int main() {
 //% else
   options.buffer_mgmt = cops::nserver::BufferMgmt::kPerRequest;
 //% end
+//% if body_framing == "chunked"
+  options.body_framing = cops::nserver::BodyFraming::kChunked;
+  options.chunked_min_bytes = ${app_name}_gen::kChunkedMinBytes;
+  options.reply_chunk_bytes = ${app_name}_gen::kReplyChunkBytes;
+//% else
+  options.body_framing = cops::nserver::BodyFraming::kContentLength;
+//% end
   options.listen_port = ${listen_port};
   options.listen_backlog = ${app_name}_gen::kListenBacklog;
 
@@ -704,6 +754,7 @@ Option settings baked into this instance:
 | O11+ statistics export | ${stats_export} |
 | S1 send-reply path | ${send_path} |
 | S2 buffer management | ${buffer_mgmt} |
+| S3 body framing | ${body_framing} |
 
 Implement the hook methods in `hooks.cpp` (the three application-dependent
 steps), then build with CMake, pointing `COPS_NSERVER_ROOT` at the
@@ -730,6 +781,8 @@ PatternTemplate make_nserver_template() {
                  kSendConfigHpp});
   tmpl.add_file({"buffer_config.hpp", "Buffer Management",
                  "buffer_mgmt == \"pooled\"", kBufferConfigHpp});
+  tmpl.add_file({"framing_config.hpp", "Body Framing",
+                 "body_framing == \"chunked\"", kFramingConfigHpp});
   tmpl.add_file({"reactor_config.hpp", "Reactor", "", kReactorConfigHpp});
   tmpl.add_file({"acceptor_config.hpp", "Acceptor Event Handler", "",
                  kAcceptorConfigHpp});
@@ -757,6 +810,7 @@ OptionSet nserver_http_options() {
   set.set("logging", "no");
   set.set("send_path", "writev");
   set.set("buffer_mgmt", "pooled");
+  set.set("body_framing", "content_length");
   return set;
 }
 
@@ -776,6 +830,7 @@ OptionSet nserver_ftp_options() {
   set.set("logging", "no");
   set.set("send_path", "copy");
   set.set("buffer_mgmt", "per_request");
+  set.set("body_framing", "content_length");
   return set;
 }
 

@@ -15,26 +15,36 @@ nserver::DecodeResult HttpAppHooks::decode(nserver::RequestContext& ctx,
   // request); per_request builds a fresh HttpRequest and moves it through
   // the std::any, as the original COPS-HTTP did.
   const bool pooled = ctx.buffer_mgmt() == nserver::BufferMgmt::kPooled;
+  // The connection state also carries the 100-continue latch, so it exists
+  // in both buffer modes; per_request simply leaves `scratch` unused.
+  auto& any_state = ctx.app_state();
+  if (!any_state) any_state = std::make_shared<HttpConnState>();
+  auto* state = static_cast<HttpConnState*>(any_state.get());
   HttpRequest local;
-  HttpRequest* request = &local;
-  if (pooled) {
-    auto& state = ctx.app_state();
-    if (!state) state = std::make_shared<HttpConnState>();
-    request = &static_cast<HttpConnState*>(state.get())->scratch;
-  }
-  StatusCode reject_status = StatusCode::kBadRequest;
-  switch (parse_request(in, *request, ParseLimits{}, &reject_status)) {
+  HttpRequest* request = pooled ? &state->scratch : &local;
+  ParseEvents events;
+  switch (parse_request(in, *request, ParseLimits{}, events)) {
     case ParseOutcome::kIncomplete:
+      // RFC 7231 §5.1.1: the header block said "Expect: 100-continue" and
+      // the body is still in flight — answer with the interim status (once)
+      // so a conforming client stops holding the body back.
+      if (events.needs_continue && !state->continue_sent) {
+        state->continue_sent = true;
+        ctx.send("HTTP/1.1 100 Continue\r\n\r\n");
+      }
       return nserver::DecodeResult::need_more();
     case ParseOutcome::kMalformed:
       return nserver::DecodeResult::error();
     case ParseOutcome::kReject:
       // Deterministic protocol rejection (bad Content-Length, oversize
-      // body, Transfer-Encoding) — answered with a status reply and a
-      // close so no smuggled follow-up bytes are ever interpreted.
+      // body, CL+TE conflict, non-chunked Transfer-Encoding, obs-fold,
+      // malformed chunk framing, unsupported Expect) — answered with a
+      // status reply and a close so no smuggled follow-up bytes are ever
+      // interpreted.
       return nserver::DecodeResult::reject(
-          make_error_response(reject_status, /*keep_alive=*/false));
+          make_error_response(events.reject_status, /*keep_alive=*/false));
     case ParseOutcome::kComplete:
+      state->continue_sent = false;
       break;
   }
   if (config_.decode_delay.count() > 0) {
@@ -115,6 +125,13 @@ void HttpAppHooks::handle(nserver::RequestContext& ctx, std::any request) {
   const std::string fs_path = config_.doc_root + path;
 
   const bool head_only = req.method == Method::kHead;
+  // Body framing (S3): chunked replies are an HTTP/1.1-only coding, and
+  // only worth the framing overhead for bodies past the threshold; HEAD
+  // replies have no body to frame.  The actual size check waits for the
+  // fetch below.
+  const bool allow_chunked =
+      ctx.body_framing() == nserver::BodyFraming::kChunked && !head_only &&
+      req.version_major == 1 && req.version_minor >= 1;
   // Conditional GET: a valid If-Modified-Since newer than the file yields
   // 304 Not Modified (no body) — the cache-friendly path browsers use.
   int64_t if_modified_since = -1;
@@ -122,9 +139,9 @@ void HttpAppHooks::handle(nserver::RequestContext& ctx, std::any request) {
     if_modified_since = parse_http_date(std::string(*header));
   }
   ctx.fetch_file(
-      fs_path, [this, keep_alive, head_only, path, if_modified_since](
-                   nserver::RequestContext& ctx,
-                   Result<nserver::FileDataPtr> file) {
+      fs_path, [this, keep_alive, head_only, allow_chunked, path,
+                if_modified_since](nserver::RequestContext& ctx,
+                                   Result<nserver::FileDataPtr> file) {
         if (!file.is_ok()) {
           reply_error(ctx, StatusCode::kNotFound, keep_alive);
           return;
@@ -147,8 +164,14 @@ void HttpAppHooks::handle(nserver::RequestContext& ctx, std::any request) {
         resp.file = file.value();
         resp.head_only = head_only;
         resp.set_header("Content-Type", std::string(mime_type_for(path)));
-        resp.set_header("Content-Length",
-                        std::to_string(file.value()->size()));
+        if (allow_chunked &&
+            file.value()->size() >= ctx.chunked_min_bytes()) {
+          resp.chunked = true;
+          resp.chunk_bytes = ctx.reply_chunk_bytes();
+        } else {
+          resp.set_header("Content-Length",
+                          std::to_string(file.value()->size()));
+        }
         resp.set_header("Last-Modified",
                         format_http_date(file.value()->mtime_seconds));
         resp.set_header("Connection", keep_alive ? "keep-alive" : "close");
@@ -220,6 +243,21 @@ EncodedReply HttpAppHooks::encode_reply(nserver::RequestContext& ctx,
   }
   EncodedReply reply;
   reply.add_owned(resp.serialize_headers());
+  if (resp.chunked) {
+    // Chunk-framed body (S3): the ~10-byte size/CRLF framing lines are
+    // owned segments, the body windows stay refcounted cache slices or
+    // sendfile ranges — zero-copy is preserved, and the windows match
+    // serialize()'s so every send path emits identical bytes.
+    if (resp.file->fd >= 0) {
+      reply.add_file_chunked(resp.file, resp.file->fd, 0, resp.file->fd_size,
+                             resp.chunk_bytes);
+    } else {
+      reply.add_shared_chunked(resp.file, resp.file->bytes.data(),
+                               resp.file->bytes.size(), resp.chunk_bytes);
+    }
+    reply.add_last_chunk();
+    return reply;
+  }
   if (resp.file->fd >= 0) {
     // Large uncached file opened for sendfile: the kernel moves the bytes.
     reply.add_file(resp.file, resp.file->fd, 0, resp.file->fd_size);
@@ -250,6 +288,10 @@ nserver::ServerOptions CopsHttpServer::default_options() {
   options.logging = false;                                         // O12
   options.send_path = nserver::SendPath::kWritev;  // zero-copy reply path
   options.buffer_mgmt = nserver::BufferMgmt::kPooled;  // S2: recycle buffers
+  // S3: length-framed replies — the static-content default.  Chunked reply
+  // framing is opt-in (streaming/proxy deployments); chunked *request*
+  // decoding is unconditional.
+  options.body_framing = nserver::BodyFraming::kContentLength;
   return options;
 }
 

@@ -54,6 +54,12 @@ struct HttpServerConfig {
 // decoding allocates nothing.
 struct HttpConnState {
   HttpRequest scratch;
+  // Latch: an interim "100 Continue" has been emitted for the request
+  // currently being decoded (RFC 7231 §5.1.1).  The decoder fires
+  // needs_continue on every incomplete parse attempt while the body drips
+  // in; this keeps the interim reply to exactly one.  Reset when a request
+  // completes.
+  bool continue_sent = false;
 };
 
 class HttpAppHooks : public nserver::AppHooks {

@@ -1,5 +1,6 @@
 #include "http/request_parser.hpp"
 
+#include <algorithm>
 #include <cstdint>
 
 #include "common/string_util.hpp"
@@ -93,7 +94,174 @@ bool parse_content_length(std::string_view s, uint64_t* value) {
   return true;
 }
 
+// RFC 7230 §3.3.3: we only implement the chunked coding, and it must be the
+// *only* coding — "chunked, gzip" leaves the message length undeterminable
+// by us, and "gzip" alone is undecodable.  The value is a comma-separated
+// token list; empty elements (sloppy trailing commas) are ignored.
+bool te_is_exactly_chunked(std::string_view value) {
+  size_t tokens = 0;
+  bool chunked = false;
+  size_t start = 0;
+  while (start <= value.size()) {
+    size_t comma = value.find(',', start);
+    if (comma == std::string_view::npos) comma = value.size();
+    const std::string_view token =
+        cops::trim(value.substr(start, comma - start));
+    if (!token.empty()) {
+      ++tokens;
+      if (cops::iequals(token, "chunked")) chunked = true;
+    }
+    start = comma + 1;
+  }
+  return tokens == 1 && chunked;
+}
+
+// Trailer fields that would rewrite framing, routing, or control decisions
+// already taken from the header block (RFC 7230 §4.1.2's forbidden set,
+// restricted to the smuggling-relevant members we parse).
+bool forbidden_in_trailer(std::string_view name) {
+  return cops::iequals(name, "content-length") ||
+         cops::iequals(name, "transfer-encoding") ||
+         cops::iequals(name, "host") || cops::iequals(name, "trailer") ||
+         cops::iequals(name, "connection") || cops::iequals(name, "expect");
+}
+
+// Bound on one chunk-size line (hex digits + extensions + CRLF): generous
+// for real traffic, small enough that an attacker cannot buffer-bloat by
+// streaming an endless extension.
+constexpr size_t kMaxChunkSizeLine = 1024;
+
 }  // namespace
+
+void ChunkedDecoder::reset() {
+  state_ = State::kSizeLine;
+  chunk_remaining_ = 0;
+  decoded_ = 0;
+  trailer_bytes_ = 0;
+}
+
+ChunkedDecoder::Status ChunkedDecoder::feed(std::string_view input,
+                                            size_t* consumed,
+                                            std::string& body,
+                                            const ParseLimits& limits) {
+  size_t pos = 0;
+  *consumed = 0;
+  while (true) {
+    switch (state_) {
+      case State::kSizeLine: {
+        const size_t eol = input.find("\r\n", pos);
+        if (eol == std::string_view::npos) {
+          if (input.size() - pos > kMaxChunkSizeLine) return Status::kBadSyntax;
+          *consumed = pos;
+          return Status::kNeedMore;
+        }
+        if (eol - pos > kMaxChunkSizeLine) return Status::kBadSyntax;
+        const std::string_view line = input.substr(pos, eol - pos);
+        // chunk-size: 1*HEXDIG, then optional BWS and ";extensions".
+        size_t i = 0;
+        uint64_t size = 0;
+        for (; i < line.size(); ++i) {
+          const int digit = hex_digit(line[i]);
+          if (digit < 0) break;
+          // Overflow guard before the limit check: size*16 must stay in
+          // range even when max_body_bytes is set absurdly high.
+          if (size > (static_cast<uint64_t>(INT64_MAX) >> 4)) {
+            return Status::kTooLarge;
+          }
+          size = size * 16 + static_cast<uint64_t>(digit);
+          if (size > limits.max_body_bytes) return Status::kTooLarge;
+        }
+        if (i == 0) return Status::kBadSyntax;  // no hex digits at all
+        while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+        if (i < line.size() && line[i] != ';') return Status::kBadSyntax;
+        // Extensions (";name=value") are tolerated and ignored, but may not
+        // smuggle control bytes.
+        if (line.find('\0', i) != std::string_view::npos) {
+          return Status::kBadSyntax;
+        }
+        pos = eol + 2;
+        if (size == 0) {
+          state_ = State::kTrailer;
+        } else {
+          if (decoded_ + size > limits.max_body_bytes) return Status::kTooLarge;
+          chunk_remaining_ = size;
+          state_ = State::kData;
+        }
+        break;
+      }
+      case State::kData: {
+        const size_t take = static_cast<size_t>(
+            std::min<uint64_t>(chunk_remaining_, input.size() - pos));
+        body.append(input.data() + pos, take);
+        decoded_ += take;
+        pos += take;
+        chunk_remaining_ -= take;
+        if (chunk_remaining_ > 0) {
+          *consumed = pos;
+          return Status::kNeedMore;
+        }
+        state_ = State::kDataCr;
+        break;
+      }
+      case State::kDataCr:
+        if (pos >= input.size()) {
+          *consumed = pos;
+          return Status::kNeedMore;
+        }
+        if (input[pos] != '\r') return Status::kBadSyntax;
+        ++pos;
+        state_ = State::kDataLf;
+        break;
+      case State::kDataLf:
+        if (pos >= input.size()) {
+          *consumed = pos;
+          return Status::kNeedMore;
+        }
+        if (input[pos] != '\n') return Status::kBadSyntax;
+        ++pos;
+        state_ = State::kSizeLine;
+        break;
+      case State::kTrailer: {
+        const size_t eol = input.find("\r\n", pos);
+        if (eol == std::string_view::npos) {
+          if (input.size() - pos + trailer_bytes_ > limits.max_header_bytes) {
+            return Status::kBadTrailer;
+          }
+          *consumed = pos;
+          return Status::kNeedMore;
+        }
+        const std::string_view line = input.substr(pos, eol - pos);
+        trailer_bytes_ += line.size() + 2;
+        if (trailer_bytes_ > limits.max_header_bytes) {
+          return Status::kBadTrailer;
+        }
+        pos = eol + 2;
+        if (line.empty()) {
+          state_ = State::kDone;
+          *consumed = pos;
+          return Status::kDone;
+        }
+        // Trailer fields are validated, then discarded — nothing after the
+        // body may change what the header block already decided.  Folded
+        // continuations are as unacceptable here as in the headers.
+        if (line.front() == ' ' || line.front() == '\t') {
+          return Status::kBadTrailer;
+        }
+        const size_t colon = line.find(':');
+        if (colon == std::string_view::npos || colon == 0) {
+          return Status::kBadTrailer;
+        }
+        if (forbidden_in_trailer(cops::trim(line.substr(0, colon)))) {
+          return Status::kBadTrailer;
+        }
+        break;
+      }
+      case State::kDone:
+        *consumed = pos;
+        return Status::kDone;
+    }
+  }
+}
 
 bool sanitize_path_into(std::string_view raw_path, std::string& out) {
   // Percent-decode into `out` (capacity recycles across calls).  An encoded
@@ -153,10 +321,9 @@ std::string sanitize_path(std::string_view raw_path) {
 }
 
 ParseOutcome parse_request(cops::ByteBuffer& in, HttpRequest& out,
-                           const ParseLimits& limits,
-                           StatusCode* reject_status) {
+                           const ParseLimits& limits, ParseEvents& events) {
   out.reset();
-  if (reject_status) *reject_status = StatusCode::kBadRequest;
+  events = ParseEvents{};
   const auto view = in.view();
   const size_t header_end = view.find("\r\n\r\n");
   if (header_end == std::string_view::npos) {
@@ -164,6 +331,13 @@ ParseOutcome parse_request(cops::ByteBuffer& in, HttpRequest& out,
     return ParseOutcome::kIncomplete;
   }
   if (header_end > limits.max_header_bytes) return ParseOutcome::kMalformed;
+
+  // Consumes the header block and reports a deterministic status reply.
+  const auto reject = [&](StatusCode status) {
+    in.consume(header_end + 4);
+    events.reject_status = status;
+    return ParseOutcome::kReject;
+  };
 
   const auto header_block = view.substr(0, header_end);
   size_t line_start = 0;
@@ -176,6 +350,13 @@ ParseOutcome parse_request(cops::ByteBuffer& in, HttpRequest& out,
       if (!parse_request_line(line, out)) return ParseOutcome::kMalformed;
       first = false;
     } else if (!line.empty()) {
+      // RFC 7230 §3.2.4 obs-fold: a continuation line opening with SP/HTAB
+      // would silently glue onto the previous field in lenient parsers —
+      // a classic header-smuggling discrepancy between front-end and
+      // back-end.  Deterministic 400 + close instead of guessing.
+      if (line.front() == ' ' || line.front() == '\t') {
+        return reject(StatusCode::kBadRequest);
+      }
       if (!parse_header_line(line, out)) return ParseOutcome::kMalformed;
     }
     if (line_end == header_block.size()) break;
@@ -186,34 +367,80 @@ ParseOutcome parse_request(cops::ByteBuffer& in, HttpRequest& out,
     return ParseOutcome::kMalformed;
   }
 
-  // Transfer-Encoding (chunked or otherwise) is unimplemented in a
-  // static-content server; attempting to skip an unparsed chunk body would
-  // desynchronize the connection and open a request-smuggling window.
-  // Deterministic 501 + close instead.  The unread body is deliberately
-  // left unconsumed — the connection closes with it.
-  if (out.headers.find_index("transfer-encoding") != HeaderMap::npos) {
-    in.consume(header_end + 4);
-    if (reject_status) *reject_status = StatusCode::kNotImplemented;
-    return ParseOutcome::kReject;
+  // --- body framing decision (RFC 7230 §3.3.3) ---------------------------
+  bool chunked = false;
+  const size_t te_index = out.headers.find_index("transfer-encoding");
+  if (te_index != HeaderMap::npos) {
+    // Content-Length alongside Transfer-Encoding is the canonical request-
+    // smuggling vector: a front-end honouring one and a back-end the other
+    // desynchronize on where this request ends.  400 + close, always.
+    if (out.headers.find_index("content-length") != HeaderMap::npos) {
+      return reject(StatusCode::kBadRequest);
+    }
+    // Chunked framing was introduced in HTTP/1.1; a 1.0 sender cannot have
+    // meant it, so the message length is undeterminable.
+    if (out.version_major != 1 || out.version_minor < 1) {
+      return reject(StatusCode::kBadRequest);
+    }
+    // The only coding we decode is a lone "chunked"; anything else (gzip,
+    // or chunked stacked under another coding) keeps the deterministic
+    // 501 + close from the pre-chunked parser.
+    if (!te_is_exactly_chunked(out.headers.at(te_index).value)) {
+      return reject(StatusCode::kNotImplemented);
+    }
+    chunked = true;
   }
 
-  // Body (Content-Length only; chunked uploads are out of scope for a
-  // static-content server, as in COPS-HTTP).
+  // Expect (RFC 7231 §5.1.1): the only defined expectation is 100-continue.
+  // Anything else earns 417; 100-continue itself is surfaced to the caller
+  // via `events.needs_continue` once we know the body is still in flight.
+  bool expect_continue = false;
+  if (auto expect = out.headers.get("expect")) {
+    if (!cops::iequals(cops::trim(*expect), "100-continue")) {
+      return reject(StatusCode::kExpectationFailed);
+    }
+    expect_continue = out.version_major == 1 && out.version_minor >= 1;
+  }
+
+  if (chunked) {
+    // One-shot decode per call: on kNeedMore nothing is consumed and the
+    // whole body re-decodes when more bytes arrive — that keeps the
+    // kIncomplete-consumes-nothing contract (and re-parse purity) intact
+    // at the cost of re-scanning, which the read loop amortises.
+    ChunkedDecoder decoder;
+    size_t body_consumed = 0;
+    switch (decoder.feed(view.substr(header_end + 4), &body_consumed,
+                         out.body, limits)) {
+      case ChunkedDecoder::Status::kNeedMore:
+        events.needs_continue = expect_continue;
+        return ParseOutcome::kIncomplete;
+      case ChunkedDecoder::Status::kBadSyntax:
+      case ChunkedDecoder::Status::kBadTrailer:
+        return reject(StatusCode::kBadRequest);
+      case ChunkedDecoder::Status::kTooLarge:
+        return reject(StatusCode::kPayloadTooLarge);
+      case ChunkedDecoder::Status::kDone:
+        in.consume(header_end + 4 + body_consumed);
+        return ParseOutcome::kComplete;
+    }
+    return ParseOutcome::kMalformed;  // unreachable
+  }
+
+  // Content-Length framing.
   uint64_t body_len = 0;
   if (auto content_length = out.headers.get("content-length")) {
     if (!parse_content_length(*content_length, &body_len)) {
-      in.consume(header_end + 4);
-      if (reject_status) *reject_status = StatusCode::kBadRequest;
-      return ParseOutcome::kReject;
+      return reject(StatusCode::kBadRequest);
     }
     if (body_len > limits.max_body_bytes) {
-      in.consume(header_end + 4);
-      if (reject_status) *reject_status = StatusCode::kPayloadTooLarge;
-      return ParseOutcome::kReject;
+      return reject(StatusCode::kPayloadTooLarge);
     }
   }
   const size_t total = header_end + 4 + static_cast<size_t>(body_len);
-  if (view.size() < total) return ParseOutcome::kIncomplete;
+  if (view.size() < total) {
+    events.needs_continue = expect_continue && body_len > 0;
+    return ParseOutcome::kIncomplete;
+  }
   out.body.assign(view.data() + header_end + 4,
                   static_cast<size_t>(body_len));
   in.consume(total);
@@ -221,9 +448,18 @@ ParseOutcome parse_request(cops::ByteBuffer& in, HttpRequest& out,
 }
 
 ParseOutcome parse_request(cops::ByteBuffer& in, HttpRequest& out,
+                           const ParseLimits& limits,
+                           StatusCode* reject_status) {
+  ParseEvents events;
+  const auto outcome = parse_request(in, out, limits, events);
+  if (reject_status) *reject_status = events.reject_status;
+  return outcome;
+}
+
+ParseOutcome parse_request(cops::ByteBuffer& in, HttpRequest& out,
                            const ParseLimits& limits) {
-  StatusCode ignored = StatusCode::kBadRequest;
-  const auto outcome = parse_request(in, out, limits, &ignored);
+  ParseEvents events;
+  const auto outcome = parse_request(in, out, limits, events);
   return outcome == ParseOutcome::kReject ? ParseOutcome::kMalformed : outcome;
 }
 

@@ -1,5 +1,8 @@
 #include "http/response.hpp"
 
+#include <algorithm>
+#include <string_view>
+
 #include "http/http_date.hpp"
 
 namespace cops::http {
@@ -16,6 +19,25 @@ size_t digits_of(size_t v) {
     ++d;
   }
   return d;
+}
+
+size_t hex_digits_of(size_t v) {
+  size_t d = 1;
+  while (v >= 16) {
+    v /= 16;
+    ++d;
+  }
+  return d;
+}
+
+void append_hex(std::string& out, size_t v) {
+  char buf[2 * sizeof(size_t)];
+  size_t at = sizeof(buf);
+  do {
+    buf[--at] = "0123456789abcdef"[v % 16];
+    v /= 16;
+  } while (v > 0);
+  out.append(buf + at, sizeof(buf) - at);
 }
 }  // namespace
 
@@ -41,7 +63,10 @@ std::string HttpResponse::serialize_headers() const {
   const std::string_view reason = reason_phrase(status);
   const bool need_server = find_header("Server") == nullptr;
   const bool need_date = find_header("Date") == nullptr;
-  const bool need_length = find_header("Content-Length") == nullptr;
+  // Chunked replies advertise the coding instead of a length — emitting
+  // both would hand intermediaries the same framing ambiguity the request
+  // parser rejects with a 400.
+  const bool need_length = !chunked && find_header("Content-Length") == nullptr;
   const size_t length = body_size();
 
   // Exact byte count: the serialized block must never reallocate.
@@ -50,6 +75,7 @@ std::string HttpResponse::serialize_headers() const {
   if (need_server) total += sizeof("Server: COPS-HTTP/1.0\r\n") - 1;
   if (need_date) total += 6 /* "Date: " */ + kHttpDateLength + 2;
   if (need_length) total += 16 /* "Content-Length: " */ + digits_of(length) + 2;
+  if (chunked) total += sizeof("Transfer-Encoding: chunked\r\n") - 1;
   for (const auto& [name, value] : headers) {
     total += name.size() + 2 + value.size() + 2;
   }
@@ -72,6 +98,7 @@ std::string HttpResponse::serialize_headers() const {
     out += std::to_string(length);
     out += "\r\n";
   }
+  if (chunked) out += "Transfer-Encoding: chunked\r\n";
   for (const auto& [name, value] : headers) {
     out += name;
     out += ": ";
@@ -84,15 +111,31 @@ std::string HttpResponse::serialize_headers() const {
 
 std::string HttpResponse::serialize() const {
   std::string out = serialize_headers();
-  if (!head_only) {
-    const size_t body_bytes = file ? file->bytes.size() : body.size();
-    out.reserve(out.size() + body_bytes);
-    if (file) {
-      out += file->bytes;
-    } else {
-      out += body;
-    }
+  if (head_only) return out;
+  const std::string_view bytes = file ? std::string_view(file->bytes) : body;
+  if (!chunked) {
+    out.reserve(out.size() + bytes.size());
+    out += bytes;
+    return out;
   }
+  // Chunk framing with the same windows encode_reply uses, so copy and
+  // writev send paths emit bit-identical streams.  Exact reserve: per
+  // window a hex size line + CRLF, the data, a CRLF; then "0\r\n\r\n".
+  const size_t window = chunk_bytes == 0 ? bytes.size() : chunk_bytes;
+  size_t framed = 5 /* last chunk */;
+  for (size_t at = 0; at < bytes.size(); at += window) {
+    const size_t take = std::min(window, bytes.size() - at);
+    framed += hex_digits_of(take) + 2 + take + 2;
+  }
+  out.reserve(out.size() + framed);
+  for (size_t at = 0; at < bytes.size(); at += window) {
+    const size_t take = std::min(window, bytes.size() - at);
+    append_hex(out, take);
+    out += "\r\n";
+    out.append(bytes.data() + at, take);
+    out += "\r\n";
+  }
+  out += "0\r\n\r\n";
   return out;
 }
 

@@ -22,6 +22,13 @@ struct HttpResponse {
   std::string body;
   cops::nserver::FileDataPtr file;
   bool head_only = false;  // HEAD: emit headers, suppress body bytes
+  // Chunked transfer coding (RFC 7230 §4.1): the header block advertises
+  // "Transfer-Encoding: chunked" instead of Content-Length, and the body is
+  // framed in windows of `chunk_bytes`.  Every send path — serialize() on
+  // copy, segment framing in encode_reply on writev/sendfile — uses the
+  // same windows, so the wire bytes are identical across send paths.
+  bool chunked = false;
+  size_t chunk_bytes = 64 * 1024;
 
   void set_header(std::string name, std::string value);
   [[nodiscard]] const std::string* find_header(std::string_view name) const;
@@ -30,12 +37,14 @@ struct HttpResponse {
   }
 
   // Serializes status line + headers + the blank separator line.  Adds
-  // Content-Length, Server, and Date headers if absent.  This is the owned
-  // prefix of a segmented reply; the body rides as a refcounted slice.
+  // Content-Length (or "Transfer-Encoding: chunked" when `chunked`), Server,
+  // and Date headers if absent.  This is the owned prefix of a segmented
+  // reply; the body rides as a refcounted slice.
   [[nodiscard]] std::string serialize_headers() const;
 
   // Serializes status line + headers + body into one flat buffer (the
-  // send_path=copy format).  Reserves the exact size up front.
+  // send_path=copy format), chunk-framing the body when `chunked`.
+  // Reserves the exact size up front.
   [[nodiscard]] std::string serialize() const;
 };
 

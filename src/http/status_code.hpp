@@ -4,6 +4,7 @@
 namespace cops::http {
 
 enum class StatusCode : int {
+  kContinue = 100,
   kOk = 200,
   kNoContent = 204,
   kMovedPermanently = 301,
@@ -14,6 +15,7 @@ enum class StatusCode : int {
   kMethodNotAllowed = 405,
   kRequestTimeout = 408,
   kPayloadTooLarge = 413,
+  kExpectationFailed = 417,
   kUriTooLong = 414,
   kInternalServerError = 500,
   kNotImplemented = 501,
@@ -23,6 +25,7 @@ enum class StatusCode : int {
 
 [[nodiscard]] constexpr const char* reason_phrase(StatusCode code) {
   switch (code) {
+    case StatusCode::kContinue: return "Continue";
     case StatusCode::kOk: return "OK";
     case StatusCode::kNoContent: return "No Content";
     case StatusCode::kMovedPermanently: return "Moved Permanently";
@@ -33,6 +36,7 @@ enum class StatusCode : int {
     case StatusCode::kMethodNotAllowed: return "Method Not Allowed";
     case StatusCode::kRequestTimeout: return "Request Timeout";
     case StatusCode::kPayloadTooLarge: return "Payload Too Large";
+    case StatusCode::kExpectationFailed: return "Expectation Failed";
     case StatusCode::kUriTooLong: return "URI Too Long";
     case StatusCode::kInternalServerError: return "Internal Server Error";
     case StatusCode::kNotImplemented: return "Not Implemented";

@@ -129,6 +129,11 @@ void Connection::queue_send(EncodedReply reply, bool completes_request) {
   if (server_.options_.profiling && reply.copied_bytes > 0) {
     server_.profiler_.count_send_copied(reply.copied_bytes);
   }
+  // Chunk-framed replies (body_framing=chunked) are counted here — the one
+  // spot every encode path funnels through — not in the Encode hooks.
+  if (server_.options_.profiling && reply.chunked_framed) {
+    server_.profiler_.count_send_chunked();
+  }
   out_.push(std::move(reply));
   if (completes_request) reply_pending_drain_ = true;
   flush_out();

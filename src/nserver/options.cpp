@@ -44,6 +44,10 @@ const char* to_string(BufferMgmt mgmt) {
   return mgmt == BufferMgmt::kPerRequest ? "PerRequest" : "Pooled";
 }
 
+const char* to_string(BodyFraming framing) {
+  return framing == BodyFraming::kContentLength ? "ContentLength" : "Chunked";
+}
+
 std::string ServerOptions::validate() const {
   if (dispatcher_threads < 1) {
     return "O1: dispatcher_threads must be >= 1";
@@ -99,6 +103,10 @@ std::string ServerOptions::validate() const {
   if (buffer_mgmt == BufferMgmt::kPooled && read_buffer_block_bytes == 0) {
     return "buffer_mgmt: pooled buffers need a positive block size "
            "(read_buffer_block_bytes)";
+  }
+  if (body_framing == BodyFraming::kChunked && reply_chunk_bytes == 0) {
+    return "body_framing: chunked replies need a positive chunk window "
+           "(reply_chunk_bytes)";
   }
   if (stats_export == StatsExport::kAdminHttp && !profiling) {
     return "O11+: the admin export serves the profiler's statistics; "

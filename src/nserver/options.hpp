@@ -76,6 +76,20 @@ enum class BufferMgmt {
   kPooled,
 };
 
+// Body-framing option: how the Encode Reply step frames response bodies on
+// the wire.  kContentLength is the classic static-content shape — one
+// length header, body bytes verbatim.  kChunked advertises
+// "Transfer-Encoding: chunked" and frames large HTTP/1.1 bodies in
+// fixed-size chunks (RFC 7230 §4.1), the prerequisite for streaming replies
+// whose length is unknown up front; the ~10-byte-per-chunk framing lines
+// are owned segments riding the same writev/sendfile gather loop, so the
+// body bytes themselves stay zero-copy.  Request-side chunked *decoding* is
+// always on — this option only selects the reply framing.
+enum class BodyFraming {
+  kContentLength,
+  kChunked,
+};
+
 [[nodiscard]] const char* to_string(CompletionMode mode);
 [[nodiscard]] const char* to_string(ThreadAllocation alloc);
 [[nodiscard]] const char* to_string(CachePolicyKind kind);
@@ -83,6 +97,7 @@ enum class BufferMgmt {
 [[nodiscard]] const char* to_string(StatsExport mode);
 [[nodiscard]] const char* to_string(SendPath path);
 [[nodiscard]] const char* to_string(BufferMgmt mgmt);
+[[nodiscard]] const char* to_string(BodyFraming framing);
 
 struct ServerOptions {
   // O1: # of dispatcher threads (1, or 2..N reactors sharding connections).
@@ -184,6 +199,17 @@ struct ServerOptions {
   // still grow past it on demand, and the grown capacity is what the pool
   // recycles).  Also sizes the RequestContext slab blocks.
   size_t read_buffer_block_bytes = 16 * 1024;
+
+  // Body-framing option (appended after buffer_mgmt to preserve the paper's
+  // option numbering).  See enum BodyFraming.
+  BodyFraming body_framing = BodyFraming::kContentLength;
+  // kChunked only: HTTP/1.1 file replies at or above this size are sent
+  // chunk-framed; smaller bodies (and every error/listing/HEAD reply) keep
+  // Content-Length, where the length is already known and chunk overhead
+  // buys nothing.
+  size_t chunked_min_bytes = 4 * 1024;
+  // kChunked only: size of each chunk window on the reply side.
+  size_t reply_chunk_bytes = 64 * 1024;
 
   // --- non-option runtime knobs -----------------------------------------
   std::string listen_host = "127.0.0.1";

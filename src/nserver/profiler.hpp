@@ -68,6 +68,7 @@ struct ProfilerSnapshot {
   uint64_t send_writev_calls = 0;      // send path: completed writev gathers
   uint64_t send_bytes_copied = 0;      // bytes materialised per reply path
   uint64_t send_sendfile_bytes = 0;    // bytes moved by sendfile(2)
+  uint64_t send_chunked_replies = 0;   // replies framed with chunked coding
   // buffer_mgmt=pooled recycler totals, aggregated over every shard's
   // context slab + read-buffer pool by Server::profile() (all three stay 0
   // under per_request).
@@ -104,6 +105,7 @@ class Profiler {
   void count_send_sendfile(uint64_t n) {
     send_sendfile_.fetch_add(n, kRelaxed);
   }
+  void count_send_chunked() { send_chunked_.fetch_add(1, kRelaxed); }
 
   // Records a stage latency into this thread's shard.  Negative durations
   // (missing stamp — the stage was skipped) are dropped.
@@ -143,6 +145,7 @@ class Profiler {
   std::atomic<uint64_t> send_writevs_{0};
   std::atomic<uint64_t> send_copied_{0};
   std::atomic<uint64_t> send_sendfile_{0};
+  std::atomic<uint64_t> send_chunked_{0};
 
   // Profilers are identified by a never-recycled id so the thread-local
   // shard cache can never alias a new profiler with a destroyed one that

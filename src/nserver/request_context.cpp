@@ -62,6 +62,18 @@ BufferMgmt RequestContext::buffer_mgmt() const {
   return server_.options_.buffer_mgmt;
 }
 
+BodyFraming RequestContext::body_framing() const {
+  return server_.options_.body_framing;
+}
+
+size_t RequestContext::chunked_min_bytes() const {
+  return server_.options_.chunked_min_bytes;
+}
+
+size_t RequestContext::reply_chunk_bytes() const {
+  return server_.options_.reply_chunk_bytes;
+}
+
 std::shared_ptr<RequestContext> RequestContext::make_handle() const {
   return server_.make_context(conn_);
 }

@@ -16,6 +16,8 @@
 #include <gtest/gtest.h>
 
 #include "bench/request_path_harness.hpp"
+#include "common/byte_buffer.hpp"
+#include "http/request_parser.hpp"
 
 namespace cops::bench {
 namespace {
@@ -59,6 +61,44 @@ TEST(AllocCountTest, PooledRequestPathIsAllocationFree) {
   // Gate 2: >= 50% fewer bytes than per_request.
   EXPECT_LE(pooled.alloc_bytes_per_request,
             0.5 * per_request.alloc_bytes_per_request);
+}
+
+TEST(AllocCountTest, ChunkedDecodeOnWarmScratchIsAllocationFree) {
+  // The chunked decoder must ride the same zero-allocation pooled path as
+  // Content-Length bodies: after warm-up the scratch request's body string
+  // and header map have the capacity they need, the ChunkedDecoder itself
+  // lives on the stack, and the in-buffer is recycled — so a steady-state
+  // chunked request decodes without touching the heap.
+  http::HttpRequest scratch;
+  ByteBuffer in;
+  const std::string wire =
+      "POST /upload HTTP/1.1\r\n"
+      "Host: bench\r\n"
+      "Transfer-Encoding: chunked\r\n"
+      "\r\n"
+      "10\r\n0123456789abcdef\r\n"
+      "8;ext=tok\r\nGHIJKLMN\r\n"
+      "0\r\n"
+      "X-Checksum: ignored\r\n"
+      "\r\n";
+  for (int i = 0; i < 32; ++i) {  // warm every capacity in the cycle
+    in.append(wire);
+    ASSERT_EQ(http::parse_request(in, scratch),
+              http::ParseOutcome::kComplete);
+    ASSERT_EQ(scratch.body, "0123456789abcdefGHIJKLMN");
+  }
+  ASSERT_TRUE(in.empty());
+
+  reset_alloc_counters();
+  for (int i = 0; i < 256; ++i) {
+    in.append(wire);
+    ASSERT_EQ(http::parse_request(in, scratch),
+              http::ParseOutcome::kComplete);
+  }
+  const AllocCounters counters = alloc_counters();
+  EXPECT_EQ(counters.count, 0u)
+      << counters.count << " allocations (" << counters.bytes
+      << " bytes) leaked into the steady-state chunked decode loop";
 }
 
 TEST(AllocCountTest, QuickRunEmitsValidJson) {

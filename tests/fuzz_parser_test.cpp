@@ -180,6 +180,70 @@ void check_http_invariants(const std::string& input) {
   ASSERT_EQ(cops::http::parse_request(fresh, ignored), outcome);
 }
 
+// ---- ChunkedDecoder invariants ---------------------------------------------
+
+// Seed streams for the chunk-decoder fuzz: the body section only (no HTTP
+// headers), valid and near-valid.
+const std::vector<std::string>& chunked_seed_streams() {
+  static const std::vector<std::string> seeds = {
+      "5\r\nhello\r\n0\r\n\r\n",
+      "10\r\n0123456789abcdef\r\n5;ext=v\r\nhello\r\n0\r\n\r\n",
+      "1\r\nx\r\n1\r\ny\r\n1\r\nz\r\n0\r\nX-Trailer: ok\r\n\r\n",
+      "A \t\r\n0123456789\r\n0\r\n\r\n",
+      "0\r\n\r\n",
+      "ffffffffffffffff1\r\n",
+      "0\r\nContent-Length: 5\r\n\r\n",
+      "3\r\nabcXX",
+      "zz\r\n",
+  };
+  return seeds;
+}
+
+// Split invariance: decoding the same byte stream one-shot and under any
+// PRNG-chosen segmentation must agree on status and decoded body (and on
+// the consumed total when decoding finishes).
+void check_chunked_decoder_invariants(const std::string& input,
+                                      std::mt19937_64& rng) {
+  SCOPED_TRACE("chunk stream:\n" + escape(input));
+  using Status = cops::http::ChunkedDecoder::Status;
+  const cops::http::ParseLimits limits;
+
+  cops::http::ChunkedDecoder oneshot;
+  std::string body_oneshot;
+  size_t consumed_oneshot = 0;
+  const Status status_oneshot =
+      oneshot.feed(input, &consumed_oneshot, body_oneshot, limits);
+
+  cops::http::ChunkedDecoder stepped;
+  std::string body_stepped;
+  std::string pending;
+  size_t offered = 0;
+  size_t consumed_stepped = 0;
+  Status status_stepped = Status::kNeedMore;
+  while (offered < input.size() || pending.empty()) {
+    const size_t take =
+        std::min<size_t>(1 + rng() % 7, input.size() - offered);
+    pending.append(input, offered, take);
+    offered += take;
+    size_t consumed = 0;
+    status_stepped = stepped.feed(pending, &consumed, body_stepped, limits);
+    ASSERT_LE(consumed, pending.size());
+    consumed_stepped += consumed;
+    pending.erase(0, consumed);
+    if (status_stepped != Status::kNeedMore || offered >= input.size()) break;
+  }
+  ASSERT_EQ(status_stepped, status_oneshot) << "segmentation changed outcome";
+  if (status_oneshot == Status::kDone ||
+      status_oneshot == Status::kNeedMore) {
+    ASSERT_EQ(body_stepped, body_oneshot) << "segmentation changed the body";
+  }
+  if (status_oneshot == Status::kDone) {
+    ASSERT_EQ(consumed_stepped, consumed_oneshot)
+        << "segmentation changed the consumed total";
+    ASSERT_EQ(stepped.decoded_bytes(), oneshot.decoded_bytes());
+  }
+}
+
 // ---- FTP invariants --------------------------------------------------------
 
 void check_ftp_invariants(const std::string& line) {
@@ -275,6 +339,29 @@ TEST(FuzzCorpusTest, HttpKnownAnswers) {
   expect("GET /%00 HTTP/1.1\r\nHost: s\r\n\r\n", Outcome::kMalformed);
   // A headerless prefix is incomplete, not malformed.
   expect("GET / HTTP/1.1\r\nHost: s\r\n", Outcome::kIncomplete);
+  // Transfer-Encoding: the canonical smuggling vectors all fold to
+  // kMalformed through the 3-arg wrapper (the strict overload reports the
+  // per-case 400/413/501 — see http_test.cpp).
+  expect("POST / HTTP/1.1\r\nHost: s\r\nContent-Length: 5\r\n"
+         "Transfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n",
+         Outcome::kMalformed);
+  expect("POST / HTTP/1.1\r\nHost: s\r\nTransfer-Encoding: gzip\r\n\r\n",
+         Outcome::kMalformed);
+  expect("POST / HTTP/1.1\r\nHost: s\r\nTransfer-Encoding: chunked\r\n\r\n"
+         "ffffffffffffffff1\r\n",
+         Outcome::kMalformed);
+  expect("POST / HTTP/1.1\r\nHost: s\r\nTransfer-Encoding: chunked\r\n\r\n"
+         "5\r\nhello\r\n0\r\nContent-Length: 5\r\n\r\n",
+         Outcome::kMalformed);
+  // Obs-fold header continuation: deterministic reject, not a second header.
+  expect("GET / HTTP/1.1\r\nHost: s\r\nX-A: 1\r\n folded\r\n\r\n",
+         Outcome::kMalformed);
+  // A well-formed chunked body decodes (the lifted 501).
+  const auto chunked =
+      expect("POST / HTTP/1.1\r\nHost: s\r\nTransfer-Encoding: chunked\r\n"
+             "\r\n5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n",
+             Outcome::kComplete);
+  EXPECT_EQ(chunked.body, "hello world");
 }
 
 // ---- seeded mutation fuzzing ----------------------------------------------
@@ -297,6 +384,26 @@ TEST_P(HttpFuzzTest, MutatedCorpusHoldsInvariants) {
   }
 }
 
+class ChunkedFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChunkedFuzzTest, MutatedStreamsDecodeSplitInvariantly) {
+  const uint64_t seed =
+      g_has_seed_override ? g_seed_override
+                          : static_cast<uint64_t>(GetParam() + 2000);
+  SCOPED_TRACE("replay with --seed=" + std::to_string(seed));
+  const auto& seeds = chunked_seed_streams();
+  std::mt19937_64 rng(seed);
+  // Replay the seeds verbatim first, then mutants.
+  for (const auto& stream : seeds) {
+    check_chunked_decoder_invariants(stream, rng);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  for (int i = 0; i < kIterationsPerSeed; ++i) {
+    check_chunked_decoder_invariants(mutate(rng, seeds), rng);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
 class FtpFuzzTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(FtpFuzzTest, MutatedCorpusHoldsInvariants) {
@@ -314,6 +421,10 @@ TEST_P(FtpFuzzTest, MutatedCorpusHoldsInvariants) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HttpFuzzTest, ::testing::Range(1, 9),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+INSTANTIATE_TEST_SUITE_P(Seeds, ChunkedFuzzTest, ::testing::Range(1, 9),
                          [](const auto& info) {
                            return "seed" + std::to_string(info.param);
                          });

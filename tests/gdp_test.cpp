@@ -442,6 +442,60 @@ TEST(NServerTemplate, BufferMgmtAppendsWithoutRenumbering) {
   EXPECT_LT(send_row, buffer_row) << "buffer_mgmt must append after S1";
 }
 
+TEST(NServerTemplate, BodyFramingOptionCrosscutsGeneratedUnits) {
+  const auto tmpl = make_nserver_template();
+  // Both presets default to content_length (zero behaviour change for the
+  // paper's servers); flipping to chunked emits the framing unit and wires
+  // the chunked reply path.
+  auto cl_set = nserver_http_options();
+  auto chunked_set = cl_set;
+  chunked_set.set("body_framing", "chunked");
+  auto off = tmpl.render_all(cl_set, {{"app_name", "A"}, {"listen_port", "0"}});
+  auto on = tmpl.render_all(chunked_set,
+                            {{"app_name", "A"}, {"listen_port", "0"}});
+  ASSERT_TRUE(off.is_ok());
+  ASSERT_TRUE(on.is_ok());
+  EXPECT_TRUE(on.value().count("framing_config.hpp"));
+  EXPECT_FALSE(off.value().count("framing_config.hpp"));
+  EXPECT_NE(on.value().at("traits.hpp").find("kChunkedReplies = true"),
+            std::string::npos);
+  EXPECT_NE(off.value().at("traits.hpp").find("kChunkedReplies = false"),
+            std::string::npos);
+  EXPECT_NE(
+      on.value().at("server_main.cpp").find("BodyFraming::kChunked"),
+      std::string::npos);
+  EXPECT_NE(
+      off.value().at("server_main.cpp").find("BodyFraming::kContentLength"),
+      std::string::npos);
+  EXPECT_NE(on.value().at("framing_config.hpp").find("kChunkedMinBytes"),
+            std::string::npos);
+  EXPECT_NE(on.value().at("server_main.cpp").find("chunked_min_bytes"),
+            std::string::npos);
+  // Both shipped presets stay on content_length.
+  EXPECT_EQ(nserver_http_options().get("body_framing"), "content_length");
+  EXPECT_EQ(nserver_ftp_options().get("body_framing"), "content_length");
+}
+
+TEST(NServerTemplate, BodyFramingAppendsWithoutRenumbering) {
+  // body_framing joins Table 2 as its own column while everything already
+  // there stays put; in the README option table it rows after buffer_mgmt.
+  const auto tmpl = make_nserver_template();
+  auto matrix = tmpl.crosscut();
+  ASSERT_TRUE(matrix.is_ok());
+  EXPECT_TRUE(matrix.value().at("Body Framing").at("body_framing").existence);
+  EXPECT_TRUE(
+      matrix.value().at("Buffer Management").at("buffer_mgmt").existence);
+  auto rendered = tmpl.render_all(nserver_http_options(),
+                                  {{"app_name", "A"}, {"listen_port", "0"}});
+  ASSERT_TRUE(rendered.is_ok());
+  const auto& readme = rendered.value().at("README.md");
+  const size_t buffer_row = readme.find("S2 buffer management");
+  const size_t framing_row = readme.find("S3 body framing");
+  ASSERT_NE(buffer_row, std::string::npos);
+  ASSERT_NE(framing_row, std::string::npos);
+  EXPECT_LT(buffer_row, framing_row) << "body_framing must append after S2";
+}
+
 TEST(NServerTemplate, ConstraintRejectsExportWithoutProfiling) {
   const auto tmpl = make_nserver_template();
   auto bad = nserver_http_options();

@@ -322,24 +322,165 @@ TEST(StrictContentLength, OversizeBodyRejectedWith413) {
   EXPECT_EQ(status, StatusCode::kPayloadTooLarge);
 }
 
-TEST(StrictTransferEncoding, ChunkedRejectedWith501) {
-  // No chunked decoder exists; guessing at framing would open a
-  // request-smuggling window, so the reject is deterministic.
+TEST(StrictTransferEncoding, ChunkedBodyDecodes) {
+  // The PR-5 stopgap answered every Transfer-Encoding with 501; chunked is
+  // now a real framing layer and decodes like any other body.
+  HttpRequest req;
+  ByteBuffer buf{std::string_view(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5\r\nhello\r\n6\r\n world\r\n0\r\n\r\n")};
+  EXPECT_EQ(parse_request(buf, req), ParseOutcome::kComplete);
+  EXPECT_EQ(req.body, "hello world");
+  EXPECT_EQ(buf.readable(), 0u);  // the chunk framing is fully consumed
+}
+
+TEST(StrictTransferEncoding, ChunkedLeavesPipelinedRequestInBuffer) {
+  HttpRequest req;
+  ByteBuffer buf{std::string_view(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "3\r\nabc\r\n0\r\n\r\n"
+      "GET /next HTTP/1.1\r\n\r\n")};
+  ASSERT_EQ(parse_request(buf, req), ParseOutcome::kComplete);
+  EXPECT_EQ(req.body, "abc");
+  ASSERT_EQ(parse_request(buf, req), ParseOutcome::kComplete);
+  EXPECT_EQ(req.target, "/next");
+}
+
+TEST(StrictTransferEncoding, IncompleteChunkedBodyConsumesNothing) {
+  HttpRequest req;
+  const std::string wire =
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhel";
+  ByteBuffer buf{std::string_view(wire)};
+  EXPECT_EQ(parse_request(buf, req), ParseOutcome::kIncomplete);
+  EXPECT_EQ(buf.readable(), wire.size());
+}
+
+TEST(StrictTransferEncoding, ChunkExtensionsIgnoredTrailersDiscarded) {
+  HttpRequest req;
+  ByteBuffer buf{std::string_view(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5;name=value\r\nhello\r\n0\r\n"
+      "X-Checksum: abc123\r\n\r\n")};
+  ASSERT_EQ(parse_request(buf, req), ParseOutcome::kComplete);
+  EXPECT_EQ(req.body, "hello");
+  // Trailer fields are validated and discarded, never merged into headers.
+  EXPECT_EQ(req.headers.find_index("x-checksum"), HeaderMap::npos);
+}
+
+TEST(StrictTransferEncoding, UnsupportedCodingStillRejectedWith501) {
+  // gzip (or any stack that is not exactly "chunked") keeps the
+  // deterministic 501 from the pre-chunked parser.
+  HttpRequest req;
+  for (const char* te : {"gzip", "gzip, chunked", "chunked, gzip"}) {
+    auto [outcome, status] = parse_strict(
+        std::string("POST / HTTP/1.1\r\nTransfer-Encoding: ") + te +
+            "\r\n\r\n",
+        req);
+    EXPECT_EQ(outcome, ParseOutcome::kReject) << te;
+    EXPECT_EQ(status, StatusCode::kNotImplemented) << te;
+  }
+}
+
+TEST(StrictTransferEncoding, ClPlusTeRejectedWith400) {
+  // RFC 7230 §3.3.3: both framing headers present is the canonical
+  // request-smuggling vector — never pick one, always 400 + close.
+  HttpRequest req;
+  auto [outcome, status] = parse_strict(
+      "POST / HTTP/1.1\r\nContent-Length: 5\r\n"
+      "Transfer-Encoding: chunked\r\n\r\n5\r\nhello\r\n0\r\n\r\n",
+      req);
+  EXPECT_EQ(outcome, ParseOutcome::kReject);
+  EXPECT_EQ(status, StatusCode::kBadRequest);
+}
+
+TEST(StrictTransferEncoding, ChunkedOnHttp10RejectedWith400) {
+  HttpRequest req;
+  auto [outcome, status] = parse_strict(
+      "POST / HTTP/1.0\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n", req);
+  EXPECT_EQ(outcome, ParseOutcome::kReject);
+  EXPECT_EQ(status, StatusCode::kBadRequest);
+}
+
+TEST(StrictTransferEncoding, HexOverflowChunkSizeRejectedWith413) {
   HttpRequest req;
   auto [outcome, status] = parse_strict(
       "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
-      "5\r\nhello\r\n0\r\n\r\n",
+      "ffffffffffffffff1\r\n",
       req);
   EXPECT_EQ(outcome, ParseOutcome::kReject);
-  EXPECT_EQ(status, StatusCode::kNotImplemented);
+  EXPECT_EQ(status, StatusCode::kPayloadTooLarge);
 }
 
-TEST(StrictTransferEncoding, AnyTransferEncodingRejected) {
+TEST(StrictTransferEncoding, BadChunkSyntaxRejectedWith400) {
   HttpRequest req;
   auto [outcome, status] = parse_strict(
-      "POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n", req);
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "zz\r\nhello\r\n0\r\n\r\n",
+      req);
   EXPECT_EQ(outcome, ParseOutcome::kReject);
-  EXPECT_EQ(status, StatusCode::kNotImplemented);
+  EXPECT_EQ(status, StatusCode::kBadRequest);
+}
+
+TEST(StrictTransferEncoding, ForbiddenTrailerFieldRejectedWith400) {
+  // A trailer may not rewrite framing/routing decisions already taken from
+  // the header block.
+  HttpRequest req;
+  auto [outcome, status] = parse_strict(
+      "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5\r\nhello\r\n0\r\nContent-Length: 5\r\n\r\n",
+      req);
+  EXPECT_EQ(outcome, ParseOutcome::kReject);
+  EXPECT_EQ(status, StatusCode::kBadRequest);
+}
+
+TEST(StrictRejects, ObsFoldContinuationRejectedWith400) {
+  // RFC 7230 §3.2.4 obs-fold: a leading-whitespace continuation line must
+  // not be misread as a separate header — deterministic 400 instead.
+  HttpRequest req;
+  for (const char* fold : {" folded-value\r\n", "\tfolded-value\r\n"}) {
+    auto [outcome, status] = parse_strict(
+        std::string("GET / HTTP/1.1\r\nX-Long: first\r\n") + fold + "\r\n",
+        req);
+    EXPECT_EQ(outcome, ParseOutcome::kReject) << fold;
+    EXPECT_EQ(status, StatusCode::kBadRequest) << fold;
+  }
+}
+
+TEST(StrictExpect, UnsupportedExpectationRejectedWith417) {
+  HttpRequest req;
+  auto [outcome, status] = parse_strict(
+      "POST / HTTP/1.1\r\nExpect: 200-maybe\r\nContent-Length: 1\r\n\r\nx",
+      req);
+  EXPECT_EQ(outcome, ParseOutcome::kReject);
+  EXPECT_EQ(status, StatusCode::kExpectationFailed);
+}
+
+TEST(StrictExpect, ContinueSignalledWhileBodyInFlight) {
+  HttpRequest req;
+  ParseEvents events;
+  ByteBuffer buf{std::string_view(
+      "POST / HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 5\r\n\r\n")};
+  EXPECT_EQ(parse_request(buf, req, ParseLimits{}, events),
+            ParseOutcome::kIncomplete);
+  EXPECT_TRUE(events.needs_continue);
+  // Once the body is fully buffered no interim reply is owed.
+  ByteBuffer full{std::string_view(
+      "POST / HTTP/1.1\r\nExpect: 100-continue\r\nContent-Length: 5\r\n\r\n"
+      "hello")};
+  EXPECT_EQ(parse_request(full, req, ParseLimits{}, events),
+            ParseOutcome::kComplete);
+  EXPECT_FALSE(events.needs_continue);
+}
+
+TEST(StrictExpect, ContinueSignalledForChunkedBodyInFlight) {
+  HttpRequest req;
+  ParseEvents events;
+  ByteBuffer buf{std::string_view(
+      "POST / HTTP/1.1\r\nExpect: 100-continue\r\n"
+      "Transfer-Encoding: chunked\r\n\r\n")};
+  EXPECT_EQ(parse_request(buf, req, ParseLimits{}, events),
+            ParseOutcome::kIncomplete);
+  EXPECT_TRUE(events.needs_continue);
 }
 
 TEST(StrictRejects, LegacyWrapperMapsRejectToMalformed) {
@@ -349,8 +490,12 @@ TEST(StrictRejects, LegacyWrapperMapsRejectToMalformed) {
   EXPECT_EQ(parse("POST / HTTP/1.1\r\nContent-Length: +5\r\n\r\nhello", req),
             ParseOutcome::kMalformed);
   EXPECT_EQ(
-      parse("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", req),
+      parse("POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n", req),
       ParseOutcome::kMalformed);
+  EXPECT_EQ(parse("POST / HTTP/1.1\r\nContent-Length: 3\r\n"
+                  "Transfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n0\r\n\r\n",
+                  req),
+            ParseOutcome::kMalformed);
 }
 
 // ---------- percent-decode hardening -------------------------------------------

@@ -256,13 +256,13 @@ TEST(HttpModelDeterminismTest, SameSeedSameFullStackTrace) {
   }
 }
 
-// Anti-smuggling: a pipelined POST declaring Transfer-Encoding: chunked is
-// answered with a deterministic 501 and the connection closes *immediately*
-// — the chunked body and the GET smuggled after it must never be parsed as
-// a second request.  A lenient server that ignored the TE header would read
-// the chunk framing as a body of some guessed length and then happily serve
-// the smuggled GET on the same keep-alive connection.
-TEST(HttpSmugglingTest, ChunkedPostGetsOne501AndCloses) {
+// Anti-smuggling: a pipelined POST carrying BOTH Content-Length and
+// Transfer-Encoding (RFC 7230 §3.3.3) is answered with a deterministic 400
+// and the connection closes *immediately* — the body and the GET smuggled
+// after it must never be parsed as a second request.  A lenient server that
+// picked one of the two framings would read some guessed length and then
+// happily serve the smuggled GET on the same keep-alive connection.
+TEST(HttpSmugglingTest, ClPlusTePostGetsOne400AndCloses) {
   for (const auto& plan : {FaultPlan::none(), FaultPlan::chaos()}) {
     SimEngine engine(31337, plan);
     test::TempDir dir;
@@ -282,6 +282,7 @@ TEST(HttpSmugglingTest, ChunkedPostGetsOne501AndCloses) {
       client->send(
           "POST /a.txt HTTP/1.1\r\n"
           "Host: sim\r\n"
+          "Content-Length: 4\r\n"
           "Transfer-Encoding: chunked\r\n"
           "\r\n"
           "1c\r\nGET /a.txt HTTP/1.1\r\n\r\n\r\n0\r\n\r\n"
@@ -292,9 +293,9 @@ TEST(HttpSmugglingTest, ChunkedPostGetsOne501AndCloses) {
     server.stop();
 
     const std::string& received = client->received();
-    // Exactly one response, and it is the 501.
-    EXPECT_EQ(received.rfind("HTTP/1.1 501", 0), 0u)
-        << "first reply is not a 501:\n" << received;
+    // Exactly one response, and it is the 400.
+    EXPECT_EQ(received.rfind("HTTP/1.1 400", 0), 0u)
+        << "first reply is not a 400:\n" << received;
     size_t status_lines = 0;
     for (size_t at = received.find("HTTP/1.1 ");
          at != std::string::npos;
@@ -308,6 +309,84 @@ TEST(HttpSmugglingTest, ChunkedPostGetsOne501AndCloses) {
     EXPECT_TRUE(client->peer_closed());
     EXPECT_TRUE(engine.failures().empty());
   }
+}
+
+// Unsupported transfer codings (anything that is not exactly "chunked")
+// still draw the deterministic 501 + close from before the chunked decoder
+// existed: we cannot recover the framing, so nothing after the header block
+// may be decoded.
+TEST(HttpSmugglingTest, GzipTePostGetsOne501AndCloses) {
+  SimEngine engine(31338, FaultPlan::chaos());
+  test::TempDir dir;
+  dir.write_file("a.txt", file_a());
+
+  auto options = http::CopsHttpServer::default_options();
+  make_deterministic(options);
+  options.listen_port = 8090;
+  http::HttpServerConfig config;
+  config.doc_root = dir.str();
+  http::CopsHttpServer server(std::move(options), config);
+  ASSERT_TRUE(server.start().is_ok());
+
+  auto* client = engine.new_client();
+  engine.at(milliseconds(1), [client] { client->connect(8090); });
+  engine.at(milliseconds(2), [client] {
+    client->send(
+        "POST /a.txt HTTP/1.1\r\n"
+        "Host: sim\r\n"
+        "Transfer-Encoding: gzip\r\n"
+        "\r\n"
+        "GET /a.txt HTTP/1.1\r\nHost: sim\r\n\r\n");
+  });
+  ASSERT_TRUE(engine.run(std::chrono::seconds(120))) << engine.trace_text();
+  server.stop();
+
+  const std::string& received = client->received();
+  EXPECT_EQ(received.rfind("HTTP/1.1 501", 0), 0u)
+      << "first reply is not a 501:\n" << received;
+  EXPECT_EQ(received.find(" 200 "), std::string::npos)
+      << "smuggled GET was answered:\n" << received;
+  EXPECT_TRUE(client->peer_closed());
+  EXPECT_TRUE(engine.failures().empty());
+}
+
+// A well-formed chunked POST is no longer rejected: the body decodes, the
+// method is answered (405 for a file server), and the connection stays
+// usable — the pipelined GET is served normally.  This is the lifted 501.
+TEST(HttpSmugglingTest, ValidChunkedPostDecodesAndConnectionSurvives) {
+  SimEngine engine(31339, FaultPlan::none());
+  test::TempDir dir;
+  dir.write_file("a.txt", file_a());
+
+  auto options = http::CopsHttpServer::default_options();
+  make_deterministic(options);
+  options.listen_port = 8090;
+  http::HttpServerConfig config;
+  config.doc_root = dir.str();
+  http::CopsHttpServer server(std::move(options), config);
+  ASSERT_TRUE(server.start().is_ok());
+
+  auto* client = engine.new_client();
+  engine.at(milliseconds(1), [client] { client->connect(8090); });
+  engine.at(milliseconds(2), [client] {
+    client->send(
+        "POST /a.txt HTTP/1.1\r\n"
+        "Host: sim\r\n"
+        "Transfer-Encoding: chunked\r\n"
+        "\r\n"
+        "5\r\nhello\r\n0\r\n\r\n"
+        "GET /a.txt HTTP/1.1\r\nHost: sim\r\nConnection: close\r\n\r\n");
+  });
+  ASSERT_TRUE(engine.run(std::chrono::seconds(120))) << engine.trace_text();
+  server.stop();
+
+  const std::string& received = client->received();
+  EXPECT_EQ(received.rfind("HTTP/1.1 405", 0), 0u)
+      << "chunked POST did not draw a 405:\n" << received;
+  EXPECT_NE(received.find("HTTP/1.1 200"), std::string::npos)
+      << "pipelined GET after the chunked POST was not served:\n" << received;
+  EXPECT_NE(received.find(file_a()), std::string::npos);
+  EXPECT_TRUE(engine.failures().empty());
 }
 
 }  // namespace
