@@ -1,177 +1,111 @@
-// Forward HTTP proxy — a seventh N-Server application, showing the pattern
-// stretching to a middlebox: each proxied request performs blocking upstream
-// I/O on an Event Processor worker (the COPS-FTP model: synchronous
-// completions + dynamic thread allocation grow the pool under load).
+// Streaming HTTP reverse proxy on the src/proxy data plane.
 //
-//   $ ./http_proxy 8888 127.0.0.1 8080 &     # proxy → upstream
+// This used to be a blocking, buffer-everything, connection-per-request
+// demo riding the N-Server's worker pool; it is now the front end of the
+// streaming L7 tier: one reactor, keep-alive upstream pools (generative
+// option proxy_upstream=pooled), streamed request/response bodies in both
+// directions, watermark backpressure, and pluggable backend selection.
+//
+//   $ ./http_proxy 8888 127.0.0.1 8080 [127.0.0.1 8081 ...] \
+//         [--upstream-mode pooled|per_request] [--policy round_robin|...] \
+//         [--admin-port N] [--once]
 //   $ curl -s http://127.0.0.1:8888/index.html
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
+#include <vector>
 
-#include "common/string_util.hpp"
-#include "http/request_parser.hpp"
-#include "http/response.hpp"
-#include "nserver/request_context.hpp"
-#include "nserver/server.hpp"
-
-namespace {
-
-// Blocking one-shot upstream exchange (runs on a worker thread).
-std::string fetch_upstream(const std::string& host, uint16_t port,
-                           const cops::http::HttpRequest& request) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return {};
-  timeval tv{5, 0};
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return {};
-  }
-  std::string wire = std::string(cops::http::to_string(request.method)) +
-                     " " + request.target +
-                     " HTTP/1.1\r\nHost: upstream\r\nConnection: close\r\n";
-  for (const auto& [name, value] : request.headers) {
-    // The parser already decoded the body: chunked uploads arrive here
-    // de-chunked, so the original framing headers must not be forwarded
-    // (and the expectation was already answered on the client side).
-    if (name == "host" || name == "connection" ||
-        name == "transfer-encoding" || name == "content-length" ||
-        name == "expect") {
-      continue;
-    }
-    wire.append(name);
-    wire.append(": ");
-    wire.append(value);
-    wire.append("\r\n");
-  }
-  // Re-frame the decoded body with an explicit length.
-  if (!request.body.empty() ||
-      request.headers.find_index("content-length") != cops::http::HeaderMap::npos ||
-      request.headers.find_index("transfer-encoding") != cops::http::HeaderMap::npos) {
-    wire += "Content-Length: " + std::to_string(request.body.size()) + "\r\n";
-  }
-  wire += "\r\n" + request.body;
-  size_t sent = 0;
-  while (sent < wire.size()) {
-    const ssize_t n =
-        ::send(fd, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
-    if (n <= 0) break;
-    sent += static_cast<size_t>(n);
-  }
-  std::string response;
-  char buf[16 * 1024];
-  while (true) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    response.append(buf, static_cast<size_t>(n));
-  }
-  ::close(fd);
-  return response;
-}
-
-class ProxyHooks : public cops::nserver::AppHooks {
- public:
-  ProxyHooks(std::string upstream_host, uint16_t upstream_port)
-      : host_(std::move(upstream_host)), port_(upstream_port) {}
-
-  cops::nserver::DecodeResult decode(cops::nserver::RequestContext& ctx,
-                                     cops::ByteBuffer& in) override {
-    // 100-continue latch for the request currently dripping in (decode
-    // fires needs_continue on every incomplete attempt).
-    auto& state = ctx.app_state();
-    if (!state) state = std::make_shared<bool>(false);
-    auto* continue_sent = static_cast<bool*>(state.get());
-    cops::http::HttpRequest request;
-    cops::http::ParseEvents events;
-    switch (cops::http::parse_request(in, request, {}, events)) {
-      case cops::http::ParseOutcome::kIncomplete:
-        if (events.needs_continue && !*continue_sent) {
-          *continue_sent = true;
-          ctx.send("HTTP/1.1 100 Continue\r\n\r\n");
-        }
-        return cops::nserver::DecodeResult::need_more();
-      case cops::http::ParseOutcome::kMalformed:
-        return cops::nserver::DecodeResult::error();
-      case cops::http::ParseOutcome::kReject:
-        // Deterministic rejection (CL+TE, bad chunk framing, ...): answer
-        // with the status the parser chose and close — never forward
-        // ambiguous framing upstream.
-        return cops::nserver::DecodeResult::reject(
-            cops::http::make_error_response(events.reject_status,
-                                            /*keep_alive=*/false)
-                .serialize());
-      case cops::http::ParseOutcome::kComplete:
-        *continue_sent = false;
-        return cops::nserver::DecodeResult::request_ready(std::move(request));
-    }
-    return cops::nserver::DecodeResult::error();
-  }
-
-  void handle(cops::nserver::RequestContext& ctx, std::any request) override {
-    const auto req = std::any_cast<cops::http::HttpRequest>(std::move(request));
-    const bool keep_alive = req.keep_alive();
-    // Blocking upstream round trip on this worker (sync completion model).
-    auto upstream = fetch_upstream(host_, port_, req);
-    if (!keep_alive) ctx.close_after_reply();
-    if (upstream.empty()) {
-      ctx.reply_raw(cops::http::make_error_response(
-                        cops::http::StatusCode::kServiceUnavailable,
-                        keep_alive)
-                        .serialize());
-      return;
-    }
-    // The upstream answered with Connection: close framing; since we know
-    // the full body, forward it with our own keep-alive framing.
-    ctx.reply_raw(upstream);
-    if (keep_alive) ctx.close_after_reply();  // body framing is close-based
-  }
-
- private:
-  std::string host_;
-  uint16_t port_;
-};
-
-}  // namespace
+#include "proxy/proxy_server.hpp"
 
 int main(int argc, char** argv) {
   if (argc < 4) {
-    std::puts("http_proxy LISTEN_PORT UPSTREAM_HOST UPSTREAM_PORT [--once]");
+    std::puts(
+        "http_proxy LISTEN_PORT BACKEND_HOST BACKEND_PORT "
+        "[BACKEND_HOST BACKEND_PORT ...]\n"
+        "  [--upstream-mode pooled|per_request] [--policy round_robin|"
+        "least_connections|p2c|ring_hash]\n"
+        "  [--pool-cap N] [--admin-port N] [--once]");
     return 2;
   }
-  auto options = cops::nserver::ServerOptions{};
-  options.listen_port = static_cast<uint16_t>(std::atoi(argv[1]));
-  options.separate_processor_pool = true;                              // O2
-  options.completion = cops::nserver::CompletionMode::kSynchronous;    // O4
-  options.thread_allocation = cops::nserver::ThreadAllocation::kDynamic;  // O5
-  options.min_processor_threads = 2;
-  options.max_processor_threads = 16;
-  options.shutdown_long_idle = true;                                   // O7
-  options.idle_timeout = std::chrono::seconds(30);
+  cops::proxy::ProxyConfig config;
+  config.listen_port = static_cast<uint16_t>(std::atoi(argv[1]));
 
-  auto hooks = std::make_shared<ProxyHooks>(
-      argv[2], static_cast<uint16_t>(std::atoi(argv[3])));
-  cops::nserver::Server server(options, hooks);
-  auto status = server.start();
+  std::vector<cops::net::InetAddress> backends;
+  int arg = 2;
+  bool once = false;
+  while (arg < argc) {
+    const std::string token = argv[arg];
+    if (token == "--upstream-mode") {
+      if (++arg >= argc) break;
+      config.upstream_mode = std::strcmp(argv[arg], "per_request") == 0
+                                 ? cops::nserver::UpstreamMode::kPerRequest
+                                 : cops::nserver::UpstreamMode::kPooled;
+      ++arg;
+    } else if (token == "--policy") {
+      if (++arg >= argc) break;
+      const std::string policy = argv[arg++];
+      if (policy == "least_connections") {
+        config.policy = cops::cluster::BalancePolicy::kLeastConnections;
+      } else if (policy == "p2c") {
+        config.policy = cops::cluster::BalancePolicy::kPowerOfTwoChoices;
+      } else if (policy == "ring_hash") {
+        config.policy = cops::cluster::BalancePolicy::kRingHash;
+      } else {
+        config.policy = cops::cluster::BalancePolicy::kRoundRobin;
+      }
+    } else if (token == "--pool-cap") {
+      if (++arg >= argc) break;
+      config.pool_max_per_backend = static_cast<size_t>(std::atoi(argv[arg++]));
+      config.pool_max_idle_per_backend = config.pool_max_per_backend;
+    } else if (token == "--admin-port") {
+      if (++arg >= argc) break;
+      config.admin_enabled = true;
+      config.admin_port = static_cast<uint16_t>(std::atoi(argv[arg++]));
+    } else if (token == "--once") {
+      once = true;
+      ++arg;
+    } else {
+      if (arg + 1 >= argc) {
+        std::fprintf(stderr, "backend %s needs a port\n", token.c_str());
+        return 2;
+      }
+      auto addr = cops::net::InetAddress::parse(
+          token, static_cast<uint16_t>(std::atoi(argv[arg + 1])));
+      if (!addr.is_ok()) {
+        std::fprintf(stderr, "bad backend address %s\n", token.c_str());
+        return 2;
+      }
+      backends.push_back(addr.value());
+      arg += 2;
+    }
+  }
+  if (backends.empty()) {
+    std::fprintf(stderr, "no backends given\n");
+    return 2;
+  }
+
+  cops::proxy::ProxyServer proxy(config);
+  for (const auto& addr : backends) proxy.add_backend(addr);
+  auto status = proxy.start();
   if (!status.is_ok()) {
     std::fprintf(stderr, "start failed: %s\n", status.to_string().c_str());
     return 1;
   }
-  std::printf("HTTP proxy on 127.0.0.1:%u → %s:%s\n", server.port(), argv[2],
-              argv[3]);
-  if (argc > 4 && std::string(argv[4]) == "--once") {
+  std::printf("HTTP proxy on 127.0.0.1:%u -> %zu backend(s), %s upstreams\n",
+              proxy.port(), backends.size(),
+              config.upstream_mode == cops::nserver::UpstreamMode::kPooled
+                  ? "pooled"
+                  : "per-request");
+  if (config.admin_enabled) {
+    std::printf("admin endpoint (/stats, /stats.json, /healthz) on port %u\n",
+                proxy.admin_port());
+  }
+  if (once) {
     std::this_thread::sleep_for(std::chrono::milliseconds(500));
-    server.drain(std::chrono::seconds(2));
+    proxy.stop();
     return 0;
   }
   while (true) std::this_thread::sleep_for(std::chrono::seconds(1));

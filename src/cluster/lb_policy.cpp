@@ -1,0 +1,84 @@
+#include "cluster/lb_policy.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+namespace cops::cluster {
+
+size_t pick_round_robin(uint64_t cursor, size_t backend_count) {
+  if (backend_count == 0) return 0;
+  return static_cast<size_t>(cursor % backend_count);
+}
+
+size_t pick_least_loaded(const std::vector<size_t>& loads) {
+  size_t best = 0;
+  for (size_t i = 1; i < loads.size(); ++i) {
+    if (loads[i] < loads[best]) best = i;
+  }
+  return best;
+}
+
+size_t pick_p2c(std::mt19937_64& rng, const std::vector<size_t>& loads) {
+  const size_t n = loads.size();
+  if (n <= 1) return 0;
+  const auto a = static_cast<size_t>(rng() % n);
+  auto b = static_cast<size_t>(rng() % (n - 1));
+  if (b >= a) ++b;  // distinct second choice, uniform over the rest
+  return loads[b] < loads[a] ? b : a;
+}
+
+uint64_t fnv1a64(std::string_view bytes) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+void HashRing::build(size_t backend_count, size_t vnodes) {
+  ring_.clear();
+  backend_count_ = backend_count;
+  ring_.reserve(backend_count * vnodes);
+  for (size_t backend = 0; backend < backend_count; ++backend) {
+    for (size_t v = 0; v < vnodes; ++v) {
+      const std::string label =
+          "backend-" + std::to_string(backend) + "#" + std::to_string(v);
+      ring_.emplace_back(fnv1a64(label), backend);
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+size_t HashRing::pick(std::string_view key) const {
+  if (ring_.empty()) return std::numeric_limits<size_t>::max();
+  const uint64_t point = fnv1a64(key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const auto& entry, uint64_t value) { return entry.first < value; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap around
+  return it->second;
+}
+
+std::vector<size_t> HashRing::pick_order(std::string_view key) const {
+  std::vector<size_t> order;
+  if (ring_.empty()) return order;
+  order.reserve(backend_count_);
+  std::vector<bool> seen(backend_count_, false);
+  const uint64_t point = fnv1a64(key);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const auto& entry, uint64_t value) { return entry.first < value; });
+  for (size_t walked = 0; walked < ring_.size() && order.size() < backend_count_;
+       ++walked, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (!seen[it->second]) {
+      seen[it->second] = true;
+      order.push_back(it->second);
+    }
+  }
+  return order;
+}
+
+}  // namespace cops::cluster

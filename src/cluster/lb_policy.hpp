@@ -1,0 +1,74 @@
+// Pluggable load-balancing selection policies for the cluster front end.
+//
+// The LoadBalancer (relay data plane) and the ProxyServer (streaming L7
+// data plane, src/proxy) share these helpers so a policy behaves the same
+// whichever front end hosts it:
+//
+//   * round-robin     — a monotonically increasing cursor, *always reduced
+//                       modulo the live backend count at selection time*.
+//                       The cursor survives backend-set changes; the modulo
+//                       guard (not the cursor) keeps it in range, so a
+//                       shrink can never index past the end (regression:
+//                       proxy_pool_test RoundRobinSurvivesBackendShrink).
+//   * least-loaded    — smallest current load, ties by lowest index
+//                       (deterministic).
+//   * P2C             — power-of-two-choices: two distinct candidates from
+//                       the caller's seeded PRNG, keep the less loaded one.
+//                       Near-least-loaded balance at O(1) cost and without
+//                       the herding a global argmin causes.
+//   * ring hash       — consistent hashing over `vnodes` virtual nodes per
+//                       backend; a key (e.g. the request path) maps to the
+//                       first vnode clockwise, so key→backend affinity is
+//                       stable under backend-set changes except for the
+//                       keys owned by the departed backend.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <string_view>
+#include <vector>
+
+namespace cops::cluster {
+
+// Round-robin selection guarded against a shrunk backend set: the cursor is
+// free-running (callers just increment it per admission) and reduction
+// happens here, against the count that is live *now*.
+[[nodiscard]] size_t pick_round_robin(uint64_t cursor, size_t backend_count);
+
+// Index of the smallest load; ties broken by the lower index.  `loads` must
+// be non-empty.
+[[nodiscard]] size_t pick_least_loaded(const std::vector<size_t>& loads);
+
+// Power of two choices: draws two distinct indices from `rng` and returns
+// the one with the smaller load (ties: the first drawn).  With one backend
+// it degenerates to index 0.  `loads` must be non-empty.
+[[nodiscard]] size_t pick_p2c(std::mt19937_64& rng,
+                              const std::vector<size_t>& loads);
+
+// Consistent-hash ring (Karger-style, FNV-1a hashed vnodes).
+class HashRing {
+ public:
+  // Builds a ring over backends [0, backend_count) with `vnodes` virtual
+  // nodes each.  Deterministic: same inputs, same ring.
+  void build(size_t backend_count, size_t vnodes = 64);
+
+  // First backend clockwise from hash(key).  Returns SIZE_MAX on an empty
+  // ring.
+  [[nodiscard]] size_t pick(std::string_view key) const;
+
+  // Preference order for `key`: the owner first, then each subsequent
+  // distinct backend clockwise — the retry order that preserves affinity.
+  [[nodiscard]] std::vector<size_t> pick_order(std::string_view key) const;
+
+  [[nodiscard]] bool empty() const { return ring_.empty(); }
+
+ private:
+  // (point on the ring, backend index), sorted by point.
+  std::vector<std::pair<uint64_t, size_t>> ring_;
+  size_t backend_count_ = 0;
+};
+
+[[nodiscard]] uint64_t fnv1a64(std::string_view bytes);
+
+}  // namespace cops::cluster

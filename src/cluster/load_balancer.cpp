@@ -21,6 +21,20 @@ const char* to_string(BreakerState state) {
   return "?";
 }
 
+const char* to_string(BalancePolicy policy) {
+  switch (policy) {
+    case BalancePolicy::kRoundRobin:
+      return "round_robin";
+    case BalancePolicy::kLeastConnections:
+      return "least_connections";
+    case BalancePolicy::kPowerOfTwoChoices:
+      return "p2c";
+    case BalancePolicy::kRingHash:
+      return "ring_hash";
+  }
+  return "?";
+}
+
 // One in-flight HTTP health probe: send GET /healthz, read the status line,
 // report 200 as success.  Lives on the balancer's reactor thread; bounded
 // by its own deadline timer.
@@ -147,6 +161,9 @@ Status LoadBalancer::start() {
   if (backends_.empty()) {
     return Status::invalid_argument("no backends configured");
   }
+  if (config_.policy == BalancePolicy::kRingHash) {
+    ring_.build(backends_.size());
+  }
   connector_ = std::make_unique<net::Connector>(reactor_);
   acceptor_ = std::make_unique<net::Acceptor>(
       reactor_, [this](net::TcpSocket client) { on_accept(std::move(client)); });
@@ -225,6 +242,44 @@ void LoadBalancer::drain_backend(size_t index, bool draining) {
   });
 }
 
+void LoadBalancer::remove_backend(size_t index) {
+  auto apply = [this, index] {
+    if (index >= backends_.size()) return;
+    // A probe in flight holds its backend index by value; cancel everything
+    // from the removed slot up so no probe can report against a shifted
+    // index (probes for the earlier, unshifted slots keep running and the
+    // health tick re-arms the rest).
+    for (auto it = probes_.begin(); it != probes_.end();) {
+      if (it->first >= index) {
+        it->second->cancel();
+        it = probes_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    backends_.erase(backends_.begin() + static_cast<long>(index));
+    // Relays to the removed backend keep running but their stats slot is
+    // gone; sessions bound to later backends shift down with the vector.
+    for (auto it = session_backend_.begin(); it != session_backend_.end();) {
+      if (it->second == index) {
+        it = session_backend_.erase(it);
+      } else {
+        if (it->second > index) it->second -= 1;
+        ++it;
+      }
+    }
+    if (config_.policy == BalancePolicy::kRingHash) {
+      ring_.build(backends_.size());
+    }
+    emit("remove backend=" + std::to_string(index));
+  };
+  if (!launched_.load()) {
+    apply();
+    return;
+  }
+  reactor_.post(std::move(apply));
+}
+
 void LoadBalancer::emit(const std::string& event) {
   if (config_.event_listener) config_.event_listener(event);
 }
@@ -235,6 +290,12 @@ void LoadBalancer::on_accept(net::TcpSocket client) {
   auto admission = std::make_shared<Admission>();
   admission->client = std::make_shared<net::TcpSocket>(std::move(client));
   admission->tried.assign(backends_.size(), false);
+  if (config_.policy == BalancePolicy::kRingHash) {
+    // Affinity by client IP: reconnects from the same host land on the same
+    // backend for as long as it is in the set.
+    auto peer = admission->client->peer_address();
+    if (peer.is_ok()) admission->affinity_key = peer.value().host();
+  }
   ++round_robin_next_;
   if (!attempt_next(admission)) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -278,34 +339,59 @@ bool LoadBalancer::passes_slow_start(size_t index) {
   return dist(rng_) < weight;
 }
 
-int LoadBalancer::choose_candidate(const std::vector<bool>& tried) {
+std::vector<size_t> LoadBalancer::candidate_order(const Admission& admission) {
   const size_t n = backends_.size();
   std::vector<size_t> order(n);
   std::iota(order.begin(), order.end(), 0);
-  if (config_.policy == BalancePolicy::kLeastConnections) {
-    std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
-      return backends_[a].stats.active < backends_[b].stats.active;
-    });
-  } else {
-    const size_t hint = (round_robin_next_ - 1) % n;
-    std::rotate(order.begin(), order.begin() + static_cast<long>(hint),
-                order.end());
+  switch (config_.policy) {
+    case BalancePolicy::kLeastConnections:
+      std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+        return backends_[a].stats.active < backends_[b].stats.active;
+      });
+      break;
+    case BalancePolicy::kPowerOfTwoChoices: {
+      std::vector<size_t> loads(n);
+      for (size_t i = 0; i < n; ++i) loads[i] = backends_[i].stats.active;
+      const size_t winner = pick_p2c(rng_, loads);
+      std::rotate(order.begin(), order.begin() + static_cast<long>(winner),
+                  order.end());
+      break;
+    }
+    case BalancePolicy::kRingHash: {
+      auto ring_order = ring_.pick_order(admission.affinity_key);
+      if (!ring_order.empty()) order = std::move(ring_order);
+      break;
+    }
+    case BalancePolicy::kRoundRobin: {
+      // The cursor free-runs; the modulo guard against the *live* count is
+      // what keeps a shrunk backend set in range (see lb_policy.hpp).
+      const size_t hint = pick_round_robin(round_robin_next_ - 1, n);
+      std::rotate(order.begin(), order.begin() + static_cast<long>(hint),
+                  order.end());
+      break;
+    }
   }
+  return order;
+}
+
+int LoadBalancer::choose_candidate(const Admission& admission) {
+  if (backends_.empty()) return -1;
+  const std::vector<size_t> order = candidate_order(admission);
   // Pass 1: eligible, honouring slow-start weighting.
   for (size_t index : order) {
-    if (tried[index] || !backend_eligible(index)) continue;
+    if (admission.was_tried(index) || !backend_eligible(index)) continue;
     if (passes_slow_start(index)) return static_cast<int>(index);
   }
   // Pass 2: eligible (the slow-start gate deferred everyone).
   for (size_t index : order) {
-    if (!tried[index] && backend_eligible(index)) {
+    if (!admission.was_tried(index) && backend_eligible(index)) {
       return static_cast<int>(index);
     }
   }
   // Last resort: any untried, non-draining backend — a fast failure there
   // beats dropping the client without trying.
   for (size_t index : order) {
-    if (!tried[index] && !backends_[index].stats.draining) {
+    if (!admission.was_tried(index) && !backends_[index].stats.draining) {
       return static_cast<int>(index);
     }
   }
@@ -318,9 +404,12 @@ bool LoadBalancer::attempt_next(const std::shared_ptr<Admission>& admission) {
                             ? config_.resilience.retry_budget
                             : backends_.size();
   if (admission->attempts >= budget) return false;
-  const int choice = choose_candidate(admission->tried);
+  const int choice = choose_candidate(*admission);
   if (choice < 0) return false;
   const auto index = static_cast<size_t>(choice);
+  if (index >= admission->tried.size()) {
+    admission->tried.resize(index + 1, false);
+  }
   admission->tried[index] = true;
   admission->attempts += 1;
   if (backends_[index].stats.breaker == BreakerState::kHalfOpen) {

@@ -40,6 +40,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/lb_policy.hpp"
 #include "cluster/tcp_relay.hpp"
 #include "net/acceptor.hpp"
 #include "net/connector.hpp"
@@ -54,7 +55,15 @@ namespace cops::cluster {
 enum class BalancePolicy {
   kRoundRobin,
   kLeastConnections,
+  // Power of two choices: two seeded-PRNG candidates, keep the less loaded
+  // (near-least-loaded balance without global-argmin herding).
+  kPowerOfTwoChoices,
+  // Consistent-hash affinity: a per-admission key (client IP here; request
+  // path in the L7 proxy) owns a stable backend via lb_policy's HashRing.
+  kRingHash,
 };
+
+[[nodiscard]] const char* to_string(BalancePolicy policy);
 
 enum class BreakerState {
   kClosed,    // healthy: requests flow
@@ -146,6 +155,16 @@ class LoadBalancer {
   // while active relays finish.  Thread-safe; applied on the reactor.
   void drain_backend(size_t index, bool draining = true);
 
+  // Removes backend `index` from the set entirely (a decommission, not a
+  // drain): in-flight relays to it keep running, but no new admission can
+  // pick it and its stats slot disappears.  Selection state is re-anchored
+  // against the shrunk set — the round-robin cursor keeps free-running and
+  // is reduced modulo the live count at pick time (see lb_policy.hpp), the
+  // hash ring is rebuilt, and admissions whose `tried` vector was sized
+  // before the shrink are index-guarded.  Thread-safe; applied on the
+  // reactor.
+  void remove_backend(size_t index);
+
   [[nodiscard]] uint16_t port() const { return port_; }
   [[nodiscard]] uint16_t admin_port() const { return admin_port_; }
   [[nodiscard]] size_t active_sessions() const { return active_.load(); }
@@ -174,10 +193,18 @@ class LoadBalancer {
   };
 
   // One client admission: which backends were tried, under what budget.
+  // `tried` is sized at accept time; the backend set may shrink while the
+  // admission is in flight, so every read goes through was_tried() and the
+  // write in attempt_next() resizes on demand.
   struct Admission {
     std::shared_ptr<net::TcpSocket> client;
     std::vector<bool> tried;
     size_t attempts = 0;
+    std::string affinity_key;  // ring-hash input (client IP)
+
+    [[nodiscard]] bool was_tried(size_t index) const {
+      return index < tried.size() && tried[index];
+    }
   };
 
   // All on the reactor thread:
@@ -185,7 +212,9 @@ class LoadBalancer {
   // Launches the next connect attempt; returns false when the admission is
   // out of candidates or budget (client dropped).
   bool attempt_next(const std::shared_ptr<Admission>& admission);
-  [[nodiscard]] int choose_candidate(const std::vector<bool>& tried);
+  [[nodiscard]] int choose_candidate(const Admission& admission);
+  // Candidate visit order for the active policy (all live backends).
+  [[nodiscard]] std::vector<size_t> candidate_order(const Admission& admission);
   [[nodiscard]] bool backend_eligible(size_t index);
   [[nodiscard]] bool passes_slow_start(size_t index);
   void note_backend_failure(size_t index);
@@ -215,8 +244,12 @@ class LoadBalancer {
   std::unordered_map<uint64_t, size_t> session_backend_;
   std::unordered_map<size_t, std::shared_ptr<class HealthProbe>> probes_;
   std::mt19937_64 rng_;  // reactor thread only
+  HashRing ring_;        // kRingHash: rebuilt when the backend set changes
   uint64_t next_session_id_ = 1;
-  size_t round_robin_next_ = 0;
+  // Free-running admission counter; reduced modulo the *live* backend count
+  // at selection time (pick_round_robin), never stored reduced — so a
+  // backend-set shrink cannot leave it pointing past the end.
+  uint64_t round_robin_next_ = 0;
   uint64_t health_timer_ = 0;
   bool health_timer_armed_ = false;
   uint16_t port_ = 0;

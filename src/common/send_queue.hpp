@@ -88,6 +88,34 @@ struct EncodedReply {
   static EncodedReply from_string(std::string bytes);
 };
 
+// Flow-control hysteresis over a SendQueue's depth (or any byte count).
+// A relay pumping bytes between two sockets stops reading the producing
+// side once the consuming side's queue crosses `high`, and resumes only
+// after it drains below `low` — the gap prevents interest-toggle flapping
+// at the boundary.  update() returns true when the paused state changed
+// (the caller re-arms read interest / counts a backpressure event).
+class Watermark {
+ public:
+  Watermark(size_t low, size_t high) : low_(low), high_(high) {}
+
+  bool update(size_t queued) {
+    const bool was_paused = paused_;
+    if (paused_) {
+      if (queued <= low_) paused_ = false;
+    } else if (queued >= high_) {
+      paused_ = true;
+    }
+    return paused_ != was_paused;
+  }
+
+  [[nodiscard]] bool paused() const { return paused_; }
+
+ private:
+  size_t low_;
+  size_t high_;
+  bool paused_ = false;
+};
+
 class SendQueue {
  public:
   // Empty segments are dropped at the door so empty()/readable() stay the

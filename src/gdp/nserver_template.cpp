@@ -72,6 +72,15 @@ OptionTable make_nserver_option_table() {
   // zero-copy.  Chunked *request* decoding is unconditional either way.
   table.add({"body_framing", "S3: Body framing", OptionType::kEnum,
              {"content_length", "chunked"}, "content_length"});
+  // Proxy-upstream extension — appended after S3, again preserving the
+  // earlier column numbering: how a generated *proxy* tier (src/proxy)
+  // obtains upstream connections.  `per_request` opens a fresh backend
+  // connection per proxied exchange (the classical CGI-era shape);
+  // `pooled` keeps completed keep-alive connections in per-backend pools
+  // with caps, LIFO idle reuse, and a single stale-connection retry.  The
+  // plain N-Server ignores the option; the proxy front end consumes it.
+  table.add({"proxy_upstream", "S4: Proxy upstream connections",
+             OptionType::kEnum, {"per_request", "pooled"}, "per_request"});
 
   table.add_constraint(
       "O2/O8 interaction", [](const OptionSet& set) -> std::string {
@@ -191,6 +200,11 @@ inline constexpr bool kPooledBuffers = false;
 inline constexpr bool kChunkedReplies = true;
 //% else
 inline constexpr bool kChunkedReplies = false;
+//% end
+//% if proxy_upstream == "pooled"
+inline constexpr bool kPooledUpstream = true;
+//% else
+inline constexpr bool kPooledUpstream = false;
 //% end
 
 }  // namespace ${app_name}_traits
@@ -483,6 +497,32 @@ inline constexpr bool kCountChunkedReplies = true;
 }  // namespace ${app_name}_gen
 )tmpl";
 
+constexpr const char* kProxyConfigHpp = R"tmpl(// Generated: pooled upstream connections (exists when proxy_upstream = pooled).
+// A proxy tier built from this instance (cops::proxy::ProxyServer) keeps
+// completed upstream keep-alive connections in per-backend pools instead of
+// opening one per proxied exchange: caps bound the connection count, idle
+// reuse is LIFO (the hottest socket stays in rotation), and a reused
+// connection that dies before its first response byte is retried exactly
+// once on a fresh connection.
+#pragma once
+
+#include <cstddef>
+
+namespace ${app_name}_gen {
+
+// Per-backend connection cap (in-flight + idle) and idle-list bound.
+inline constexpr std::size_t kUpstreamPoolCap = 8;
+inline constexpr std::size_t kUpstreamPoolMaxIdle = 8;
+// Request bytes retained for the stale-connection replay, per exchange.
+inline constexpr std::size_t kUpstreamRetryBufferBytes = 64u * 1024u;
+//% if profiling
+// Profiling (O11) exports the pool counters (reuse / miss / stale retry).
+inline constexpr bool kCountUpstreamPool = true;
+//% end
+
+}  // namespace ${app_name}_gen
+)tmpl";
+
 constexpr const char* kHooksHpp = R"tmpl(// Generated hook-method stubs for ${app_name}.
 // These are the ONLY methods you implement — the three application-dependent
 // steps of the five-step request cycle (Decode Request, Handle Request,
@@ -588,6 +628,9 @@ constexpr const char* kServerMainCpp = R"tmpl(// Generated server main for ${app
 //% if body_framing == "chunked"
 #include "framing_config.hpp"
 //% end
+//% if proxy_upstream == "pooled"
+#include "proxy_config.hpp"
+//% end
 #include "hooks.hpp"
 #include "reactor_config.hpp"
 //% if send_path != "copy"
@@ -687,6 +730,12 @@ int main() {
 //% else
   options.body_framing = cops::nserver::BodyFraming::kContentLength;
 //% end
+//% if proxy_upstream == "pooled"
+  options.upstream_mode = cops::nserver::UpstreamMode::kPooled;
+  options.upstream_pool_cap = ${app_name}_gen::kUpstreamPoolCap;
+//% else
+  options.upstream_mode = cops::nserver::UpstreamMode::kPerRequest;
+//% end
   options.listen_port = ${listen_port};
   options.listen_backlog = ${app_name}_gen::kListenBacklog;
 
@@ -755,6 +804,7 @@ Option settings baked into this instance:
 | S1 send-reply path | ${send_path} |
 | S2 buffer management | ${buffer_mgmt} |
 | S3 body framing | ${body_framing} |
+| S4 proxy upstream | ${proxy_upstream} |
 
 Implement the hook methods in `hooks.cpp` (the three application-dependent
 steps), then build with CMake, pointing `COPS_NSERVER_ROOT` at the
@@ -783,6 +833,8 @@ PatternTemplate make_nserver_template() {
                  "buffer_mgmt == \"pooled\"", kBufferConfigHpp});
   tmpl.add_file({"framing_config.hpp", "Body Framing",
                  "body_framing == \"chunked\"", kFramingConfigHpp});
+  tmpl.add_file({"proxy_config.hpp", "Proxy Upstream",
+                 "proxy_upstream == \"pooled\"", kProxyConfigHpp});
   tmpl.add_file({"reactor_config.hpp", "Reactor", "", kReactorConfigHpp});
   tmpl.add_file({"acceptor_config.hpp", "Acceptor Event Handler", "",
                  kAcceptorConfigHpp});
@@ -811,6 +863,7 @@ OptionSet nserver_http_options() {
   set.set("send_path", "writev");
   set.set("buffer_mgmt", "pooled");
   set.set("body_framing", "content_length");
+  set.set("proxy_upstream", "per_request");
   return set;
 }
 
@@ -831,6 +884,7 @@ OptionSet nserver_ftp_options() {
   set.set("send_path", "copy");
   set.set("buffer_mgmt", "per_request");
   set.set("body_framing", "content_length");
+  set.set("proxy_upstream", "per_request");
   return set;
 }
 

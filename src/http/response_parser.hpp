@@ -1,0 +1,128 @@
+// Streaming HTTP/1.x message-head parsing for the L7 proxy (src/proxy).
+//
+// The request parser in request_parser.hpp consumes a *complete* request —
+// head and body — per call, which is exactly wrong for a streaming relay
+// that must forward body bytes as they arrive.  This header provides the
+// proxy's decode layer instead:
+//
+//   * parse_response_head() — one upstream response head, treated as
+//     UNTRUSTED input (a compromised or buggy backend is a request-smuggling
+//     vector): bad status lines, CL+TE combinations, duplicate or
+//     non-numeric Content-Length, obs-fold continuations, and oversized
+//     header blocks are all kMalformed, never guessed at.  The proxy maps
+//     kMalformed to a 502 and poisons the upstream connection.
+//   * parse_request_head() — the client side of the same contract, framing
+//     detection only (the body streams through afterwards).
+//   * ChunkPassthrough — validates chunked framing over the PR-6
+//     ChunkedDecoder while the raw bytes are forwarded verbatim, so the
+//     relayed stream is byte-identical to the origin's and still can't
+//     smuggle malformed framing through the proxy.
+//
+// All three are deliberately in cops_http (not src/proxy) so the fuzz
+// harness (tests/fuzz_parser_test.cpp) can hammer them with the corpus
+// without linking the proxy's reactor machinery.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/byte_buffer.hpp"
+#include "http/request_parser.hpp"
+
+namespace cops::http {
+
+// How the message body is delimited (RFC 7230 §3.3.3).
+enum class BodyDelim {
+  kNone,           // no body (HEAD reply, 1xx/204/304, bodiless request)
+  kContentLength,  // exactly content_length bytes follow
+  kChunked,        // chunked transfer coding follows
+  kToClose,        // response only: body runs to connection close
+};
+
+enum class HeadParseStatus {
+  kNeedMore,   // header block incomplete — feed more bytes
+  kOk,         // head parsed and consumed from the buffer
+  kMalformed,  // framing cannot be trusted; reject the message
+};
+
+// One parsed message head.  Header names keep their original casing in
+// `name` for verbatim forwarding; `lname` is the lowercased lookup key.
+struct HeaderField {
+  std::string name;
+  std::string lname;
+  std::string value;
+};
+
+struct MessageHead {
+  std::vector<HeaderField> headers;
+  bool http11 = true;  // HTTP/1.1 (vs 1.0)
+  BodyDelim delim = BodyDelim::kNone;
+  uint64_t content_length = 0;
+  bool keep_alive = true;  // version default adjusted by Connection tokens
+
+  // Response-only:
+  int status = 0;
+  std::string status_line;  // verbatim, no CRLF — forwarded byte-identically
+
+  // Request-only:
+  std::string method;
+  std::string target;
+  bool expect_continue = false;
+
+  void reset();
+  // First value of header `lname` (must be passed lowercased), or nullptr.
+  [[nodiscard]] const std::string* find(std::string_view lname) const;
+  // True when `token` appears in the Connection header's token list
+  // (case-insensitive).
+  [[nodiscard]] bool connection_token(std::string_view token) const;
+};
+
+// Parses one response head from the front of `in`, consuming it on kOk.
+// `head_request` marks a reply to a HEAD request (body suppressed
+// regardless of framing headers).  kNeedMore consumes nothing.
+HeadParseStatus parse_response_head(ByteBuffer& in, MessageHead& out,
+                                    const ParseLimits& limits,
+                                    bool head_request);
+
+// Parses one request head from the front of `in`, consuming it on kOk.
+// Same strictness as the server's parser for everything above the body:
+// CL+TE, bad Content-Length, obs-fold, and non-"chunked" Transfer-Encoding
+// are kMalformed (the proxy answers 400/501 per `reject_status`).
+HeadParseStatus parse_request_head(ByteBuffer& in, MessageHead& out,
+                                   const ParseLimits& limits,
+                                   StatusCode* reject_status);
+
+// True for header fields that are hop-by-hop (RFC 7230 §6.1) and must not
+// be forwarded by a proxy: Connection and everything it names, Keep-Alive,
+// TE, Trailer, Transfer-Encoding*, Upgrade, Proxy-Connection,
+// Proxy-Authenticate, Proxy-Authorization.  (*Transfer-Encoding is re-added
+// by the relay itself when it passes chunked framing through.)
+[[nodiscard]] bool is_hop_by_hop(std::string_view lname,
+                                 const MessageHead& head);
+
+// Chunked-framing validator for pass-through relays.  feed() reports via
+// `*consumed` how many raw input bytes belong to the current chunked
+// message and are safe to forward verbatim; decoded bytes are discarded
+// (constant memory — this never buffers a body).  Only framing violations
+// fire: the decoder's body-size limit is lifted to its maximum, so
+// kTooLarge means a hex chunk-size overflow, not a policy limit.
+class ChunkPassthrough {
+ public:
+  using Status = ChunkedDecoder::Status;
+
+  Status feed(std::string_view input, size_t* consumed);
+  void reset();
+
+  [[nodiscard]] uint64_t decoded_bytes() const {
+    return decoder_.decoded_bytes();
+  }
+
+ private:
+  ChunkedDecoder decoder_;
+  std::string scratch_;
+};
+
+}  // namespace cops::http

@@ -19,7 +19,9 @@ enum class StatusCode : int {
   kUriTooLong = 414,
   kInternalServerError = 500,
   kNotImplemented = 501,
+  kBadGateway = 502,
   kServiceUnavailable = 503,
+  kGatewayTimeout = 504,
   kHttpVersionNotSupported = 505,
 };
 
@@ -40,7 +42,9 @@ enum class StatusCode : int {
     case StatusCode::kUriTooLong: return "URI Too Long";
     case StatusCode::kInternalServerError: return "Internal Server Error";
     case StatusCode::kNotImplemented: return "Not Implemented";
+    case StatusCode::kBadGateway: return "Bad Gateway";
     case StatusCode::kServiceUnavailable: return "Service Unavailable";
+    case StatusCode::kGatewayTimeout: return "Gateway Timeout";
     case StatusCode::kHttpVersionNotSupported:
       return "HTTP Version Not Supported";
   }

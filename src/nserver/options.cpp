@@ -48,6 +48,10 @@ const char* to_string(BodyFraming framing) {
   return framing == BodyFraming::kContentLength ? "ContentLength" : "Chunked";
 }
 
+const char* to_string(UpstreamMode mode) {
+  return mode == UpstreamMode::kPerRequest ? "PerRequest" : "Pooled";
+}
+
 std::string ServerOptions::validate() const {
   if (dispatcher_threads < 1) {
     return "O1: dispatcher_threads must be >= 1";
@@ -107,6 +111,10 @@ std::string ServerOptions::validate() const {
   if (body_framing == BodyFraming::kChunked && reply_chunk_bytes == 0) {
     return "body_framing: chunked replies need a positive chunk window "
            "(reply_chunk_bytes)";
+  }
+  if (upstream_mode == UpstreamMode::kPooled && upstream_pool_cap == 0) {
+    return "upstream_mode: pooled upstream connections need a positive "
+           "per-backend cap (upstream_pool_cap)";
   }
   if (stats_export == StatsExport::kAdminHttp && !profiling) {
     return "O11+: the admin export serves the profiler's statistics; "

@@ -90,6 +90,19 @@ enum class BodyFraming {
   kChunked,
 };
 
+// Upstream-connection option for proxy deployments (S4, appended after
+// body_framing): how the streaming L7 data plane (src/proxy) manages its
+// server-facing connections.  kPerRequest opens a fresh upstream connection
+// per proxied request (the shape of the original examples/http_proxy);
+// kPooled keeps completed upstream connections in per-backend keep-alive
+// pools with caps, idle reuse, and a single stale-connection retry.  The
+// core Server ignores it — the generated proxy config unit and
+// proxy::ProxyServer consume it.
+enum class UpstreamMode {
+  kPerRequest,
+  kPooled,
+};
+
 [[nodiscard]] const char* to_string(CompletionMode mode);
 [[nodiscard]] const char* to_string(ThreadAllocation alloc);
 [[nodiscard]] const char* to_string(CachePolicyKind kind);
@@ -98,6 +111,7 @@ enum class BodyFraming {
 [[nodiscard]] const char* to_string(SendPath path);
 [[nodiscard]] const char* to_string(BufferMgmt mgmt);
 [[nodiscard]] const char* to_string(BodyFraming framing);
+[[nodiscard]] const char* to_string(UpstreamMode mode);
 
 struct ServerOptions {
   // O1: # of dispatcher threads (1, or 2..N reactors sharding connections).
@@ -210,6 +224,12 @@ struct ServerOptions {
   size_t chunked_min_bytes = 4 * 1024;
   // kChunked only: size of each chunk window on the reply side.
   size_t reply_chunk_bytes = 64 * 1024;
+
+  // Upstream-connection option (appended after body_framing; proxy
+  // deployments only — see enum UpstreamMode and src/proxy).
+  UpstreamMode upstream_mode = UpstreamMode::kPerRequest;
+  // kPooled only: per-backend connection cap (in-flight + idle).
+  size_t upstream_pool_cap = 8;
 
   // --- non-option runtime knobs -----------------------------------------
   std::string listen_host = "127.0.0.1";

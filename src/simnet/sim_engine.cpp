@@ -361,8 +361,7 @@ void SimEngine::reset_channel_locked(Channel& ch) {
   ch.s2c.buf.clear();
 }
 
-void SimEngine::kill_port(uint16_t port) {
-  Lock lock(mutex_);
+void SimEngine::kill_port_locked(uint16_t port) {
   record_locked("kill port=" + std::to_string(port));
   if (auto it = listeners_.find(port); it != listeners_.end()) {
     it->second.killed = true;
@@ -377,9 +376,26 @@ void SimEngine::kill_port(uint16_t port) {
   }
 }
 
+void SimEngine::kill_port(uint16_t port) {
+  Lock lock(mutex_);
+  kill_port_locked(port);
+}
+
+void SimEngine::kill_port_after_bytes(uint16_t port, uint64_t bytes) {
+  Lock lock(mutex_);
+  record_locked("kill-after port=" + std::to_string(port) +
+                " bytes=" + std::to_string(bytes));
+  if (bytes == 0) {
+    kill_port_locked(port);
+    return;
+  }
+  kill_after_bytes_[port] = bytes;
+}
+
 void SimEngine::revive_port(uint16_t port) {
   Lock lock(mutex_);
   record_locked("revive port=" + std::to_string(port));
+  kill_after_bytes_.erase(port);  // disarm any pending mid-body kill
   if (auto it = listeners_.find(port); it != listeners_.end()) {
     it->second.killed = false;
   }
@@ -508,6 +524,20 @@ net::SysResult SimEngine::sim_write_gather_locked(int fd,
   }
   record_locked(std::string(op) + " fd=" + std::to_string(fd) +
                 " n=" + std::to_string(n));
+  // Armed mid-body kill: count bytes the *server* side pushes towards the
+  // client/initiator and fire once the budget is spent.  The triggering
+  // write itself succeeds — the reset lands right behind it.
+  if (!initiator) {
+    if (auto trigger = kill_after_bytes_.find(ch->listen_port);
+        trigger != kill_after_bytes_.end()) {
+      if (trigger->second > n) {
+        trigger->second -= n;
+      } else {
+        kill_after_bytes_.erase(trigger);
+        kill_port_locked(ch->listen_port);
+      }
+    }
+  }
   return {static_cast<ssize_t>(n), 0};
 }
 

@@ -104,6 +104,14 @@ class SimEngine : public net::SimBackend {
   // Server::stop() mid-run would join threads parked inside this engine).
   void kill_port(uint16_t port);
   void revive_port(uint16_t port);
+  // Arms a byte-count trigger for mid-body kills: after the server side of
+  // channels accepted on `port` has written `bytes` more bytes, the port is
+  // killed exactly as by kill_port() — every channel reset, connects
+  // refused until revive_port().  The write that crosses the threshold
+  // still reports success (the RST "arrives" just after), so a relaying
+  // proxy observes a stream truncated mid-body, which is the case the
+  // truncated-200 differential gate exists for.
+  void kill_port_after_bytes(uint16_t port, uint64_t bytes);
   // SYN-blackhole: connects to `port` return an fd but never become
   // established (never writable), which is what exercises the Connector's
   // connect deadline rather than its refusal path.
@@ -223,6 +231,7 @@ class SimEngine : public net::SimBackend {
   Channel* channel_of_fd_locked(int fd);
   void close_server_side_locked(Channel& ch);
   void reset_channel_locked(Channel& ch);
+  void kill_port_locked(uint16_t port);
   void note_poller_locked(const void* poller);
   // Grants exactly one parked poller (by rotation over registration order)
   // once every known poller is parked and no poller is active; advances the
@@ -256,6 +265,8 @@ class SimEngine : public net::SimBackend {
   std::map<int, std::unique_ptr<Channel>> channels_;
   std::map<uint16_t, Listener> listeners_;  // by port
   std::set<uint16_t> stalled_ports_;
+  // port -> remaining server-written bytes until the armed kill fires.
+  std::map<uint16_t, uint64_t> kill_after_bytes_;
   std::vector<std::unique_ptr<SimClient>> clients_;
   // (virtual ns, insertion seq) -> callback; fired in order.
   std::multimap<std::pair<int64_t, uint64_t>, std::function<void()>> script_;

@@ -19,6 +19,10 @@
 
 #include "baseline/threaded_server.hpp"
 #include "http/http_server.hpp"
+#include "http/response_parser.hpp"
+#include "proxy/proxy_server.hpp"
+#include "simnet/sim_engine.hpp"
+#include "tests/proxy_test_util.hpp"
 #include "tests/test_util.hpp"
 
 namespace cops {
@@ -247,6 +251,300 @@ TEST_F(DifferentialFixture, OversizedHeadersRejectedByBoth) {
     const std::string reply = client.read_some(0, 2000);
     EXPECT_EQ(reply.find("differential alpha"), std::string::npos)
         << "port " << port;
+  }
+}
+
+// ---- proxy differential gate ------------------------------------------------
+//
+// A reverse proxy must be a transparent pipe: the byte stream a client
+// observes through the proxy must match what it would observe talking to
+// the backend directly, for every session the differential vocabulary can
+// produce — modulo the headers a conforming intermediary owns (Via,
+// Connection).  play_session() compares exactly the transparent parts
+// (status lines, body bytes, close behaviour), so the existing replay
+// machinery doubles as the proxy gate unchanged.
+
+class ProxyDifferentialFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_.write_file("a.txt", "differential alpha\n");
+    dir_.write_file("empty.txt", "");
+    std::string big;
+    for (int i = 0; i < 8000; ++i) big += static_cast<char>('a' + i % 23);
+    big_ = big;
+    dir_.write_file("big.bin", big);
+    dir_.write_file("index.html", "<html>root index</html>\n");
+    dir_.write_file("sub/index.html", "<html>sub index</html>\n");
+
+    http::HttpServerConfig backend_config;
+    backend_config.doc_root = dir_.str();
+    backend_ = std::make_unique<http::CopsHttpServer>(
+        http::CopsHttpServer::default_options(), backend_config);
+    auto backend_started = backend_->start();
+    ASSERT_TRUE(backend_started.is_ok()) << backend_started.to_string();
+
+    proxy::ProxyConfig config;  // listen_port 0 = kernel-assigned; pooled
+    proxy_ = std::make_unique<proxy::ProxyServer>(config);
+    proxy_->add_backend(net::InetAddress::loopback(backend_->port()));
+    auto proxy_started = proxy_->start();
+    ASSERT_TRUE(proxy_started.is_ok()) << proxy_started.to_string();
+  }
+
+  void TearDown() override {
+    if (proxy_) proxy_->stop();
+    if (backend_) backend_->stop();
+  }
+
+  test::TempDir dir_;
+  std::string big_;
+  std::unique_ptr<http::CopsHttpServer> backend_;
+  std::unique_ptr<proxy::ProxyServer> proxy_;
+};
+
+TEST_F(ProxyDifferentialFixture, ProxiedSessionsMatchDirectPerSeed) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    for (const bool pipelined : {false, true}) {
+      SCOPED_TRACE("proxy replay seed=" + std::to_string(seed) +
+                   (pipelined ? " pipelined" : " sequential"));
+      std::mt19937_64 rng(seed * 7919);
+      const auto steps = make_session(rng);
+      const Observed direct = play_session(backend_->port(), steps, pipelined);
+      const Observed proxied = play_session(proxy_->port(), steps, pipelined);
+      ASSERT_EQ(direct.status_lines.size(), steps.size());
+      ASSERT_EQ(proxied.status_lines.size(), steps.size());
+      for (size_t i = 0; i < steps.size(); ++i) {
+        EXPECT_EQ(proxied.status_lines[i], direct.status_lines[i])
+            << "request " << i << ": " << steps[i].request.substr(0, 40);
+        EXPECT_EQ(proxied.bodies[i], direct.bodies[i])
+            << "request " << i << ": " << steps[i].request.substr(0, 40);
+      }
+      EXPECT_EQ(proxied.closed, direct.closed) << "close behaviour diverged";
+      EXPECT_TRUE(proxied.closed) << "Connection: close not honoured";
+    }
+  }
+}
+
+// Reads one chunked response off `client` and de-frames it with the shared
+// decoder.  The proxy passes chunked framing through verbatim, so decode
+// success here also certifies the relayed framing.
+bool read_chunked_response(test::BlockingClient& client,
+                           std::string& status_line, std::string& body) {
+  std::string buffer;
+  while (buffer.find("\r\n\r\n") == std::string::npos) {
+    const std::string more = client.read_some(1, 3000);
+    if (more.empty()) {
+      ADD_FAILURE() << "connection ended mid-headers; got: " << buffer;
+      return false;
+    }
+    buffer += more;
+  }
+  const size_t head_end = buffer.find("\r\n\r\n");
+  const std::string head = buffer.substr(0, head_end);
+  status_line = head.substr(0, head.find("\r\n"));
+  std::string lower;
+  for (char c : head) lower += static_cast<char>(::tolower(c));
+  if (lower.find("transfer-encoding: chunked") == std::string::npos) {
+    ADD_FAILURE() << "expected chunked framing; head: " << head;
+    return false;
+  }
+  buffer.erase(0, head_end + 4);
+  http::ChunkedDecoder decoder;
+  http::ParseLimits limits;
+  while (true) {
+    size_t consumed = 0;
+    const auto status = decoder.feed(buffer, &consumed, body, limits);
+    buffer.erase(0, consumed);
+    if (status == http::ChunkedDecoder::Status::kDone) return true;
+    if (status != http::ChunkedDecoder::Status::kNeedMore) {
+      ADD_FAILURE() << "bad chunked framing from proxy";
+      return false;
+    }
+    const std::string more = client.read_some(1, 3000);
+    if (more.empty()) {
+      ADD_FAILURE() << "connection ended mid-chunked-body";
+      return false;
+    }
+    buffer += more;
+  }
+}
+
+// A chunked-framing backend (nserver option body_framing=chunked) relayed
+// through the proxy must deliver the same de-framed body as a direct fetch.
+TEST_F(ProxyDifferentialFixture, ChunkedDownloadMatchesDirect) {
+  auto options = http::CopsHttpServer::default_options();
+  options.body_framing = nserver::BodyFraming::kChunked;
+  options.chunked_min_bytes = 256;
+  options.reply_chunk_bytes = 1024;
+  http::HttpServerConfig backend_config;
+  backend_config.doc_root = dir_.str();
+  http::CopsHttpServer chunked_backend(options, backend_config);
+  ASSERT_TRUE(chunked_backend.start().is_ok());
+
+  proxy::ProxyConfig config;
+  proxy::ProxyServer chunked_proxy(config);
+  chunked_proxy.add_backend(net::InetAddress::loopback(chunked_backend.port()));
+  ASSERT_TRUE(chunked_proxy.start().is_ok());
+
+  const std::string request =
+      "GET /big.bin HTTP/1.1\r\nHost: diff\r\nConnection: close\r\n\r\n";
+  std::string direct_status, direct_body;
+  {
+    test::BlockingClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", chunked_backend.port()));
+    ASSERT_TRUE(client.send_all(request));
+    ASSERT_TRUE(read_chunked_response(client, direct_status, direct_body));
+  }
+  std::string proxied_status, proxied_body;
+  {
+    test::BlockingClient client;
+    ASSERT_TRUE(client.connect("127.0.0.1", chunked_proxy.port()));
+    ASSERT_TRUE(client.send_all(request));
+    ASSERT_TRUE(read_chunked_response(client, proxied_status, proxied_body));
+  }
+  EXPECT_EQ(proxied_status, direct_status);
+  EXPECT_EQ(proxied_body, direct_body);
+  EXPECT_EQ(proxied_body, big_);
+
+  chunked_proxy.stop();
+  chunked_backend.stop();
+}
+
+// 100 keep-alive requests on one downstream connection must be served off
+// one pooled upstream connection: at most the first is a pool miss.
+TEST_F(ProxyDifferentialFixture, KeepAliveRunReusesPooledUpstream) {
+  test::BlockingClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", proxy_->port()));
+  std::string buffer;
+  for (int i = 0; i < 100; ++i) {
+    const bool last = i == 99;
+    const std::string request =
+        std::string("GET /a.txt HTTP/1.1\r\nHost: diff\r\nConnection: ") +
+        (last ? "close" : "keep-alive") + "\r\n\r\n";
+    ASSERT_TRUE(client.send_all(request)) << "request " << i;
+    std::string status_line;
+    std::string body;
+    ASSERT_TRUE(read_response(client, buffer, true, status_line, body))
+        << "request " << i;
+    EXPECT_EQ(status_line, "HTTP/1.1 200 OK") << "request " << i;
+    EXPECT_EQ(body, "differential alpha\n") << "request " << i;
+  }
+  EXPECT_GE(proxy_->pool_reuse_total(), 80u);
+  EXPECT_LE(proxy_->pool_miss_total(), 20u);
+}
+
+// ---- mid-body upstream death (deterministic, simnet) ------------------------
+//
+// When the backend dies partway through a response the proxy may fail the
+// exchange, but it must never dress a truncated body up as a complete one:
+// a Content-Length reply either carries every promised byte or the client
+// observes close-before-length; a chunked reply either decodes to the full
+// body or ends mid-frame (no forged terminal chunk).  The byte-counted
+// kill lands at a different point per threshold, sweeping head/early/late
+// truncation.
+
+constexpr uint16_t kKillProxyPort = 8600;
+constexpr uint16_t kKillBackendPort = 8601;
+
+TEST(ProxyKillDifferentialTest, MidBodyKillNeverForgesCompleteCLResponse) {
+  const std::string body(8000, 'k');
+  for (const uint64_t kill_bytes : {200ull, 2000ull, 6000ull}) {
+    SCOPED_TRACE("kill_bytes=" + std::to_string(kill_bytes));
+    simnet::SimEngine engine(0x6b17ull ^ kill_bytes);
+    test::ScriptedBackend origin(
+        kKillBackendPort, [&](const test::ScriptedBackend::Request&) {
+          return test::simple_response(body);
+        });
+    ASSERT_TRUE(origin.ok());
+
+    proxy::ProxyConfig config;
+    config.listen_port = kKillProxyPort;
+    proxy::ProxyServer proxy(config);
+    proxy.add_backend(net::InetAddress::loopback(kKillBackendPort));
+    ASSERT_TRUE(proxy.start().is_ok());
+    engine.kill_port_after_bytes(kKillBackendPort, kill_bytes);
+
+    auto* client = engine.new_client();
+    engine.at(std::chrono::milliseconds(5), [client] {
+      client->connect(kKillProxyPort);
+      client->send(
+          "GET /doomed HTTP/1.1\r\nHost: kill\r\nConnection: close\r\n\r\n");
+    });
+    ASSERT_TRUE(engine.run(std::chrono::seconds(5))) << engine.trace_text();
+
+    const std::string& got = client->received();
+    const size_t head_end = got.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+      // Died before a relayable head: nothing but a clean close is fine.
+      EXPECT_TRUE(client->peer_closed());
+    } else if (got.compare(0, 15, "HTTP/1.1 200 OK") == 0) {
+      const std::string delivered = got.substr(head_end + 4);
+      // Prefix of the true body, and complete only if every byte arrived.
+      ASSERT_LE(delivered.size(), body.size());
+      EXPECT_EQ(delivered, body.substr(0, delivered.size()));
+      if (delivered.size() < body.size()) {
+        EXPECT_TRUE(client->peer_closed())
+            << "truncated 200 left open — looks complete to the client";
+      }
+    } else {
+      // The failure surfaced before any body byte: a 502 is the contract.
+      EXPECT_EQ(got.compare(0, 12, "HTTP/1.1 502"), 0) << got.substr(0, 64);
+      EXPECT_TRUE(client->peer_closed());
+    }
+    proxy.stop();
+    origin.stop();
+  }
+}
+
+TEST(ProxyKillDifferentialTest, MidBodyKillNeverForgesTerminalChunk) {
+  const std::string body(8000, 'c');
+  for (const uint64_t kill_bytes : {300ull, 4000ull}) {
+    SCOPED_TRACE("kill_bytes=" + std::to_string(kill_bytes));
+    simnet::SimEngine engine(0xc4u ^ kill_bytes);
+    test::ScriptedBackend origin(
+        kKillBackendPort, [&](const test::ScriptedBackend::Request&) {
+          return test::chunked_response(body, 512);
+        });
+    ASSERT_TRUE(origin.ok());
+
+    proxy::ProxyConfig config;
+    config.listen_port = kKillProxyPort;
+    proxy::ProxyServer proxy(config);
+    proxy.add_backend(net::InetAddress::loopback(kKillBackendPort));
+    ASSERT_TRUE(proxy.start().is_ok());
+    engine.kill_port_after_bytes(kKillBackendPort, kill_bytes);
+
+    auto* client = engine.new_client();
+    engine.at(std::chrono::milliseconds(5), [client] {
+      client->connect(kKillProxyPort);
+      client->send(
+          "GET /doomed HTTP/1.1\r\nHost: kill\r\nConnection: close\r\n\r\n");
+    });
+    ASSERT_TRUE(engine.run(std::chrono::seconds(5))) << engine.trace_text();
+
+    const std::string& got = client->received();
+    const size_t head_end = got.find("\r\n\r\n");
+    if (head_end == std::string::npos ||
+        got.compare(0, 15, "HTTP/1.1 200 OK") != 0) {
+      EXPECT_TRUE(client->peer_closed());
+      continue;
+    }
+    // Decode whatever framing was relayed: it must either terminate with
+    // the full body or be detectably incomplete (kNeedMore + close).
+    http::ChunkedDecoder decoder;
+    http::ParseLimits limits;
+    std::string decoded;
+    size_t consumed = 0;
+    const auto status = decoder.feed(got.substr(head_end + 4), &consumed,
+                                     decoded, limits);
+    if (status == http::ChunkedDecoder::Status::kDone) {
+      EXPECT_EQ(decoded, body) << "terminal chunk on an incomplete body";
+    } else {
+      EXPECT_EQ(status, http::ChunkedDecoder::Status::kNeedMore);
+      EXPECT_TRUE(client->peer_closed());
+      EXPECT_EQ(decoded, body.substr(0, decoded.size()));
+    }
+    proxy.stop();
+    origin.stop();
   }
 }
 

@@ -36,6 +36,7 @@
 #include "common/string_util.hpp"
 #include "ftp/command.hpp"
 #include "http/request_parser.hpp"
+#include "http/response_parser.hpp"
 
 namespace {
 
@@ -244,6 +245,133 @@ void check_chunked_decoder_invariants(const std::string& input,
   }
 }
 
+// ---- upstream response-head invariants -------------------------------------
+//
+// parse_response_head treats the backend as untrusted (a compromised origin
+// is a smuggling vector through the proxy), so its contract is checked on
+// arbitrary bytes: kNeedMore consumes nothing; kOk consumes exactly the
+// head, yields an in-range status and lowercased lookup keys, reproduces
+// field-for-field on a re-parse of the consumed bytes, and any shorter
+// prefix of that head is kNeedMore (the streaming relay feeds partial
+// reads); the outcome is a pure function of the input.  Both head_request
+// polarities run — a reply to HEAD must come back bodiless regardless of
+// its framing headers.
+
+void check_response_head_invariants(const std::string& input) {
+  SCOPED_TRACE("response input:\n" + escape(input));
+  using Status = cops::http::HeadParseStatus;
+  const cops::http::ParseLimits limits;
+  for (const bool head_request : {false, true}) {
+    SCOPED_TRACE(head_request ? "reply-to-HEAD" : "reply-to-GET");
+    cops::ByteBuffer buf{std::string_view(input)};
+    cops::http::MessageHead head;
+    const size_t before = buf.readable();
+    const auto status =
+        cops::http::parse_response_head(buf, head, limits, head_request);
+    switch (status) {
+      case Status::kNeedMore:
+        ASSERT_EQ(buf.readable(), before);
+        ASSERT_EQ(buf.view(), std::string_view(input));
+        break;
+      case Status::kOk: {
+        const size_t consumed = before - buf.readable();
+        ASSERT_GT(consumed, 0u);
+        ASSERT_LE(consumed, before);
+        ASSERT_GE(head.status, 100);
+        ASSERT_LE(head.status, 999);
+        ASSERT_FALSE(head.status_line.empty());
+        ASSERT_EQ(head.status_line.find('\r'), std::string::npos);
+        ASSERT_EQ(head.status_line.find('\n'), std::string::npos);
+        for (const auto& field : head.headers) {
+          ASSERT_EQ(field.lname, cops::to_lower(field.name));
+        }
+        if (head_request) {
+          ASSERT_EQ(head.delim, cops::http::BodyDelim::kNone)
+              << "HEAD reply must be bodiless";
+        }
+        // Purity: re-parsing exactly the consumed bytes reproduces the
+        // head field for field.
+        cops::ByteBuffer again{std::string_view(input).substr(0, consumed)};
+        cops::http::MessageHead head2;
+        ASSERT_EQ(cops::http::parse_response_head(again, head2, limits,
+                                                  head_request),
+                  Status::kOk);
+        ASSERT_EQ(again.readable(), 0u);
+        ASSERT_EQ(head2.status, head.status);
+        ASSERT_EQ(head2.status_line, head.status_line);
+        ASSERT_EQ(head2.delim, head.delim);
+        ASSERT_EQ(head2.content_length, head.content_length);
+        ASSERT_EQ(head2.keep_alive, head.keep_alive);
+        ASSERT_EQ(head2.headers.size(), head.headers.size());
+        for (size_t i = 0; i < head.headers.size(); ++i) {
+          ASSERT_EQ(head2.headers[i].name, head.headers[i].name);
+          ASSERT_EQ(head2.headers[i].value, head.headers[i].value);
+        }
+        // Streaming: any strict prefix of the head is kNeedMore and
+        // consumes nothing (the relay re-feeds the grown buffer).
+        for (const size_t cut : {consumed / 2, consumed - 1}) {
+          cops::ByteBuffer partial{std::string_view(input).substr(0, cut)};
+          cops::http::MessageHead scratch;
+          ASSERT_EQ(cops::http::parse_response_head(partial, scratch, limits,
+                                                    head_request),
+                    Status::kNeedMore)
+              << "prefix of " << cut << "/" << consumed << " bytes";
+          ASSERT_EQ(partial.readable(), cut);
+        }
+        break;
+      }
+      case Status::kMalformed:
+        break;  // buffer state unspecified; the proxy 502s and poisons
+    }
+    // Determinism of the outcome itself.
+    cops::ByteBuffer fresh{std::string_view(input)};
+    cops::http::MessageHead ignored;
+    ASSERT_EQ(
+        cops::http::parse_response_head(fresh, ignored, limits, head_request),
+        status);
+  }
+}
+
+// ChunkPassthrough split invariance: validating the same stream one-shot
+// and under any segmentation must agree on the outcome, and on the
+// forwarded-byte count when the message completes.  consumed may never
+// exceed what was offered (over-consuming would forward bytes of the NEXT
+// pipelined response).
+void check_chunk_passthrough_invariants(const std::string& input,
+                                        std::mt19937_64& rng) {
+  SCOPED_TRACE("passthrough stream:\n" + escape(input));
+  using Status = cops::http::ChunkPassthrough::Status;
+
+  cops::http::ChunkPassthrough oneshot;
+  size_t consumed_oneshot = 0;
+  const Status status_oneshot = oneshot.feed(input, &consumed_oneshot);
+  ASSERT_LE(consumed_oneshot, input.size());
+
+  cops::http::ChunkPassthrough stepped;
+  std::string pending;
+  size_t offered = 0;
+  size_t consumed_stepped = 0;
+  Status status_stepped = Status::kNeedMore;
+  while (true) {
+    const size_t take =
+        std::min<size_t>(1 + rng() % 7, input.size() - offered);
+    pending.append(input, offered, take);
+    offered += take;
+    size_t consumed = 0;
+    status_stepped = stepped.feed(pending, &consumed);
+    ASSERT_LE(consumed, pending.size());
+    consumed_stepped += consumed;
+    pending.erase(0, consumed);
+    if (status_stepped != Status::kNeedMore || offered >= input.size()) break;
+  }
+  ASSERT_EQ(status_stepped, status_oneshot) << "segmentation changed outcome";
+  if (status_oneshot == Status::kDone) {
+    ASSERT_EQ(consumed_stepped, consumed_oneshot)
+        << "segmentation changed the forwarded-byte count";
+    ASSERT_EQ(stepped.decoded_bytes(), oneshot.decoded_bytes());
+  }
+}
+
 // ---- FTP invariants --------------------------------------------------------
 
 void check_ftp_invariants(const std::string& line) {
@@ -307,6 +435,106 @@ TEST(FuzzCorpusTest, FtpCorpusReplaysClean) {
       if (eol == entry.size()) break;
       pos = eol + 1;
     }
+  }
+}
+
+// The same corpus replays through the proxy's upstream decode layer: every
+// entry (request-shaped or response-shaped — the resp_*.http seeds) must
+// hold the response-head invariants verbatim.
+TEST(FuzzCorpusTest, ResponseCorpusReplaysClean) {
+  const auto corpus = load_corpus("http");
+  ASSERT_GE(corpus.size(), 25u) << "HTTP corpus went missing";
+  for (const auto& input : corpus) check_response_head_invariants(input);
+}
+
+// Known answers for the resp_*.http seeds: the decode decisions the proxy's
+// 502/poisoning behaviour hangs off (see src/proxy/proxy_session.cpp).
+TEST(FuzzCorpusTest, ResponseKnownAnswers) {
+  using Status = cops::http::HeadParseStatus;
+  using Delim = cops::http::BodyDelim;
+  const cops::http::ParseLimits limits;
+  const auto parse = [&](const char* wire, bool head_request,
+                         cops::http::MessageHead& head) {
+    cops::ByteBuffer buf{std::string_view(wire)};
+    return cops::http::parse_response_head(buf, head, limits, head_request);
+  };
+  cops::http::MessageHead head;
+
+  // resp_simple: clean Content-Length framing.
+  ASSERT_EQ(parse("HTTP/1.1 200 OK\r\nContent-Length: 5\r\n"
+                  "Connection: keep-alive\r\n\r\nhello",
+                  false, head),
+            Status::kOk);
+  EXPECT_EQ(head.status, 200);
+  EXPECT_EQ(head.delim, Delim::kContentLength);
+  EXPECT_EQ(head.content_length, 5u);
+  EXPECT_TRUE(head.keep_alive);
+
+  // The identical bytes answering a HEAD request are bodiless.
+  ASSERT_EQ(parse("HTTP/1.1 200 OK\r\nContent-Length: 5\r\n"
+                  "Connection: keep-alive\r\n\r\n",
+                  true, head),
+            Status::kOk);
+  EXPECT_EQ(head.delim, Delim::kNone);
+
+  // resp_chunked: chunked framing detected; body passes through verbatim.
+  ASSERT_EQ(parse("HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n",
+                  false, head),
+            Status::kOk);
+  EXPECT_EQ(head.delim, Delim::kChunked);
+
+  // No framing headers at all: body runs to close (HTTP/1.0 shape).
+  ASSERT_EQ(parse("HTTP/1.0 200 OK\r\nServer: x\r\n\r\n", false, head),
+            Status::kOk);
+  EXPECT_EQ(head.delim, Delim::kToClose);
+  EXPECT_FALSE(head.keep_alive);
+
+  // resp_bad_status: not an HTTP status line — never guessed at.
+  EXPECT_EQ(parse("BANANA/9.9 tasty\r\nServer: x\r\n\r\n", false, head),
+            Status::kMalformed);
+
+  // resp_cl_te: the classic smuggling combination is rejected outright.
+  EXPECT_EQ(parse("HTTP/1.1 200 OK\r\nContent-Length: 5\r\n"
+                  "Transfer-Encoding: chunked\r\n\r\n",
+                  false, head),
+            Status::kMalformed);
+
+  // Duplicate and non-numeric Content-Length are equally untrustworthy.
+  EXPECT_EQ(parse("HTTP/1.1 200 OK\r\nContent-Length: 4\r\n"
+                  "Content-Length: 5\r\n\r\n",
+                  false, head),
+            Status::kMalformed);
+  EXPECT_EQ(parse("HTTP/1.1 200 OK\r\nContent-Length: five\r\n\r\n", false,
+                  head),
+            Status::kMalformed);
+
+  // Obs-fold continuations from a backend are rejected, not unfolded.
+  EXPECT_EQ(parse("HTTP/1.1 200 OK\r\nX-A: 1\r\n folded\r\n\r\n", false,
+                  head),
+            Status::kMalformed);
+
+  // Control bytes in the reason phrase or a header value would be relayed
+  // verbatim (response splitting) — rejected, never forwarded.
+  EXPECT_EQ(parse("HTTP/1.1 200 O\x14K\r\nServer: x\r\n\r\n", false, head),
+            Status::kMalformed);
+  EXPECT_EQ(parse("HTTP/1.1 200 OK\r\nX-A: a\nb\r\n\r\n", false, head),
+            Status::kMalformed);
+
+  // resp_chunk_oversize: hex chunk-size overflow fires kTooLarge in the
+  // pass-through (the framing can't be trusted → 502 + poison).
+  {
+    cops::http::ChunkPassthrough passthrough;
+    size_t consumed = 0;
+    EXPECT_EQ(passthrough.feed("ffffffffffffffff1\r\n", &consumed),
+              cops::http::ChunkPassthrough::Status::kTooLarge);
+  }
+  // resp_truncated_trailer: an unterminated trailer is kNeedMore — the
+  // relay keeps waiting and the client never sees a forged terminal chunk.
+  {
+    cops::http::ChunkPassthrough passthrough;
+    size_t consumed = 0;
+    EXPECT_EQ(passthrough.feed("3\r\nabc\r\n0\r\nX-Trailer: ok", &consumed),
+              cops::http::ChunkPassthrough::Status::kNeedMore);
   }
 }
 
@@ -404,6 +632,41 @@ TEST_P(ChunkedFuzzTest, MutatedStreamsDecodeSplitInvariantly) {
   }
 }
 
+class ResponseFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ResponseFuzzTest, MutatedCorpusHoldsInvariants) {
+  const uint64_t seed =
+      g_has_seed_override ? g_seed_override
+                          : static_cast<uint64_t>(GetParam() + 3000);
+  SCOPED_TRACE("replay with --seed=" + std::to_string(seed));
+  const auto corpus = load_corpus("http");
+  ASSERT_FALSE(corpus.empty());
+  std::mt19937_64 rng(seed);
+  for (int i = 0; i < kIterationsPerSeed; ++i) {
+    check_response_head_invariants(mutate(rng, corpus));
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+class PassthroughFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PassthroughFuzzTest, MutatedStreamsValidateSplitInvariantly) {
+  const uint64_t seed =
+      g_has_seed_override ? g_seed_override
+                          : static_cast<uint64_t>(GetParam() + 4000);
+  SCOPED_TRACE("replay with --seed=" + std::to_string(seed));
+  const auto& seeds = chunked_seed_streams();
+  std::mt19937_64 rng(seed);
+  for (const auto& stream : seeds) {
+    check_chunk_passthrough_invariants(stream, rng);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  for (int i = 0; i < kIterationsPerSeed; ++i) {
+    check_chunk_passthrough_invariants(mutate(rng, seeds), rng);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
 class FtpFuzzTest : public ::testing::TestWithParam<int> {};
 
 TEST_P(FtpFuzzTest, MutatedCorpusHoldsInvariants) {
@@ -429,6 +692,14 @@ INSTANTIATE_TEST_SUITE_P(Seeds, ChunkedFuzzTest, ::testing::Range(1, 9),
                            return "seed" + std::to_string(info.param);
                          });
 INSTANTIATE_TEST_SUITE_P(Seeds, FtpFuzzTest, ::testing::Range(1, 9),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+INSTANTIATE_TEST_SUITE_P(Seeds, ResponseFuzzTest, ::testing::Range(1, 9),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+INSTANTIATE_TEST_SUITE_P(Seeds, PassthroughFuzzTest, ::testing::Range(1, 9),
                          [](const auto& info) {
                            return "seed" + std::to_string(info.param);
                          });

@@ -496,6 +496,60 @@ TEST(NServerTemplate, BodyFramingAppendsWithoutRenumbering) {
   EXPECT_LT(buffer_row, framing_row) << "body_framing must append after S2";
 }
 
+TEST(NServerTemplate, ProxyUpstreamOptionCrosscutsGeneratedUnits) {
+  const auto tmpl = make_nserver_template();
+  // Both presets default to per_request (zero behaviour change for the
+  // paper's servers); flipping to pooled emits the proxy unit and wires the
+  // pooled upstream mode + cap into the options block.
+  auto per_request_set = nserver_http_options();
+  auto pooled_set = per_request_set;
+  pooled_set.set("proxy_upstream", "pooled");
+  auto off = tmpl.render_all(per_request_set,
+                             {{"app_name", "A"}, {"listen_port", "0"}});
+  auto on =
+      tmpl.render_all(pooled_set, {{"app_name", "A"}, {"listen_port", "0"}});
+  ASSERT_TRUE(off.is_ok());
+  ASSERT_TRUE(on.is_ok());
+  EXPECT_TRUE(on.value().count("proxy_config.hpp"));
+  EXPECT_FALSE(off.value().count("proxy_config.hpp"));
+  EXPECT_NE(on.value().at("traits.hpp").find("kPooledUpstream = true"),
+            std::string::npos);
+  EXPECT_NE(off.value().at("traits.hpp").find("kPooledUpstream = false"),
+            std::string::npos);
+  EXPECT_NE(on.value().at("server_main.cpp").find("UpstreamMode::kPooled"),
+            std::string::npos);
+  EXPECT_NE(
+      off.value().at("server_main.cpp").find("UpstreamMode::kPerRequest"),
+      std::string::npos);
+  EXPECT_NE(on.value().at("proxy_config.hpp").find("kUpstreamPoolCap"),
+            std::string::npos);
+  EXPECT_NE(on.value().at("server_main.cpp").find("upstream_pool_cap"),
+            std::string::npos);
+  // Both shipped presets stay on per_request.
+  EXPECT_EQ(nserver_http_options().get("proxy_upstream"), "per_request");
+  EXPECT_EQ(nserver_ftp_options().get("proxy_upstream"), "per_request");
+}
+
+TEST(NServerTemplate, ProxyUpstreamAppendsWithoutRenumbering) {
+  // proxy_upstream joins Table 2 as its own column while everything already
+  // there stays put; in the README option table it rows after body_framing.
+  const auto tmpl = make_nserver_template();
+  auto matrix = tmpl.crosscut();
+  ASSERT_TRUE(matrix.is_ok());
+  EXPECT_TRUE(
+      matrix.value().at("Proxy Upstream").at("proxy_upstream").existence);
+  EXPECT_TRUE(matrix.value().at("Body Framing").at("body_framing").existence);
+  auto rendered = tmpl.render_all(nserver_http_options(),
+                                  {{"app_name", "A"}, {"listen_port", "0"}});
+  ASSERT_TRUE(rendered.is_ok());
+  const auto& readme = rendered.value().at("README.md");
+  const size_t framing_row = readme.find("S3 body framing");
+  const size_t proxy_row = readme.find("S4 proxy upstream");
+  ASSERT_NE(framing_row, std::string::npos);
+  ASSERT_NE(proxy_row, std::string::npos);
+  EXPECT_LT(framing_row, proxy_row) << "proxy_upstream must append after S3";
+}
+
 TEST(NServerTemplate, ConstraintRejectsExportWithoutProfiling) {
   const auto tmpl = make_nserver_template();
   auto bad = nserver_http_options();

@@ -276,11 +276,22 @@ TEST(Options, ZeroDispatchersInvalid) {
   EXPECT_NE(options.validate(), "");
 }
 
+TEST(Options, PooledUpstreamNeedsPositiveCap) {
+  ServerOptions options;
+  options.upstream_mode = UpstreamMode::kPooled;
+  options.upstream_pool_cap = 0;
+  EXPECT_NE(options.validate(), "");
+  options.upstream_pool_cap = 4;
+  EXPECT_EQ(options.validate(), "");
+}
+
 TEST(Options, EnumToString) {
   EXPECT_STREQ(to_string(CompletionMode::kAsynchronous), "Asynchronous");
   EXPECT_STREQ(to_string(ThreadAllocation::kDynamic), "Dynamic");
   EXPECT_STREQ(to_string(CachePolicyKind::kLruMin), "LRU-MIN");
   EXPECT_STREQ(to_string(ServerMode::kDebug), "Debug");
+  EXPECT_STREQ(to_string(UpstreamMode::kPerRequest), "PerRequest");
+  EXPECT_STREQ(to_string(UpstreamMode::kPooled), "Pooled");
 }
 
 // ---------- OverloadController -------------------------------------------------
