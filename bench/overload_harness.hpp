@@ -1,0 +1,235 @@
+// Overload-spike harness shared by the micro_overload baseline binary and
+// the perf-smoke gate.  Every point is a fully deterministic simnet run —
+// virtual time, fixed seed — so the committed BENCH_overload.json is
+// bit-stable across machines.
+//
+// The modeled server: COPS-HTTP in the deterministic SPED configuration
+// with 20 ms of virtual CPU per admitted request (50 req/s of capacity).
+// Each point offers a fixed arrival rate for a fixed window and reports
+// the p99 first-byte latency of *admitted* requests plus the shed rate,
+// for both overload modes:
+//
+//   watermark  the paper's O9 queue-length controller.  The SPED pipeline
+//              never queues (events run inline), so it admits everything
+//              and the backlog latency grows with offered load — the
+//              ablation baseline.
+//   adaptive   the queue-DELAY manager (overload = adaptive): sheds with
+//              503 + Retry-After once standing event-loop lag exceeds the
+//              CoDel target, bounding admitted p99.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "http/http_server.hpp"
+#include "simnet/sim_engine.hpp"
+#include "simnet/sim_harness.hpp"
+
+namespace cops::bench {
+
+struct OverloadBenchConfig {
+  std::string docroot = "/tmp/cops_bench_overload";
+  // Offered arrival rates to sweep (req/s); capacity is 50 req/s.
+  std::vector<double> offered_rps = {25, 50, 100, 200, 400};
+  // Arrival window per point (virtual milliseconds).
+  int window_ms = 1000;
+  uint64_t seed = 1;
+};
+
+[[nodiscard]] inline OverloadBenchConfig overload_quick_config(
+    std::string docroot = "/tmp/cops_bench_overload") {
+  OverloadBenchConfig config;
+  config.docroot = std::move(docroot);
+  config.offered_rps = {25, 400};
+  config.window_ms = 400;
+  return config;
+}
+
+struct OverloadRow {
+  std::string mode;
+  double offered_rps = 0.0;
+  uint64_t offered = 0;
+  uint64_t admitted = 0;
+  uint64_t shed = 0;
+  uint64_t no_response = 0;
+  double shed_rate = 0.0;
+  double p99_admitted_ms = 0.0;
+};
+
+[[nodiscard]] inline bool make_overload_docroot(
+    const OverloadBenchConfig& config) {
+  std::error_code ec;
+  std::filesystem::create_directories(config.docroot, ec);
+  if (ec) return false;
+  std::ofstream out(config.docroot + "/a.txt", std::ios::trunc);
+  out << "overload bench fixture\n";
+  return out.good();
+}
+
+[[nodiscard]] inline double overload_percentile(std::vector<double> values,
+                                                double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t index = static_cast<size_t>(p * (values.size() - 1) + 0.5);
+  return values[std::min(index, values.size() - 1)];
+}
+
+// One deterministic point: `offered_rps` arrivals/s for `window_ms`, then
+// drain to quiescence.
+[[nodiscard]] inline OverloadRow run_overload_point(
+    const OverloadBenchConfig& config, const char* mode, double offered_rps) {
+  using std::chrono::microseconds;
+  using std::chrono::milliseconds;
+  using std::chrono::seconds;
+
+  simnet::SimEngine engine(config.seed, simnet::FaultPlan::none());
+
+  auto options = http::CopsHttpServer::default_options();
+  simnet::make_deterministic(options);
+  options.listen_port = 8090;
+  options.overload_control = true;
+  options.overload_mode = std::string(mode) == "adaptive"
+                              ? nserver::OverloadMode::kAdaptive
+                              : nserver::OverloadMode::kWatermark;
+  options.overload_target_delay = milliseconds(5);
+  options.overload_interval = milliseconds(50);
+  options.overload_ewma_alpha = 0.5;
+  options.overload_retry_after = seconds(1);
+  options.overload_retry_after_max = seconds(30);
+  options.housekeeping_interval = milliseconds(10);
+  http::HttpServerConfig http_config;
+  http_config.doc_root = config.docroot;
+  http_config.handle_delay = milliseconds(20);  // 50 req/s of capacity
+  http::CopsHttpServer server(std::move(options), http_config);
+  if (!server.start().is_ok()) {
+    std::fprintf(stderr, "overload bench: server start failed\n");
+    return {};
+  }
+
+  const std::string request =
+      "GET /a.txt HTTP/1.1\r\nHost: sim\r\nConnection: close\r\n\r\n";
+
+  struct Probe {
+    simnet::SimClient* client = nullptr;
+    std::shared_ptr<double> sent_ms;
+    std::shared_ptr<double> first_byte_ms;
+  };
+  std::vector<Probe> probes;
+  const double spacing_us = 1e6 / offered_rps;
+  const auto count =
+      static_cast<size_t>(offered_rps * config.window_ms / 1000.0);
+  for (size_t i = 0; i < count; ++i) {
+    Probe probe;
+    probe.client = engine.new_client();
+    probe.sent_ms = std::make_shared<double>(-1.0);
+    probe.first_byte_ms = std::make_shared<double>(-1.0);
+    auto sent = probe.sent_ms;
+    auto mark = probe.first_byte_ms;
+    probe.client->on_data = [mark](std::string_view) {
+      if (*mark < 0.0) {
+        *mark = to_seconds(now().time_since_epoch()) * 1000.0;
+      }
+    };
+    auto* client = probe.client;
+    const auto when =
+        microseconds(100000 + static_cast<int64_t>(i * spacing_us));
+    engine.at(when, [client, request, sent] {
+      *sent = to_seconds(now().time_since_epoch()) * 1000.0;
+      client->connect(8090);
+      client->send(request);
+    });
+    probes.push_back(std::move(probe));
+  }
+
+  OverloadRow row;
+  row.mode = mode;
+  row.offered_rps = offered_rps;
+  row.offered = probes.size();
+  if (!engine.run(seconds(300))) {
+    std::fprintf(stderr, "overload bench: point did not quiesce\n");
+    return row;
+  }
+
+  std::vector<double> admitted_latencies;
+  for (const auto& probe : probes) {
+    const std::string& received = probe.client->received();
+    if (received.rfind("HTTP/1.1 200", 0) == 0) {
+      ++row.admitted;
+      if (*probe.first_byte_ms >= 0.0 && *probe.sent_ms >= 0.0) {
+        admitted_latencies.push_back(*probe.first_byte_ms - *probe.sent_ms);
+      }
+    } else if (received.rfind("HTTP/1.1 503", 0) == 0) {
+      ++row.shed;
+    } else {
+      ++row.no_response;
+    }
+  }
+  row.shed_rate =
+      row.offered > 0
+          ? static_cast<double>(row.shed) / static_cast<double>(row.offered)
+          : 0.0;
+  row.p99_admitted_ms = overload_percentile(admitted_latencies, 0.99);
+  server.stop();
+  return row;
+}
+
+[[nodiscard]] inline std::string overload_rows_to_json(
+    const std::vector<OverloadRow>& rows, bool quick) {
+  std::string out = "{\n  \"benchmark\": \"overload\",\n  \"quick\": ";
+  out += quick ? "true" : "false";
+  out += ",\n  \"rows\": [\n";
+  char line[256];
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    std::snprintf(line, sizeof(line),
+                  "    {\"mode\": \"%s\", \"offered_rps\": %.0f, "
+                  "\"offered\": %llu, \"admitted\": %llu, \"shed\": %llu, "
+                  "\"no_response\": %llu, \"shed_rate\": %.4f, "
+                  "\"p99_admitted_ms\": %.1f}%s\n",
+                  row.mode.c_str(), row.offered_rps,
+                  static_cast<unsigned long long>(row.offered),
+                  static_cast<unsigned long long>(row.admitted),
+                  static_cast<unsigned long long>(row.shed),
+                  static_cast<unsigned long long>(row.no_response),
+                  row.shed_rate, row.p99_admitted_ms,
+                  i + 1 < rows.size() ? "," : "");
+    out += line;
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+// Structural validation of the emitted document — the committed baseline's
+// consumers (and the perf-smoke gate) rely on exactly these fields.
+[[nodiscard]] inline bool validate_overload_json(const std::string& json,
+                                                 std::string* error) {
+  const auto need = [&](const char* token) {
+    if (json.find(token) == std::string::npos) {
+      if (error) *error = std::string("missing token: ") + token;
+      return false;
+    }
+    return true;
+  };
+  if (!need("\"benchmark\": \"overload\"")) return false;
+  if (!need("\"quick\": ")) return false;
+  if (!need("\"rows\": [")) return false;
+  for (const char* token :
+       {"\"mode\": \"watermark\"", "\"mode\": \"adaptive\"", "\"offered_rps\"",
+        "\"admitted\"", "\"shed\"", "\"shed_rate\"", "\"p99_admitted_ms\""}) {
+    if (!need(token)) return false;
+  }
+  if (json.back() != '\n' || json[json.size() - 2] != '}') {
+    if (error) *error = "document not terminated";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cops::bench

@@ -22,6 +22,7 @@ void usage() {
       "          [--threads N] [--sync-completion] [--dynamic-threads]\n"
       "          [--cache lru|lfu|lru-min|lru-threshold|hyper-g|none]\n"
       "          [--cache-mb N] [--scheduling] [--overload] [--idle-ms N]\n"
+      "          [--overload-mode watermark|adaptive] [--overload-target-ms N]\n"
       "          [--auto-index] [--debug] [--profiling] [--logging]\n"
       "          [--send-path copy|writev|sendfile] [--sendfile-min BYTES]\n"
       "          [--body-framing content_length|chunked] [--chunked-min BYTES]\n"
@@ -73,6 +74,15 @@ int main(int argc, char** argv) {
       options.event_scheduling = true;
     } else if (arg == "--overload") {
       options.overload_control = true;
+    } else if (arg == "--overload-mode") {
+      // S5: adaptive is a refinement of O9, so it implies overload_control.
+      options.overload_control = true;
+      options.overload_mode = std::string(next()) == "adaptive"
+                                  ? cops::nserver::OverloadMode::kAdaptive
+                                  : cops::nserver::OverloadMode::kWatermark;
+    } else if (arg == "--overload-target-ms") {
+      options.overload_target_delay =
+          std::chrono::milliseconds(std::atoi(next()));
     } else if (arg == "--idle-ms") {
       options.shutdown_long_idle = true;
       options.idle_timeout = std::chrono::milliseconds(std::atoi(next()));

@@ -1,8 +1,20 @@
 #include "common/clock.hpp"
 
+#include <chrono>
 #include <ctime>
+#include <thread>
 
 namespace cops {
+
+void spend(Duration d) {
+  if (d.count() <= 0) return;
+  if (simclock::active()) [[unlikely]] {
+    simclock::advance_ns(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+    return;
+  }
+  std::this_thread::sleep_for(d);
+}
 
 int64_t unix_now_seconds() {
   if (simclock::active()) [[unlikely]] {

@@ -35,6 +35,13 @@ void set_ns(int64_t now_ns);
 
 }  // namespace simclock
 
+// Models `d` of CPU-bound work: under a simulation the virtual clock is
+// advanced (the work "costs" virtual time, with no real sleep — so a
+// simulated burst builds a measurable virtual queue delay); in production
+// the calling thread really sleeps.  Used by the artificial decode/handle
+// cost knobs that the overload experiments turn into a bottleneck.
+void spend(Duration d);
+
 // Wall-clock counterpart of now(): UNIX seconds for protocol timestamps
 // (the HTTP Date header).  While a simulation is installed this derives
 // from the virtual clock at a fixed epoch, so replies are bit-identical

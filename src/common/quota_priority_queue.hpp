@@ -8,6 +8,7 @@
 // spent its quota (one scheduling round).
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -48,15 +49,34 @@ class QuotaPriorityQueue {
   // Blocking pop following the quota discipline; empty optional on shutdown.
   std::optional<T> pop() {
     std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [&] { return shutdown_ || size_ > 0; });
+    not_empty_.wait(lock, [&] { return shutdown_ || poppable_locked() > 0; });
     if (size_ == 0) return std::nullopt;
     return pop_locked();
   }
 
   std::optional<T> try_pop() {
     std::lock_guard lock(mutex_);
-    if (size_ == 0) return std::nullopt;
+    if (poppable_locked() == 0) return std::nullopt;
     return pop_locked();
+  }
+
+  // Overload action (adaptive O9, tier 2): levels >= `floor` are paused —
+  // pushes are still accepted but pop()/try_pop() will not drain them until
+  // the floor is raised again.  floor >= num_levels() (the default) pauses
+  // nothing; floor 1 keeps only the highest-priority level running.
+  // Shutdown overrides pause so stop() still drains everything.
+  void set_paused_floor(size_t floor) {
+    {
+      std::lock_guard lock(mutex_);
+      paused_floor_ = floor;
+    }
+    // Raising the floor may make parked items poppable again.
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] size_t paused_floor() const {
+    std::lock_guard lock(mutex_);
+    return paused_floor_;
   }
 
   void shutdown() {
@@ -77,9 +97,24 @@ class QuotaPriorityQueue {
   }
 
  private:
+  // Levels eligible for dequeue right now: all of them during shutdown
+  // (drain), otherwise only those below the paused floor.
+  [[nodiscard]] size_t drain_limit_locked() const {
+    return shutdown_ ? levels_.size() : std::min(paused_floor_, levels_.size());
+  }
+
+  // Items currently allowed to be popped (drives the pop() wait predicate).
+  [[nodiscard]] size_t poppable_locked() const {
+    const size_t limit = drain_limit_locked();
+    size_t n = 0;
+    for (size_t i = 0; i < limit; ++i) n += levels_[i].size();
+    return n;
+  }
+
   std::optional<T> pop_locked() {
+    const size_t limit = drain_limit_locked();
     // Pass 1: highest non-empty level with remaining quota.
-    for (size_t i = 0; i < levels_.size(); ++i) {
+    for (size_t i = 0; i < limit; ++i) {
       if (!levels_[i].empty() && remaining_[i] > 0) {
         --remaining_[i];
         return take_from(i);
@@ -87,7 +122,7 @@ class QuotaPriorityQueue {
     }
     // All non-empty levels exhausted their quotas: start a new round.
     remaining_ = quotas_;
-    for (size_t i = 0; i < levels_.size(); ++i) {
+    for (size_t i = 0; i < limit; ++i) {
       if (!levels_[i].empty() && remaining_[i] > 0) {
         --remaining_[i];
         return take_from(i);
@@ -95,10 +130,10 @@ class QuotaPriorityQueue {
     }
     // Every non-empty level has quota 0: fall back to strict priority so
     // work still drains.
-    for (size_t i = 0; i < levels_.size(); ++i) {
+    for (size_t i = 0; i < limit; ++i) {
       if (!levels_[i].empty()) return take_from(i);
     }
-    return std::nullopt;  // unreachable: size_ > 0 checked by callers
+    return std::nullopt;  // everything poppable is paused
   }
 
   T take_from(size_t level) {
@@ -114,6 +149,7 @@ class QuotaPriorityQueue {
   std::vector<size_t> quotas_;
   std::vector<size_t> remaining_;
   size_t size_ = 0;
+  size_t paused_floor_ = static_cast<size_t>(-1);  // nothing paused
   bool shutdown_ = false;
 };
 

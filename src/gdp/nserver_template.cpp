@@ -81,6 +81,16 @@ OptionTable make_nserver_option_table() {
   // plain N-Server ignores the option; the proxy front end consumes it.
   table.add({"proxy_upstream", "S4: Proxy upstream connections",
              OptionType::kEnum, {"per_request", "pooled"}, "per_request"});
+  // Overload-policy extension — appended after S4, again preserving the
+  // earlier column numbering: *how* the O9 overload controller decides it
+  // is overloaded.  `watermark` is the classical static queue-length gate
+  // (suspend accept above the high mark, resume below the low);
+  // `adaptive` replaces it with the OverloadManager control loop — CoDel
+  // queue-*delay* admission plus pluggable resource monitors driving
+  // graduated actions (conserve → pause low priority → shed 503 +
+  // Retry-After → stop accept) with EWMA smoothing and hysteresis.
+  table.add({"overload", "S5: Overload policy", OptionType::kEnum,
+             {"watermark", "adaptive"}, "watermark"});
 
   table.add_constraint(
       "O2/O8 interaction", [](const OptionSet& set) -> std::string {
@@ -103,6 +113,15 @@ OptionTable make_nserver_option_table() {
             !set.get_bool("profiling")) {
           return "the admin export serves the profiler's statistics; "
                  "enable profiling (O11)";
+        }
+        return {};
+      });
+  table.add_constraint(
+      "S5/O9 interaction", [](const OptionSet& set) -> std::string {
+        if (set.get_or("overload", "watermark") == "adaptive" &&
+            !set.get_bool("overload_control")) {
+          return "the adaptive overload manager is a refinement of the "
+                 "overload controller; enable overload control (O9)";
         }
         return {};
       });
@@ -205,6 +224,11 @@ inline constexpr bool kChunkedReplies = false;
 inline constexpr bool kPooledUpstream = true;
 //% else
 inline constexpr bool kPooledUpstream = false;
+//% end
+//% if overload == "adaptive"
+inline constexpr bool kAdaptiveOverload = true;
+//% else
+inline constexpr bool kAdaptiveOverload = false;
 //% end
 
 }  // namespace ${app_name}_traits
@@ -523,6 +547,36 @@ inline constexpr bool kCountUpstreamPool = true;
 }  // namespace ${app_name}_gen
 )tmpl";
 
+constexpr const char* kOverloadConfigHpp = R"tmpl(// Generated: adaptive overload manager (exists when overload = adaptive).
+// Replaces the static queue-length watermarks with the OverloadManager
+// control loop: CoDel-style queue-delay admission (sliding minimum over the
+// interval vs. a target) plus resource monitors (connections, pool miss
+// rate, heap bytes) mapped to 0-1 pressure, EWMA-smoothed, driving four
+// graduated action tiers with hysteresis — conserve (shrink keep-alive idle
+// timeouts), pause low-priority quota classes, shed new requests with
+// 503 + Retry-After, and finally suspend accept.
+#pragma once
+
+#include <cstddef>
+
+namespace ${app_name}_gen {
+
+// CoDel admission: standing queue delay the server is willing to carry, and
+// the sliding-minimum window it is measured over.
+inline constexpr long kOverloadTargetDelayMs = 5;
+inline constexpr long kOverloadIntervalMs = 100;
+// Pressure smoothing and tier release hysteresis.
+inline constexpr double kOverloadEwmaAlpha = 0.3;
+inline constexpr double kOverloadHysteresis = 0.10;
+// Retry-After on shed 503s is derived from the measured pressure decay,
+// clamped to this ceiling (the floor is O9's retry-after setting).
+inline constexpr long kOverloadRetryAfterMaxS = 30;
+// Heap monitor capacity; 0 disables the heap-bytes monitor.
+inline constexpr std::size_t kOverloadMaxHeapBytes = 0;
+
+}  // namespace ${app_name}_gen
+)tmpl";
+
 constexpr const char* kHooksHpp = R"tmpl(// Generated hook-method stubs for ${app_name}.
 // These are the ONLY methods you implement — the three application-dependent
 // steps of the five-step request cycle (Decode Request, Handle Request,
@@ -631,6 +685,9 @@ constexpr const char* kServerMainCpp = R"tmpl(// Generated server main for ${app
 //% if proxy_upstream == "pooled"
 #include "proxy_config.hpp"
 //% end
+//% if overload == "adaptive"
+#include "overload_config.hpp"
+//% end
 #include "hooks.hpp"
 #include "reactor_config.hpp"
 //% if send_path != "copy"
@@ -694,6 +751,20 @@ int main() {
   options.overload_control = true;
   options.queue_high_watermark = ${app_name}_gen::kQueueHighWatermark;
   options.queue_low_watermark = ${app_name}_gen::kQueueLowWatermark;
+//% end
+//% if overload == "adaptive"
+  options.overload_mode = cops::nserver::OverloadMode::kAdaptive;
+  options.overload_target_delay =
+      std::chrono::milliseconds(${app_name}_gen::kOverloadTargetDelayMs);
+  options.overload_interval =
+      std::chrono::milliseconds(${app_name}_gen::kOverloadIntervalMs);
+  options.overload_ewma_alpha = ${app_name}_gen::kOverloadEwmaAlpha;
+  options.overload_hysteresis = ${app_name}_gen::kOverloadHysteresis;
+  options.overload_retry_after_max =
+      std::chrono::seconds(${app_name}_gen::kOverloadRetryAfterMaxS);
+  options.overload_max_heap_bytes = ${app_name}_gen::kOverloadMaxHeapBytes;
+//% else
+  options.overload_mode = cops::nserver::OverloadMode::kWatermark;
 //% end
 //% if mode == "debug"
   options.mode = cops::nserver::ServerMode::kDebug;
@@ -805,6 +876,7 @@ Option settings baked into this instance:
 | S2 buffer management | ${buffer_mgmt} |
 | S3 body framing | ${body_framing} |
 | S4 proxy upstream | ${proxy_upstream} |
+| S5 overload | ${overload} |
 
 Implement the hook methods in `hooks.cpp` (the three application-dependent
 steps), then build with CMake, pointing `COPS_NSERVER_ROOT` at the
@@ -835,6 +907,8 @@ PatternTemplate make_nserver_template() {
                  "body_framing == \"chunked\"", kFramingConfigHpp});
   tmpl.add_file({"proxy_config.hpp", "Proxy Upstream",
                  "proxy_upstream == \"pooled\"", kProxyConfigHpp});
+  tmpl.add_file({"overload_config.hpp", "Overload Manager",
+                 "overload == \"adaptive\"", kOverloadConfigHpp});
   tmpl.add_file({"reactor_config.hpp", "Reactor", "", kReactorConfigHpp});
   tmpl.add_file({"acceptor_config.hpp", "Acceptor Event Handler", "",
                  kAcceptorConfigHpp});
@@ -864,6 +938,7 @@ OptionSet nserver_http_options() {
   set.set("buffer_mgmt", "pooled");
   set.set("body_framing", "content_length");
   set.set("proxy_upstream", "per_request");
+  set.set("overload", "watermark");
   return set;
 }
 
@@ -885,6 +960,7 @@ OptionSet nserver_ftp_options() {
   set.set("buffer_mgmt", "per_request");
   set.set("body_framing", "content_length");
   set.set("proxy_upstream", "per_request");
+  set.set("overload", "watermark");
   return set;
 }
 

@@ -1,8 +1,8 @@
 #include "http/http_server.hpp"
 
 #include <filesystem>
-#include <thread>
 
+#include "common/clock.hpp"
 #include "http/mime.hpp"
 #include "http/http_date.hpp"
 
@@ -48,7 +48,7 @@ nserver::DecodeResult HttpAppHooks::decode(nserver::RequestContext& ctx,
       break;
   }
   if (config_.decode_delay.count() > 0) {
-    std::this_thread::sleep_for(config_.decode_delay);
+    spend(config_.decode_delay);
   }
   int priority = 0;
   if (config_.priority_classifier) {
@@ -92,6 +92,13 @@ void HttpAppHooks::handle(nserver::RequestContext& ctx, std::any request) {
     if (!keep_alive) ctx.close_after_reply();
     ctx.reply(std::move(resp));
     return;
+  }
+
+  // Modeled Handle cost — after the shed check on purpose: admitted
+  // requests pay it, shed ones don't, so shedding actually unloads the
+  // bottleneck in both real and simulated overload experiments.
+  if (config_.handle_delay.count() > 0) {
+    spend(config_.handle_delay);
   }
 
   if (req.method != Method::kGet && req.method != Method::kHead) {

@@ -42,7 +42,15 @@ struct HttpServerConfig {
   // Artificial CPU cost added to the Decode step.  The paper's overload
   // experiment (Fig. 6) "force[s] each thread to sleep for 50 milliseconds
   // when decoding an HTTP request" to make the CPU the bottleneck.
+  // Sim-aware (cops::spend): under simnet the cost advances the virtual
+  // clock instead of sleeping, so overload scenarios replay deterministically.
   std::chrono::milliseconds decode_delay{0};
+
+  // Artificial CPU cost added to the Handle step, applied *after* the O9
+  // shed check — so a shed 503 really is cheap and shedding genuinely
+  // relieves the modeled bottleneck.  Sim-aware like decode_delay; this is
+  // the knob the adaptive-overload spike scenarios turn.
+  std::chrono::milliseconds handle_delay{0};
 };
 
 // Per-connection session state (hung off RequestContext::app_state).  Under

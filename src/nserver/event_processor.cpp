@@ -103,6 +103,12 @@ void EventProcessor::resize(size_t threads) {
   }
 }
 
+void EventProcessor::pause_low_priority(bool paused) {
+  if (!prio_ || inline_mode_) return;
+  low_priority_paused_.store(paused, std::memory_order_relaxed);
+  prio_->set_paused_floor(paused ? 1 : static_cast<size_t>(-1));
+}
+
 size_t EventProcessor::num_threads() const {
   std::lock_guard lock(mutex_);
   size_t alive = 0;

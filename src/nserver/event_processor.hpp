@@ -58,6 +58,15 @@ class EventProcessor {
   void resize(size_t threads);
   [[nodiscard]] size_t num_threads() const;
 
+  // Overload action (adaptive O9, tier 2): park every quota level except
+  // the highest — queued low-priority events stay queued, new ones still
+  // enqueue, and workers drain only level 0 until resumed.  No-op without
+  // event scheduling (O8) or in inline mode (nothing is ever queued).
+  void pause_low_priority(bool paused);
+  [[nodiscard]] bool low_priority_paused() const {
+    return low_priority_paused_.load(std::memory_order_relaxed);
+  }
+
   // Drains and joins.  Safe to call twice.
   void stop();
 
@@ -84,6 +93,7 @@ class EventProcessor {
   mutable std::mutex mutex_;
   std::vector<Worker> workers_;
   std::atomic<bool> stopped_{false};
+  std::atomic<bool> low_priority_paused_{false};
   std::atomic<uint64_t> processed_{0};
 };
 

@@ -52,6 +52,10 @@ const char* to_string(UpstreamMode mode) {
   return mode == UpstreamMode::kPerRequest ? "PerRequest" : "Pooled";
 }
 
+const char* to_string(OverloadMode mode) {
+  return mode == OverloadMode::kWatermark ? "Watermark" : "Adaptive";
+}
+
 std::string ServerOptions::validate() const {
   if (dispatcher_threads < 1) {
     return "O1: dispatcher_threads must be >= 1";
@@ -99,6 +103,25 @@ std::string ServerOptions::validate() const {
   }
   if (overload_shed && overload_retry_after.count() <= 0) {
     return "O9: overload_retry_after must be positive";
+  }
+  if (overload_mode == OverloadMode::kAdaptive) {
+    if (!overload_control) {
+      return "overload: adaptive mode requires overload_control";
+    }
+    if (overload_target_delay.count() <= 0 || overload_interval.count() <= 0) {
+      return "overload: adaptive mode needs positive target delay and "
+             "interval (CoDel parameters)";
+    }
+    if (overload_ewma_alpha <= 0.0 || overload_ewma_alpha > 1.0) {
+      return "overload: EWMA alpha must be in (0, 1]";
+    }
+    if (overload_hysteresis < 0.0 || overload_hysteresis >= 0.5) {
+      return "overload: hysteresis must be in [0, 0.5)";
+    }
+    if (overload_retry_after_max < overload_retry_after) {
+      return "overload: overload_retry_after_max must be >= "
+             "overload_retry_after";
+    }
   }
   if (send_path == SendPath::kSendfile && sendfile_min_bytes == 0) {
     return "send_path: sendfile needs a positive size threshold "

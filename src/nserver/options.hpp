@@ -103,6 +103,19 @@ enum class UpstreamMode {
   kPooled,
 };
 
+// Overload-control option (S5, appended after proxy_upstream to preserve
+// the paper's option numbering): which O9 control loop the server runs.
+// kWatermark is the paper's static two-watermark gate on queue *length*
+// (OverloadController).  kAdaptive replaces it with the OverloadManager:
+// CoDel-style admission on measured queue *delay* plus connection / pool /
+// heap pressure monitors, EWMA smoothing, and graduated actions (conserve
+// timeouts → pause low-priority quota classes → shed 503 → stop accept)
+// instead of the single suspend/resume lever.
+enum class OverloadMode {
+  kWatermark,
+  kAdaptive,
+};
+
 [[nodiscard]] const char* to_string(CompletionMode mode);
 [[nodiscard]] const char* to_string(ThreadAllocation alloc);
 [[nodiscard]] const char* to_string(CachePolicyKind kind);
@@ -112,6 +125,7 @@ enum class UpstreamMode {
 [[nodiscard]] const char* to_string(BufferMgmt mgmt);
 [[nodiscard]] const char* to_string(BodyFraming framing);
 [[nodiscard]] const char* to_string(UpstreamMode mode);
+[[nodiscard]] const char* to_string(OverloadMode mode);
 
 struct ServerOptions {
   // O1: # of dispatcher threads (1, or 2..N reactors sharding connections).
@@ -230,6 +244,25 @@ struct ServerOptions {
   UpstreamMode upstream_mode = UpstreamMode::kPerRequest;
   // kPooled only: per-backend connection cap (in-flight + idle).
   size_t upstream_pool_cap = 8;
+
+  // Overload-control option (S5, appended after upstream_mode).  Only
+  // meaningful with overload_control on; see enum OverloadMode.
+  OverloadMode overload_mode = OverloadMode::kWatermark;
+  // kAdaptive only — CoDel admission parameters: the control loop sheds
+  // when the *minimum* event-queue delay over the trailing interval holds
+  // above the target (a standing queue, not a burst).
+  std::chrono::milliseconds overload_target_delay{5};
+  std::chrono::milliseconds overload_interval{100};
+  // kAdaptive only: per-monitor EWMA weight (0 < alpha <= 1) and tier
+  // hysteresis (each action releases at its engage threshold minus this).
+  double overload_ewma_alpha = 0.3;
+  double overload_hysteresis = 0.10;
+  // kAdaptive only: upper clamp for the pressure-decay-derived Retry-After
+  // on shed 503s (the lower clamp is overload_retry_after).
+  std::chrono::seconds overload_retry_after_max{30};
+  // kAdaptive only: heap budget for the pool-allocated-bytes monitor
+  // (0 disables that monitor).
+  size_t overload_max_heap_bytes = 0;
 
   // --- non-option runtime knobs -----------------------------------------
   std::string listen_host = "127.0.0.1";

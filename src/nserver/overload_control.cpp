@@ -7,21 +7,36 @@ void OverloadController::watch_queue(std::string name,
   queues_.emplace_back(std::move(name), std::move(depth));
 }
 
+void OverloadController::unwatch_queue(const std::string& name) {
+  for (auto it = queues_.begin(); it != queues_.end(); ++it) {
+    if (it->first == name) {
+      queues_.erase(it);
+      return;
+    }
+  }
+}
+
 OverloadController::Decision OverloadController::evaluate() {
   size_t max_depth = 0;
+  size_t live = 0;
   for (const auto& [name, depth_fn] : queues_) {
     const size_t depth = depth_fn();
+    if (depth == kQueueGone) continue;  // dead queue: not a depth
+    ++live;
     if (depth > max_depth) max_depth = depth;
   }
   if (!overloaded_) {
-    if (max_depth > high_) {
+    if (live > 0 && max_depth > high_) {
       overloaded_ = true;
       ++suspends_;
       return Decision::kSuspend;
     }
   } else {
-    // Resume only when *every* queue is below the low watermark.
-    if (max_depth < low_) {
+    // Resume when every *live* queue is below the low watermark — or when
+    // no live queue remains at all (every watched queue was removed or
+    // reports kQueueGone), since a depth that can no longer be measured
+    // can never drain and must not wedge the acceptor suspended.
+    if (live == 0 || max_depth < low_) {
       overloaded_ = false;
       return Decision::kResume;
     }

@@ -23,9 +23,21 @@ class OverloadController {
   OverloadController(size_t high_watermark, size_t low_watermark)
       : high_(high_watermark), low_(low_watermark) {}
 
+  // A depth callback may return this sentinel to mean "the queue no longer
+  // exists" (its subsystem was stopped or swapped out).  evaluate() ignores
+  // such readings instead of treating SIZE_MAX as a real depth — otherwise
+  // a dead queue's stale callback would hold the acceptor suspended
+  // forever, since a queue that is gone can never drain below the low
+  // watermark.
+  static constexpr size_t kQueueGone = static_cast<size_t>(-1);
+
   // Registers a queue to watch (e.g. the reactive Event Processor's queue
   // and the file-I/O queue).  `depth` is sampled on every evaluation.
   void watch_queue(std::string name, std::function<size_t()> depth);
+  // Stops watching a queue.  Safe while suspended: the next evaluate()
+  // judges only the remaining queues, so removing the one that tripped the
+  // high watermark lets the controller resume.
+  void unwatch_queue(const std::string& name);
 
   enum class Decision { kNoChange, kSuspend, kResume };
 

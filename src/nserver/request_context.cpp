@@ -41,10 +41,25 @@ size_t RequestContext::server_connection_count() const {
 }
 
 bool RequestContext::should_shed() const {
+  // Adaptive O9, SPED mode: the dispatcher loop IS the worker, so a long
+  // ready-batch starves the housekeeping timer that normally runs the
+  // control loop.  Give the manager a chance to tick between requests of
+  // the same pass; it rate-limits itself and this is the dispatcher
+  // thread, so the graduated actions stay on their home thread.
+  if (server_.overload_mgr_ && server_.processor_->inline_mode()) {
+    server_.overload_mgr_->maybe_tick(now());
+  }
   return server_.shedding_.load(std::memory_order_relaxed);
 }
 
 std::chrono::seconds RequestContext::shed_retry_after() const {
+  // Adaptive O9: the advertised Retry-After tracks the measured pressure
+  // decay (estimated seconds until shedding releases), clamped to
+  // [overload_retry_after, overload_retry_after_max] by the manager.
+  // Watermark mode keeps the fixed configured constant.
+  if (server_.overload_mgr_) {
+    return server_.overload_mgr_->retry_after_hint();
+  }
   return server_.options_.overload_retry_after;
 }
 

@@ -56,7 +56,8 @@ Status Server::start() {
     controller_ = std::make_unique<ProcessorController>(*processor_, ccfg);
   }
 
-  if (options_.overload_control) {
+  if (options_.overload_control &&
+      options_.overload_mode == OverloadMode::kWatermark) {
     overload_ = std::make_unique<OverloadController>(
         options_.queue_high_watermark, options_.queue_low_watermark);
     overload_->set_shed(options_.overload_shed);
@@ -83,6 +84,14 @@ Status Server::start() {
           std::make_shared<BufferPool>(options_.read_buffer_block_bytes);
     }
     shards_.push_back(std::move(shard));
+  }
+
+  // --- adaptive overload manager (O9, overload_mode = kAdaptive) ----------
+  // Built after the shards so the per-shard event-loop-lag monitors and
+  // pool-counter lambdas bind to live objects.
+  if (options_.overload_control &&
+      options_.overload_mode == OverloadMode::kAdaptive) {
+    build_overload_manager();
   }
 
   // --- connector (Client Component) on dispatcher 0 -------------------------
@@ -115,6 +124,21 @@ Status Server::start() {
   // --- housekeeping on dispatcher 0 ----------------------------------------
   shards_[0]->reactor->run_after(options_.housekeeping_interval,
                                  [this] { housekeeping(); });
+
+  // --- SPED event-loop-lag samplers (adaptive O9) ---------------------------
+  // Inline processors never queue, so the admission signal is how late each
+  // shard's loop runs its timers.  Sample at least twice per CoDel window so
+  // the sliding min always has fresh readings to work with.
+  if (overload_mgr_ && processor_->inline_mode()) {
+    Duration probe_interval =
+        std::min(options_.housekeeping_interval, options_.overload_interval / 2);
+    if (probe_interval < std::chrono::milliseconds(1)) {
+      probe_interval = std::chrono::milliseconds(1);
+    }
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      schedule_loop_lag_probe(i, probe_interval);
+    }
+  }
 
   for (size_t i = 0; i < shards_.size(); ++i) {
     shards_[i]->reactor->start_thread("dispatch-" + std::to_string(i));
@@ -529,10 +553,177 @@ void Server::fetch_file(RequestContextPtr ctx, std::string path,
   }
 }
 
+// ---- overload manager (adaptive O9) ------------------------------------------
+
+void Server::build_overload_manager() {
+  OverloadManagerConfig cfg;
+  cfg.target_delay = options_.overload_target_delay;
+  cfg.interval = options_.overload_interval;
+  cfg.ewma_alpha = options_.overload_ewma_alpha;
+  cfg.hysteresis = options_.overload_hysteresis;
+  cfg.retry_after_min = options_.overload_retry_after;
+  cfg.retry_after_max = options_.overload_retry_after_max;
+  overload_mgr_ = std::make_unique<OverloadManager>(cfg);
+
+  // Queue-delay monitors (the CoDel admission signal).  With a separate
+  // processor pool the probe rides the event queue itself; in SPED mode
+  // nothing is ever queued (submit runs inline), so each shard measures
+  // event-loop lag instead — how late the loop fires a periodic timer
+  // (see schedule_loop_lag_probe), which is exactly the delay a newly
+  // ready request experiences.
+  if (!processor_->inline_mode()) {
+    delay_monitors_.push_back(
+        overload_mgr_->add_queue_delay_monitor("queue_delay"));
+  } else {
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      auto* monitor = overload_mgr_->add_queue_delay_monitor(
+          "loop_delay_" + std::to_string(i));
+      // A long pass starves the probe timer itself, so fold the pending
+      // probe's overdue-ness into the window — the standing lag is visible
+      // before the timer manages to fire.
+      auto* shard = shards_[i].get();
+      monitor->set_overdue_hint([shard] {
+        const int64_t expected =
+            shard->lag_probe_expected_ns.load(std::memory_order_relaxed);
+        if (expected == 0) return 0.0;
+        const int64_t now_ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                now().time_since_epoch())
+                .count();
+        return now_ns > expected ? static_cast<double>(now_ns - expected) *
+                                       1e-9
+                                 : 0.0;
+      });
+      delay_monitors_.push_back(monitor);
+    }
+  }
+
+  if (options_.max_connections > 0) {
+    overload_mgr_->add_monitor(std::make_unique<GaugeMonitor>(
+        "connections",
+        [this] { return static_cast<double>(num_connections_.load()); },
+        static_cast<double>(options_.max_connections)));
+  }
+  if (options_.buffer_mgmt == BufferMgmt::kPooled) {
+    // A rising pool-miss fraction means the recyclers are growing — the
+    // request path left its zero-allocation steady state.  50% misses in a
+    // tick window maps to pressure 1.0.
+    auto misses = [this] {
+      uint64_t n = 0;
+      for (const auto& shard : shards_) {
+        if (shard->ctx_pool) n += shard->ctx_pool->misses();
+        if (shard->read_buffer_pool) n += shard->read_buffer_pool->misses();
+      }
+      return n;
+    };
+    auto requests = [this] {
+      uint64_t n = 0;
+      for (const auto& shard : shards_) {
+        if (shard->ctx_pool) {
+          n += shard->ctx_pool->hits() + shard->ctx_pool->misses();
+        }
+        if (shard->read_buffer_pool) {
+          n += shard->read_buffer_pool->hits() +
+               shard->read_buffer_pool->misses();
+        }
+      }
+      return n;
+    };
+    overload_mgr_->add_monitor(std::make_unique<RateMonitor>(
+        "pool_miss_rate", std::move(misses), std::move(requests), 0.5));
+  }
+  if (options_.overload_max_heap_bytes > 0) {
+    overload_mgr_->add_monitor(std::make_unique<GaugeMonitor>(
+        "heap_bytes",
+        [this] {
+          uint64_t n = 0;
+          for (const auto& shard : shards_) {
+            if (shard->ctx_pool) n += shard->ctx_pool->heap_bytes();
+            if (shard->read_buffer_pool) {
+              n += shard->read_buffer_pool->heap_bytes();
+            }
+          }
+          return static_cast<double>(n);
+        },
+        static_cast<double>(options_.overload_max_heap_bytes)));
+  }
+
+  // Graduated actions.  tick() runs from housekeeping on the reactor-0
+  // thread, where the acceptor lives — suspend/resume need no hop.
+  OverloadActions actions;
+  actions.conserve = [this](bool on) {
+    conserve_idle_.store(on, std::memory_order_relaxed);
+    note_event(EventKind::kUser, 0,
+               on ? "overload-conserve" : "overload-conserve-release");
+  };
+  actions.pause_low_priority = [this](bool on) {
+    processor_->pause_low_priority(on);
+    note_event(EventKind::kUser, 0,
+               on ? "overload-pause-low-prio" : "overload-resume-low-prio");
+  };
+  actions.shed = [this](bool on) {
+    shedding_.store(on, std::memory_order_relaxed);
+    note_event(EventKind::kUser, 0,
+               on ? "overload-shed" : "overload-shed-release");
+  };
+  actions.stop_accept = [this](bool on) {
+    if (!acceptor_) return;
+    if (on) {
+      acceptor_->suspend();
+      if (options_.profiling) profiler_.count_overload_suspension();
+    } else {
+      acceptor_->resume();
+    }
+    accept_suspended_ = on;
+    note_event(EventKind::kUser, 0,
+               on ? "overload-suspend" : "overload-resume");
+  };
+  overload_mgr_->set_actions(std::move(actions));
+}
+
+void Server::launch_overload_probes() {
+  if (processor_->inline_mode()) return;  // lag samplers self-schedule
+  const auto t0 = now();
+  Event probe;
+  probe.kind = EventKind::kUser;
+  probe.priority = 0;  // probes must not be parked by the tier-2 pause
+  auto* monitor = delay_monitors_[0];
+  probe.action = [monitor, t0] { monitor->record_delay(now() - t0); };
+  processor_->submit(std::move(probe));
+}
+
+void Server::schedule_loop_lag_probe(size_t shard_index, Duration interval) {
+  // A timer due at `expected` fires on the first poll pass after that
+  // instant; every pass spent grinding through ready sockets pushes the
+  // fire time out, so the lateness is exactly the standing loop lag.  A
+  // one-off busy pass records one late sample that the sliding window's
+  // min forgives; only sustained lag drives pressure up.
+  auto* monitor = delay_monitors_[shard_index];
+  const TimePoint expected = now() + interval;
+  shards_[shard_index]->lag_probe_expected_ns.store(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          expected.time_since_epoch())
+          .count(),
+      std::memory_order_relaxed);
+  shards_[shard_index]->reactor->run_after(
+      interval, [this, shard_index, interval, monitor, expected] {
+        if (stopping_.load()) return;
+        monitor->record_delay(now() - expected);
+        schedule_loop_lag_probe(shard_index, interval);
+      });
+}
+
 // ---- housekeeping ------------------------------------------------------------
 
 void Server::housekeeping() {
   if (stopping_.load()) return;
+
+  if (overload_mgr_) {
+    // Launch this tick's sentinel probes first (they record on a later
+    // loop pass), then fold whatever has arrived into the control loop.
+    launch_overload_probes();
+    overload_mgr_->tick(now());
+  }
 
   if (overload_ && acceptor_) {
     switch (overload_->evaluate()) {
@@ -557,7 +748,8 @@ void Server::housekeeping() {
 
   if (controller_) controller_->tick();
 
-  if (options_.shutdown_long_idle || options_.header_read_timeout.count() > 0) {
+  if (options_.shutdown_long_idle || options_.header_read_timeout.count() > 0 ||
+      conserve_idle_.load(std::memory_order_relaxed)) {
     reap_idle(*shards_[0]);
     for (size_t i = 1; i < shards_.size(); ++i) {
       auto* shard = shards_[i].get();
@@ -570,7 +762,17 @@ void Server::housekeeping() {
 }
 
 void Server::reap_idle(Shard& shard) {
-  const auto idle_deadline = now() - options_.idle_timeout;
+  // Adaptive O9 tier-1 action: under pressure, keep-alive connections are
+  // a luxury — shrink the idle window to a quarter (floor 10ms) and reap
+  // even when O7 is off.
+  const bool conserve = conserve_idle_.load(std::memory_order_relaxed);
+  auto idle_timeout = options_.idle_timeout;
+  if (conserve) {
+    idle_timeout = std::max(idle_timeout / 4,
+                            std::chrono::milliseconds(10));
+  }
+  const bool reap_long_idle = options_.shutdown_long_idle || conserve;
+  const auto idle_deadline = now() - idle_timeout;
   const bool slowloris = options_.header_read_timeout.count() > 0;
   const auto partial_deadline = now() - options_.header_read_timeout;
   std::vector<std::shared_ptr<Connection>> idle;
@@ -585,7 +787,7 @@ void Server::reap_idle(Shard& shard) {
       stalled.push_back(conn);
       continue;
     }
-    if (options_.shutdown_long_idle && conn->last_activity() < idle_deadline) {
+    if (reap_long_idle && conn->last_activity() < idle_deadline) {
       idle.push_back(conn);
     }
   }
@@ -632,6 +834,10 @@ StatsSnapshot Server::stats_snapshot() const {
   s.queue_depth = processor_ ? processor_->queue_depth() : 0;
   s.processor_threads = processor_ ? processor_->num_threads() : 0;
   s.file_io_pending = file_service_ ? file_service_->pending() : 0;
+  if (overload_mgr_) {
+    s.has_overload = true;
+    s.overload = overload_mgr_->snapshot();
+  }
   if (cache_) {
     s.has_cache = true;
     s.cache_hits = cache_->hits();

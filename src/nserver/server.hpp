@@ -37,6 +37,7 @@
 #include "nserver/hooks.hpp"
 #include "nserver/options.hpp"
 #include "nserver/overload_control.hpp"
+#include "nserver/overload_manager.hpp"
 #include "nserver/processor_controller.hpp"
 #include "nserver/profiler.hpp"
 #include "nserver/request_context.hpp"
@@ -79,6 +80,11 @@ class Server {
   [[nodiscard]] bool shedding() const {
     return shedding_.load(std::memory_order_relaxed);
   }
+  // The adaptive O9 control loop (overload_mode = kAdaptive); null in
+  // watermark mode.  Exposed for the admin endpoint and tests.
+  [[nodiscard]] OverloadManager* overload_manager() {
+    return overload_mgr_.get();
+  }
   [[nodiscard]] ProfilerSnapshot profile() const;
   // Everything the admin endpoint serves, in one consistent grab.
   [[nodiscard]] StatsSnapshot stats_snapshot() const;
@@ -117,6 +123,12 @@ class Server {
     // whichever thread drops the last reference.
     std::shared_ptr<SlabPool> ctx_pool;
     std::shared_ptr<BufferPool> read_buffer_pool;
+    // Adaptive O9, SPED mode: when the next loop-lag probe timer is due
+    // (ns since clock epoch, 0 = none scheduled).  Written by the shard's
+    // reactor thread, read by the overload manager's overdue hint — while
+    // the loop grinds through a long pass the timer can't fire, but
+    // `now() - expected` is already the standing lag.
+    std::atomic<int64_t> lag_probe_expected_ns{0};
   };
 
   // Allocates a RequestContext — from the shard's slab free-list under
@@ -146,6 +158,16 @@ class Server {
   // ---- housekeeping (reactor 0 timer) -------------------------------------
   void housekeeping();
   void reap_idle(Shard& shard);
+  // Adaptive O9 setup/probing: build_overload_manager() wires the monitors
+  // and graduated actions.  With a separate processor pool,
+  // launch_overload_probes() sends one timestamped sentinel per tick through
+  // the event queue so the queue-delay monitor measures real dispatch
+  // latency.  In SPED mode nothing is ever queued, so each shard instead
+  // runs a self-rescheduling timer whose lateness (scheduled vs. actual fire
+  // time) is the event-loop lag a newly ready request experiences.
+  void build_overload_manager();
+  void launch_overload_probes();
+  void schedule_loop_lag_probe(size_t shard_index, Duration interval);
 
   // Internal event accounting: debug trace (O10) + logging (O12).
   void note_event(EventKind kind, uint64_t conn_id, const char* detail);
@@ -167,6 +189,10 @@ class Server {
   std::unique_ptr<FileIoService> file_service_;
   std::unique_ptr<FileCache> cache_;
   std::unique_ptr<OverloadController> overload_;
+  std::unique_ptr<OverloadManager> overload_mgr_;
+  // Owned by overload_mgr_; one per shard under SPED (event-loop lag),
+  // one for the processor queue with a separate pool.
+  std::vector<QueueDelayMonitor*> delay_monitors_;
   std::unique_ptr<DebugTracer> tracer_;
   std::unique_ptr<AdminServer> admin_;
   Profiler profiler_;
@@ -201,6 +227,9 @@ class Server {
   // Written by housekeeping on the reactor-0 thread, read cross-thread via
   // accepting() (tests, admin endpoint): atomic, not a plain bool.
   std::atomic<bool> accept_suspended_{false};
+  // Adaptive O9 tier-1 action: while set, reap_idle() runs with sharply
+  // shrunk keep-alive timeouts (and runs even when O7 is off).
+  std::atomic<bool> conserve_idle_{false};
 };
 
 }  // namespace cops::nserver

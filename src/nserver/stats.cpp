@@ -183,6 +183,32 @@ std::string render_prometheus(const StatsSnapshot& s) {
                    "hits / (hits + misses) over the server's lifetime.",
                    c.cache_hit_rate);
   }
+  if (s.has_overload) {
+    const auto& o = s.overload;
+    out += "# HELP cops_overload_pressure Resource pressure (0-1), per "
+           "monitor and overall.\n# TYPE cops_overload_pressure gauge\n";
+    char buf[256];
+    for (const auto& m : o.monitors) {
+      std::snprintf(buf, sizeof(buf),
+                    "cops_overload_pressure{monitor=\"%s\"} %.6f\n",
+                    m.name.c_str(), m.smoothed);
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "cops_overload_pressure{monitor=\"overall\"} %.6f\n",
+                  o.pressure);
+    out += buf;
+    append_metric(out, "cops_overload_tier", "gauge",
+                  "Active overload action tier (0=none 1=conserve "
+                  "2=pause-low-prio 3=shed 4=stop-accept).",
+                  static_cast<uint64_t>(o.tier));
+    append_metric(out, "cops_overload_retry_after_seconds", "gauge",
+                  "Retry-After currently advertised on shed 503s.",
+                  static_cast<uint64_t>(o.retry_after.count()));
+    append_metric(out, "cops_overload_accept_stopped", "gauge",
+                  "1 while the top tier holds the acceptor suspended.",
+                  o.accept_stopped ? 1 : 0);
+  }
   append_stage_histograms(out, c.stages);
   return out;
 }
@@ -227,6 +253,32 @@ std::string render_json(const StatsSnapshot& s) {
     append_json_field(out, "capacity_bytes", s.cache_capacity_bytes);
     append_json_field(out, "entries", s.cache_entries, false);
     out += "},";
+  }
+  if (s.has_overload) {
+    const auto& o = s.overload;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "\"overload\":{\"pressure\":%.6f,\"tier\":%d,"
+                  "\"tier_name\":\"%s\",\"retry_after_s\":%lld,"
+                  "\"conserving\":%s,\"low_priority_paused\":%s,"
+                  "\"shedding\":%s,\"accept_stopped\":%s,\"monitors\":[",
+                  o.pressure, static_cast<int>(o.tier), to_string(o.tier),
+                  static_cast<long long>(o.retry_after.count()),
+                  o.conserving ? "true" : "false",
+                  o.low_priority_paused ? "true" : "false",
+                  o.shedding ? "true" : "false",
+                  o.accept_stopped ? "true" : "false");
+    out += buf;
+    for (size_t i = 0; i < o.monitors.size(); ++i) {
+      const auto& m = o.monitors[i];
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"%s\",\"raw\":%.6f,\"pressure\":%.6f,"
+                    "\"smoothed\":%.6f}%s",
+                    json_escape(m.name).c_str(), m.raw, m.pressure,
+                    m.smoothed, i + 1 < o.monitors.size() ? "," : "");
+      out += buf;
+    }
+    out += "]},";
   }
   out += "\"stages\":{";
   for (size_t i = 0; i < kStageCount; ++i) {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "nserver/overload_manager.hpp"
 #include "nserver/profiler.hpp"
 
 namespace cops::nserver {
@@ -43,6 +44,12 @@ struct StatsSnapshot {
   uint64_t cache_bytes = 0;
   uint64_t cache_capacity_bytes = 0;
   uint64_t cache_entries = 0;
+
+  // Adaptive overload manager (overload = adaptive): per-monitor pressure
+  // gauges and the current action tier, so loadgen runs can scrape the
+  // control loop's trajectory.
+  bool has_overload = false;
+  OverloadSnapshot overload;
 
   std::vector<ConnectionStats> connections;
 };

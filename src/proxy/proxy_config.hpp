@@ -19,6 +19,7 @@
 #include "cluster/load_balancer.hpp"
 #include "http/request_parser.hpp"
 #include "nserver/options.hpp"
+#include "nserver/overload_manager.hpp"
 
 namespace cops::proxy {
 
@@ -66,6 +67,15 @@ struct ProxyConfig {
 
   // Received-by token in the Via headers this proxy adds ("1.1 <pseudonym>").
   std::string via_pseudonym = "cops-proxy";
+
+  // Adaptive overload manager (the same control loop as overload=adaptive
+  // in the core server) fed by *upstream* pressure: pool waiter depth and
+  // the 502/504 fraction.  Under pressure the proxy answers new request
+  // heads 503 + Retry-After instead of queueing them at the pool cap, and
+  // at the top tier suspends accept.
+  bool overload_adaptive = false;
+  nserver::OverloadManagerConfig overload;
+  Duration overload_tick_interval = std::chrono::milliseconds(100);
 
   // Admin/stats endpoint (nserver machinery) on the proxy's reactor.
   bool admin_enabled = false;

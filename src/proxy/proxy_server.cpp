@@ -1,9 +1,11 @@
 #include "proxy/proxy_server.hpp"
 
+#include <cstdio>
 #include <future>
 #include <utility>
 
 #include "cluster/lb_policy.hpp"
+#include "common/clock.hpp"
 #include "nserver/admin_server.hpp"
 #include "proxy/proxy_session.hpp"
 
@@ -66,9 +68,70 @@ Status ProxyServer::start() {
     if (!admin_status.is_ok()) return admin_status;
     admin_port_ = admin_->port();
   }
+  if (config_.overload_adaptive) {
+    build_overload_manager();
+    reactor_.run_after(config_.overload_tick_interval,
+                       [this] { overload_tick(); });
+  }
   reactor_.start_thread("proxy");
   launched_.store(true);
   return Status::ok();
+}
+
+// ---- adaptive overload ----------------------------------------------------
+
+void ProxyServer::build_overload_manager() {
+  overload_ = std::make_unique<nserver::OverloadManager>(config_.overload);
+  // Pool waiter depth: sessions parked at per-backend connection caps are
+  // exactly the demand the upstreams cannot absorb.  The lambda runs inside
+  // tick(), which only ever executes on the reactor thread — the same
+  // thread that mutates waiters_ — so no lock is needed.
+  if (pool_) {
+    const double capacity =
+        static_cast<double>(backends_.size()) *
+        static_cast<double>(config_.pool_max_per_backend);
+    overload_->add_monitor(std::make_unique<nserver::GaugeMonitor>(
+        "pool_waiters",
+        [this] {
+          size_t total = 0;
+          for (const auto& queue : waiters_) total += queue.size();
+          return static_cast<double>(total);
+        },
+        capacity));
+  }
+  // Upstream failure fraction over the tick window: 502s + 504s per request
+  // head.  A quarter of traffic failing upstream reads as full pressure.
+  overload_->add_monitor(std::make_unique<nserver::RateMonitor>(
+      "upstream_5xx",
+      [this] {
+        return counters_.bad_gateway.load(std::memory_order_relaxed) +
+               counters_.gateway_timeout.load(std::memory_order_relaxed);
+      },
+      [this] { return counters_.requests.load(std::memory_order_relaxed); },
+      /*full_scale=*/0.25));
+  nserver::OverloadActions actions;
+  // Shed is read directly by sessions via overload_->shedding(); the action
+  // only narrates the transition.
+  actions.shed = [this](bool engaged) {
+    emit(engaged ? "proxy-shed-on" : "proxy-shed-off");
+  };
+  actions.stop_accept = [this](bool engaged) {
+    if (!acceptor_) return;
+    if (engaged) {
+      acceptor_->suspend();
+    } else {
+      acceptor_->resume();
+    }
+    emit(engaged ? "proxy-accept-suspend" : "proxy-accept-resume");
+  };
+  overload_->set_actions(std::move(actions));
+}
+
+void ProxyServer::overload_tick() {
+  if (stopping_.load() || !overload_) return;
+  overload_->tick(now());
+  reactor_.run_after(config_.overload_tick_interval,
+                     [this] { overload_tick(); });
 }
 
 void ProxyServer::stop() {
@@ -316,6 +379,12 @@ void append_metric(std::string& out, const char* name, const char* type,
   out += '\n';
 }
 
+std::string format_fraction(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", value);
+  return buf;
+}
+
 }  // namespace
 
 std::string ProxyServer::render_stats_prometheus() const {
@@ -333,6 +402,8 @@ std::string ProxyServer::render_stats_prometheus() const {
                 counters_.poisoned.load(std::memory_order_relaxed));
   append_metric(out, "cops_proxy_backpressure_events_total", "counter",
                 counters_.backpressure.load(std::memory_order_relaxed));
+  append_metric(out, "cops_proxy_shed_total", "counter",
+                counters_.shed.load(std::memory_order_relaxed));
   append_metric(out, "cops_proxy_pool_reuse_total", "counter",
                 pool_reuse_total());
   append_metric(out, "cops_proxy_pool_miss_total", "counter",
@@ -355,6 +426,26 @@ std::string ProxyServer::render_stats_prometheus() const {
     out += backends_[i].draining ? '1' : '0';
     out += '\n';
   }
+  if (overload_) {
+    const auto snap = overload_->snapshot();
+    out += "# TYPE cops_proxy_overload_pressure gauge\n";
+    for (const auto& monitor : snap.monitors) {
+      out += "cops_proxy_overload_pressure{monitor=\"";
+      out += monitor.name;
+      out += "\"} ";
+      out += format_fraction(monitor.smoothed);
+      out += '\n';
+    }
+    out += "cops_proxy_overload_pressure{monitor=\"overall\"} ";
+    out += format_fraction(snap.pressure);
+    out += '\n';
+    append_metric(out, "cops_proxy_overload_tier", "gauge",
+                  static_cast<uint64_t>(snap.tier));
+    append_metric(out, "cops_proxy_overload_retry_after_seconds", "gauge",
+                  static_cast<uint64_t>(snap.retry_after.count()));
+    append_metric(out, "cops_proxy_overload_accept_stopped", "gauge",
+                  snap.accept_stopped ? 1 : 0);
+  }
   return out;
 }
 
@@ -374,6 +465,29 @@ std::string ProxyServer::render_stats_json() const {
   out += ",\"backpressure_events\":" +
          std::to_string(
              counters_.backpressure.load(std::memory_order_relaxed));
+  out += ",\"shed\":" +
+         std::to_string(counters_.shed.load(std::memory_order_relaxed));
+  if (overload_) {
+    const auto snap = overload_->snapshot();
+    out += ",\"overload\":{\"pressure\":" + format_fraction(snap.pressure);
+    out += ",\"tier\":" + std::to_string(static_cast<int>(snap.tier));
+    out += ",\"tier_name\":\"";
+    out += nserver::to_string(snap.tier);
+    out += "\",\"retry_after_s\":" + std::to_string(snap.retry_after.count());
+    out += std::string(",\"shedding\":") + (snap.shedding ? "true" : "false");
+    out += std::string(",\"accept_stopped\":") +
+           (snap.accept_stopped ? "true" : "false");
+    out += ",\"monitors\":[";
+    for (size_t i = 0; i < snap.monitors.size(); ++i) {
+      if (i > 0) out += ',';
+      out += "{\"name\":\"" + snap.monitors[i].name + "\"";
+      out += ",\"raw\":" + format_fraction(snap.monitors[i].raw);
+      out += ",\"pressure\":" + format_fraction(snap.monitors[i].pressure);
+      out += ",\"smoothed\":" + format_fraction(snap.monitors[i].smoothed);
+      out += "}";
+    }
+    out += "]}";
+  }
   out += ",\"pool\":{\"reuse\":" + std::to_string(pool_reuse_total());
   out += ",\"miss\":" + std::to_string(pool_miss_total());
   out += ",\"stale_retry\":" + std::to_string(pool_stale_retry_total());

@@ -30,6 +30,7 @@
 #include "net/acceptor.hpp"
 #include "net/connector.hpp"
 #include "net/reactor.hpp"
+#include "nserver/overload_manager.hpp"
 #include "proxy/proxy_config.hpp"
 #include "proxy/upstream_pool.hpp"
 
@@ -49,6 +50,7 @@ struct ProxyCounters {
   std::atomic<uint64_t> gateway_timeout{0};  // 504s issued
   std::atomic<uint64_t> poisoned{0};         // upstream connections poisoned
   std::atomic<uint64_t> backpressure{0};     // watermark pause transitions
+  std::atomic<uint64_t> shed{0};             // 503s from the overload manager
 };
 
 class ProxyServer {
@@ -85,6 +87,12 @@ class ProxyServer {
   }
   [[nodiscard]] size_t backend_count() const { return backends_.size(); }
 
+  // Adaptive overload manager over upstream pressure (overload_adaptive);
+  // null when disabled.
+  [[nodiscard]] nserver::OverloadManager* overload_manager() {
+    return overload_.get();
+  }
+
  private:
   friend class ProxySession;
 
@@ -112,6 +120,11 @@ class ProxyServer {
   void abandon_upstream(size_t backend);
   void wake_waiter(size_t backend);
 
+  // Adaptive overload: monitor/action wiring and the periodic reactor-side
+  // control-loop tick (reschedules itself).
+  void build_overload_manager();
+  void overload_tick();
+
   void note_request_start(size_t backend);
   void note_request_end(size_t backend);
   void session_done(uint64_t id);
@@ -129,6 +142,7 @@ class ProxyServer {
   std::unique_ptr<net::Connector> connector_;
   std::unique_ptr<nserver::AdminServer> admin_;
   std::unique_ptr<UpstreamPool> pool_;
+  std::unique_ptr<nserver::OverloadManager> overload_;
   cluster::HashRing ring_;
   std::mt19937_64 rng_;  // reactor thread only (P2C)
   std::unordered_map<uint64_t, std::shared_ptr<ProxySession>> sessions_;

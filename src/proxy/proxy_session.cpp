@@ -126,6 +126,26 @@ bool ProxySession::begin_request() {
   server_.counters_.requests.fetch_add(1, std::memory_order_relaxed);
   client_keep_alive_ = req_head_.keep_alive;
 
+  // Adaptive overload (overload_adaptive): at the shed tier new request
+  // heads are answered 503 + Retry-After instead of being parked at the
+  // pool cap — the queue the waiter-depth monitor watches must not absorb
+  // the demand that trips it.
+  if (server_.overload_ && server_.overload_->shedding()) {
+    server_.counters_.shed.fetch_add(1, std::memory_order_relaxed);
+    emit("proxy-shed-503");
+    auto resp = http::make_error_response(http::StatusCode::kServiceUnavailable,
+                                          /*keep_alive=*/false);
+    resp.set_header(
+        "Retry-After",
+        std::to_string(server_.overload_->retry_after_hint().count()));
+    client_out_.push_owned(resp.serialize());
+    client_committed_ = true;
+    client_keep_alive_ = false;
+    closing_after_flush_ = true;
+    if (flush_client()) update_interest();
+    return false;
+  }
+
   const int backend = server_.select_backend(req_head_.target);
   if (backend < 0) {
     send_error(http::StatusCode::kServiceUnavailable);

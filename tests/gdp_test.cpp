@@ -550,6 +550,70 @@ TEST(NServerTemplate, ProxyUpstreamAppendsWithoutRenumbering) {
   EXPECT_LT(framing_row, proxy_row) << "proxy_upstream must append after S3";
 }
 
+TEST(NServerTemplate, OverloadOptionCrosscutsGeneratedUnits) {
+  const auto tmpl = make_nserver_template();
+  // Both presets default to watermark (zero behaviour change for the
+  // paper's servers); flipping to adaptive emits the overload unit and
+  // wires the adaptive mode + control-loop knobs into the options block.
+  auto watermark_set = nserver_http_options();
+  auto adaptive_set = watermark_set;
+  adaptive_set.set("overload_control", "yes");  // S5/O9 constraint
+  adaptive_set.set("overload", "adaptive");
+  auto off = tmpl.render_all(watermark_set,
+                             {{"app_name", "A"}, {"listen_port", "0"}});
+  auto on =
+      tmpl.render_all(adaptive_set, {{"app_name", "A"}, {"listen_port", "0"}});
+  ASSERT_TRUE(off.is_ok());
+  ASSERT_TRUE(on.is_ok());
+  EXPECT_TRUE(on.value().count("overload_config.hpp"));
+  EXPECT_FALSE(off.value().count("overload_config.hpp"));
+  EXPECT_NE(on.value().at("traits.hpp").find("kAdaptiveOverload = true"),
+            std::string::npos);
+  EXPECT_NE(off.value().at("traits.hpp").find("kAdaptiveOverload = false"),
+            std::string::npos);
+  EXPECT_NE(on.value().at("server_main.cpp").find("OverloadMode::kAdaptive"),
+            std::string::npos);
+  EXPECT_NE(
+      off.value().at("server_main.cpp").find("OverloadMode::kWatermark"),
+      std::string::npos);
+  EXPECT_NE(on.value().at("overload_config.hpp").find("kOverloadTargetDelayMs"),
+            std::string::npos);
+  EXPECT_NE(on.value().at("server_main.cpp").find("overload_target_delay"),
+            std::string::npos);
+  // Both shipped presets stay on watermark.
+  EXPECT_EQ(nserver_http_options().get("overload"), "watermark");
+  EXPECT_EQ(nserver_ftp_options().get("overload"), "watermark");
+}
+
+TEST(NServerTemplate, OverloadAppendsWithoutRenumbering) {
+  // overload joins Table 2 as its own column while everything already there
+  // stays put; in the README option table it rows after proxy_upstream.
+  const auto tmpl = make_nserver_template();
+  auto matrix = tmpl.crosscut();
+  ASSERT_TRUE(matrix.is_ok());
+  EXPECT_TRUE(matrix.value().at("Overload Manager").at("overload").existence);
+  EXPECT_TRUE(
+      matrix.value().at("Proxy Upstream").at("proxy_upstream").existence);
+  auto rendered = tmpl.render_all(nserver_http_options(),
+                                  {{"app_name", "A"}, {"listen_port", "0"}});
+  ASSERT_TRUE(rendered.is_ok());
+  const auto& readme = rendered.value().at("README.md");
+  const size_t proxy_row = readme.find("S4 proxy upstream");
+  const size_t overload_row = readme.find("S5 overload");
+  ASSERT_NE(proxy_row, std::string::npos);
+  ASSERT_NE(overload_row, std::string::npos);
+  EXPECT_LT(proxy_row, overload_row) << "overload must append after S4";
+}
+
+TEST(NServerTemplate, ConstraintRejectsAdaptiveOverloadWithoutO9) {
+  const auto tmpl = make_nserver_template();
+  auto bad = nserver_http_options();
+  bad.set("overload_control", "no");
+  bad.set("overload", "adaptive");
+  EXPECT_FALSE(
+      tmpl.render_all(bad, {{"app_name", "X"}, {"listen_port", "0"}}).is_ok());
+}
+
 TEST(NServerTemplate, ConstraintRejectsExportWithoutProfiling) {
   const auto tmpl = make_nserver_template();
   auto bad = nserver_http_options();
