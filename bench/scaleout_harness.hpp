@@ -1,0 +1,248 @@
+// Shared-nothing scale-out harness, shared by the micro_scaleout baseline
+// binary and the perf-smoke gate.  Unlike the simnet benches this one runs
+// in REAL time against a real COPS-HTTP server: the whole point is parallel
+// speedup across shard threads, which a single global virtual clock cannot
+// express.
+//
+// The modeled server: COPS-HTTP in the SPED configuration (no separate
+// processor pool, synchronous completions) with `handle_delay_ms` of
+// *sleeping* per-request work on the shard's dispatcher thread.  Sleeping —
+// not spinning — models a latency-bound request (downstream RPC, device
+// wait) and makes the bench honest on small CI machines: one shard
+// serialises the sleeps (capacity = 1000/handle_delay_ms req/s), N shards
+// overlap them, so throughput scales with the shard count without needing
+// N physical cores.
+//
+// Load is OPEN-loop (loadgen/open_loop.hpp): Poisson arrivals at a fixed
+// offered rate, latency measured from the scheduled arrival — a saturated
+// server cannot slow the generator down, and queueing shows up as latency
+// instead of silently thinning the load (coordinated omission).
+//
+// Scenarios per point:
+//   saturate  offered ≈ saturation_factor × shard capacity; the achieved
+//             rate is the measured capacity of the configuration.  The
+//             committed baseline's headline is achieved(4 shards,
+//             reuseport, L1) / achieved(1 shard) ≥ 1.5.
+//   matched   a fixed offered rate below single-shard capacity for every
+//             configuration, so p99 compares reuseport vs dispatch at
+//             identical load.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "http/http_server.hpp"
+#include "loadgen/open_loop.hpp"
+
+namespace cops::bench {
+
+struct ScaleoutBenchConfig {
+  std::string docroot = "/tmp/cops_bench_scaleout";
+  // Shard counts for the saturation sweep (reuseport + L1).
+  std::vector<int> shard_counts = {1, 2, 4};
+  // Per-request sleeping Handle cost; shard capacity = 1000 / this, req/s.
+  int handle_delay_ms = 10;
+  // Offered load for the saturation scenario, as a multiple of capacity.
+  double saturation_factor = 1.25;
+  // Offered load for the matched-latency scenario (must stay below one
+  // shard's capacity so every configuration is uncongested).
+  double matched_rps = 60.0;
+  // Arrival window per point, real milliseconds.
+  int window_ms = 4000;
+  size_t fileset_size = 16;
+  unsigned seed = 7;
+};
+
+[[nodiscard]] inline ScaleoutBenchConfig scaleout_quick_config(
+    std::string docroot = "/tmp/cops_bench_scaleout") {
+  ScaleoutBenchConfig config;
+  config.docroot = std::move(docroot);
+  config.shard_counts = {1, 2};
+  config.window_ms = 1200;
+  config.matched_rps = 40.0;
+  return config;
+}
+
+[[nodiscard]] inline double scaleout_capacity_rps(
+    const ScaleoutBenchConfig& config) {
+  return 1000.0 / static_cast<double>(config.handle_delay_ms);
+}
+
+struct ScaleoutRow {
+  std::string accept_path;  // "reuseport" | "dispatch"
+  std::string scenario;     // "saturate" | "matched"
+  int shards = 0;
+  bool l1 = false;
+  double offered_rps = 0.0;
+  double achieved_rps = 0.0;
+  uint64_t arrivals = 0;
+  uint64_t completed = 0;
+  uint64_t errors = 0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double l1_hit_rate = 0.0;
+};
+
+[[nodiscard]] inline bool make_scaleout_docroot(
+    const ScaleoutBenchConfig& config) {
+  std::error_code ec;
+  std::filesystem::create_directories(config.docroot, ec);
+  if (ec) return false;
+  for (size_t i = 0; i < config.fileset_size; ++i) {
+    std::ofstream out(config.docroot + "/f" + std::to_string(i) + ".txt",
+                      std::ios::trunc);
+    // A few hundred bytes to a few KB, so replies span more than one name.
+    const std::string line = "scaleout bench fixture " + std::to_string(i) +
+                             " ----------------------------------------\n";
+    for (size_t j = 0; j < 4 + i * 2; ++j) out << line;
+    if (!out.good()) return false;
+  }
+  return true;
+}
+
+[[nodiscard]] inline double scaleout_percentile(std::vector<int64_t> values,
+                                                double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t index = static_cast<size_t>(p * (values.size() - 1) + 0.5);
+  return static_cast<double>(values[std::min(index, values.size() - 1)]) /
+         1000.0;
+}
+
+// One real-time point: start the server in the requested configuration,
+// offer an open-loop Poisson load, report achieved rate and latency.
+[[nodiscard]] inline ScaleoutRow run_scaleout_point(
+    const ScaleoutBenchConfig& config, const char* accept_path,
+    const char* scenario, int shards, bool l1, double offered_rps) {
+  using std::chrono::milliseconds;
+  using std::chrono::seconds;
+
+  auto options = http::CopsHttpServer::default_options();
+  options.dispatcher_threads = shards;
+  // SPED: hooks (and their sleeping Handle cost) run inline on the shard's
+  // dispatcher thread — each shard is one shared-nothing event loop.
+  options.separate_processor_pool = false;
+  options.completion = nserver::CompletionMode::kSynchronous;
+  options.allow_blocking_dispatcher = true;
+  options.accept_path = std::string(accept_path) == "reuseport"
+                            ? nserver::AcceptPath::kReuseport
+                            : nserver::AcceptPath::kDispatch;
+  options.cache_policy = nserver::CachePolicyKind::kLru;
+  options.cache_l1_entries = l1 ? 128 : 0;
+  options.profiling = true;  // for the L1 hit-rate readout below
+  options.listen_port = 0;
+  // Saturation points queue bursts in the kernel; a deep backlog keeps SYN
+  // drops out of the measurement (satellite: the knob reaches every
+  // per-shard listener).
+  options.listen_backlog = 1024;
+
+  http::HttpServerConfig http_config;
+  http_config.doc_root = config.docroot;
+  http_config.handle_delay = milliseconds(config.handle_delay_ms);
+  http::CopsHttpServer server(std::move(options), http_config);
+  if (!server.start().is_ok()) {
+    std::fprintf(stderr, "scaleout bench: server start failed\n");
+    return {};
+  }
+
+  loadgen::OpenLoopConfig load;
+  load.server = net::InetAddress::loopback(server.port());
+  load.offered_rps = offered_rps;
+  load.duration = milliseconds(config.window_ms);
+  load.drain_grace = seconds(3);
+  load.request_timeout = seconds(5);
+  load.max_in_flight = 1024;  // saturation backlogs run a few hundred deep
+  load.seed = config.seed;
+  const size_t files = config.fileset_size;
+  load.path_for = [files](uint64_t, std::mt19937& rng) {
+    std::uniform_int_distribution<size_t> pick(0, files - 1);
+    return "/f" + std::to_string(pick(rng)) + ".txt";
+  };
+  auto stats = loadgen::run_open_loop(load);
+
+  ScaleoutRow row;
+  row.accept_path = accept_path;
+  row.scenario = scenario;
+  row.shards = shards;
+  row.l1 = l1;
+  row.offered_rps = offered_rps;
+  row.achieved_rps = stats.achieved_rps();
+  row.arrivals = stats.arrivals;
+  row.completed = stats.completed;
+  row.errors = stats.errors;
+  row.p50_ms = scaleout_percentile(stats.latencies_us, 0.5);
+  row.p99_ms = scaleout_percentile(std::move(stats.latencies_us), 0.99);
+  row.l1_hit_rate = server.server().profile().l1_hit_rate;
+  server.stop();
+  return row;
+}
+
+[[nodiscard]] inline std::string scaleout_rows_to_json(
+    const ScaleoutBenchConfig& config, const std::vector<ScaleoutRow>& rows,
+    bool quick) {
+  std::string out = "{\n  \"benchmark\": \"scaleout\",\n  \"quick\": ";
+  out += quick ? "true" : "false";
+  char line[384];
+  std::snprintf(line, sizeof(line),
+                ",\n  \"handle_delay_ms\": %d,\n  \"window_ms\": %d,\n"
+                "  \"rows\": [\n",
+                config.handle_delay_ms, config.window_ms);
+  out += line;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    std::snprintf(
+        line, sizeof(line),
+        "    {\"accept_path\": \"%s\", \"scenario\": \"%s\", "
+        "\"shards\": %d, \"l1\": %s, \"offered_rps\": %.0f, "
+        "\"achieved_rps\": %.1f, \"arrivals\": %llu, \"completed\": %llu, "
+        "\"errors\": %llu, \"p50_ms\": %.2f, \"p99_ms\": %.2f, "
+        "\"l1_hit_rate\": %.4f}%s\n",
+        row.accept_path.c_str(), row.scenario.c_str(), row.shards,
+        row.l1 ? "true" : "false", row.offered_rps, row.achieved_rps,
+        static_cast<unsigned long long>(row.arrivals),
+        static_cast<unsigned long long>(row.completed),
+        static_cast<unsigned long long>(row.errors), row.p50_ms, row.p99_ms,
+        row.l1_hit_rate, i + 1 < rows.size() ? "," : "");
+    out += line;
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+// Structural validation of the emitted document — the perf-smoke gate and
+// the committed baseline's consumers rely on exactly these fields.
+[[nodiscard]] inline bool validate_scaleout_json(const std::string& json,
+                                                 std::string* error) {
+  const auto need = [&](const char* token) {
+    if (json.find(token) == std::string::npos) {
+      if (error) *error = std::string("missing token: ") + token;
+      return false;
+    }
+    return true;
+  };
+  if (!need("\"benchmark\": \"scaleout\"")) return false;
+  if (!need("\"quick\": ")) return false;
+  if (!need("\"handle_delay_ms\": ")) return false;
+  if (!need("\"rows\": [")) return false;
+  for (const char* token :
+       {"\"accept_path\": \"reuseport\"", "\"accept_path\": \"dispatch\"",
+        "\"scenario\": \"saturate\"", "\"scenario\": \"matched\"",
+        "\"shards\": ", "\"l1\": ", "\"offered_rps\"", "\"achieved_rps\"",
+        "\"completed\"", "\"errors\"", "\"p50_ms\"", "\"p99_ms\"",
+        "\"l1_hit_rate\""}) {
+    if (!need(token)) return false;
+  }
+  if (json.empty() || json.back() != '\n' || json[json.size() - 2] != '}') {
+    if (error) *error = "document not terminated";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cops::bench

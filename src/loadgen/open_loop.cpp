@@ -1,0 +1,342 @@
+#include "loadgen/open_loop.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/string_util.hpp"
+#include "net/reactor.hpp"
+#include "net/socket.hpp"
+
+namespace cops::loadgen {
+namespace {
+
+// Headers + Content-Length body reader (one response, Connection: close).
+class OneShotReader {
+ public:
+  // +1 full response consumed, 0 need more, -1 malformed.
+  int feed(const uint8_t* data, size_t len, size_t& response_bytes) {
+    buffer_.append(data, len);
+    if (total_needed_ == 0) {
+      const size_t header_end = buffer_.find("\r\n\r\n");
+      if (header_end == std::string_view::npos) {
+        return buffer_.readable() > 64 * 1024 ? -1 : 0;
+      }
+      const auto headers = buffer_.view().substr(0, header_end);
+      size_t body_len = 0;
+      size_t pos = 0;
+      while (pos < headers.size()) {
+        size_t eol = headers.find("\r\n", pos);
+        if (eol == std::string_view::npos) eol = headers.size();
+        const auto line = headers.substr(pos, eol - pos);
+        const size_t colon = line.find(':');
+        if (colon != std::string_view::npos &&
+            cops::iequals(cops::trim(line.substr(0, colon)),
+                          "content-length")) {
+          const long n =
+              cops::parse_non_negative(cops::trim(line.substr(colon + 1)));
+          if (n < 0) return -1;
+          body_len = static_cast<size_t>(n);
+        }
+        pos = eol + 2;
+      }
+      total_needed_ = header_end + 4 + body_len;
+    }
+    if (buffer_.readable() >= total_needed_) {
+      response_bytes = total_needed_;
+      return 1;
+    }
+    return 0;
+  }
+
+ private:
+  ByteBuffer buffer_;
+  size_t total_needed_ = 0;
+};
+
+class OpenLoopEngine;
+
+// One arrival: fresh connection, one GET, full response, close.
+class Request : public net::EventHandler {
+ public:
+  Request(OpenLoopEngine& engine, uint64_t index, TimePoint scheduled)
+      : engine_(engine), index_(index), scheduled_(scheduled) {}
+
+  // Connects and registers with the reactor; on failure the request is
+  // already finished (counted as an error) when this returns false.
+  bool begin();
+  void handle_event(int fd, uint32_t readiness) override;
+  void abandon();  // timeout sweep / end-of-run teardown
+
+  [[nodiscard]] TimePoint scheduled() const { return scheduled_; }
+
+ private:
+  enum class State { kConnecting, kSending, kReceiving };
+
+  void finish(bool ok, size_t bytes);
+
+  OpenLoopEngine& engine_;
+  uint64_t index_;
+  TimePoint scheduled_;
+  State state_ = State::kConnecting;
+  net::TcpSocket socket_;
+  OneShotReader reader_;
+  std::string outbound_;
+  size_t outbound_sent_ = 0;
+};
+
+class OpenLoopEngine {
+ public:
+  explicit OpenLoopEngine(const OpenLoopConfig& config)
+      : config_(config), rng_(config.seed), interarrival_(sane_rate()) {
+    stats_.offered_rps = config.offered_rps;
+  }
+
+  OpenLoopStats run() {
+    start_ = now();
+    deadline_ = start_ + config_.duration;
+    next_arrival_ = start_;
+    fire_due_arrivals();
+    arm_sweep();
+    const TimePoint hard_stop = deadline_ + config_.drain_grace;
+    while (now() < hard_stop) {
+      if (arrivals_exhausted_ && active_.empty() && pending_.empty()) break;
+      const auto remaining = hard_stop - now();
+      const int cap = static_cast<int>(
+          std::min<int64_t>(20, std::max<int64_t>(1, to_millis(remaining))));
+      reactor_.run_once(cap);
+      graveyard_.clear();
+    }
+    // Whatever is still outstanding was offered load the server never
+    // answered in time — errors, not omissions.
+    while (!active_.empty()) active_.begin()->first->abandon();
+    graveyard_.clear();
+    stats_.errors += pending_.size();
+    pending_.clear();
+    stats_.elapsed_seconds = to_seconds(now() - start_);
+    return std::move(stats_);
+  }
+
+  const OpenLoopConfig& config() const { return config_; }
+  net::Reactor& reactor() { return reactor_; }
+  OpenLoopStats& stats() { return stats_; }
+
+  std::string path_for(uint64_t index) {
+    if (config_.path_for) return config_.path_for(index, rng_);
+    return "/";
+  }
+
+  // A request resolved (either way); recycle its slot into the backlog.
+  void complete(Request* request) {
+    auto it = active_.find(request);
+    if (it != active_.end()) {
+      graveyard_.push_back(std::move(it->second));
+      active_.erase(it);
+    }
+    drain_pending();
+  }
+
+ private:
+  struct PendingArrival {
+    uint64_t index;
+    TimePoint scheduled;
+  };
+
+  // Guard against degenerate rates: the exponential distribution needs a
+  // strictly positive lambda (events per microsecond here).
+  double sane_rate() const {
+    return std::max(config_.offered_rps, 0.001) / 1e6;
+  }
+
+  // Fires every arrival whose scheduled time has passed — a catch-up loop,
+  // so a stalled reactor still offers the full configured load (late, but
+  // measured from schedule).  Then arms the timer for the next one.
+  void fire_due_arrivals() {
+    const TimePoint at = now();
+    while (next_arrival_ <= at && next_arrival_ < deadline_) {
+      const TimePoint scheduled = next_arrival_;
+      const uint64_t index = stats_.arrivals++;
+      advance_arrival_clock();
+      launch(index, scheduled);
+    }
+    if (next_arrival_ >= deadline_) {
+      arrivals_exhausted_ = true;
+      return;
+    }
+    reactor_.run_after(next_arrival_ - now(), [this] { fire_due_arrivals(); });
+  }
+
+  void advance_arrival_clock() {
+    const double gap_us = interarrival_(rng_);
+    next_arrival_ += std::chrono::microseconds(
+        std::max<int64_t>(1, static_cast<int64_t>(gap_us)));
+  }
+
+  void launch(uint64_t index, TimePoint scheduled) {
+    if (active_.size() >= config_.max_in_flight) {
+      pending_.push_back({index, scheduled});
+      return;
+    }
+    auto request = std::make_unique<Request>(*this, index, scheduled);
+    Request* raw = request.get();
+    active_.emplace(raw, std::move(request));
+    // begin() finishes (→ complete) on immediate failure; the map entry is
+    // already in place so the bookkeeping is uniform.
+    raw->begin();
+  }
+
+  void drain_pending() {
+    while (!pending_.empty() && active_.size() < config_.max_in_flight) {
+      PendingArrival next = pending_.front();
+      pending_.pop_front();
+      launch(next.index, next.scheduled);
+    }
+  }
+
+  // Periodic sweep: abandon anything older than request_timeout, whether
+  // in flight or still queued for a socket.
+  void arm_sweep() {
+    reactor_.run_after(std::chrono::milliseconds(100), [this] {
+      const TimePoint cutoff = now() - config_.request_timeout;
+      std::vector<Request*> stale;
+      for (const auto& [request, owned] : active_) {
+        if (request->scheduled() < cutoff) stale.push_back(request);
+      }
+      for (Request* request : stale) request->abandon();
+      while (!pending_.empty() && pending_.front().scheduled < cutoff) {
+        pending_.pop_front();
+        ++stats_.errors;
+      }
+      if (!arrivals_exhausted_ || !active_.empty() || !pending_.empty()) {
+        arm_sweep();
+      }
+    });
+  }
+
+  OpenLoopConfig config_;
+  net::Reactor reactor_;
+  std::mt19937 rng_;
+  std::exponential_distribution<double> interarrival_;  // per microsecond
+  OpenLoopStats stats_;
+
+  TimePoint start_{};
+  TimePoint deadline_{};
+  TimePoint next_arrival_{};
+  bool arrivals_exhausted_ = false;
+
+  std::unordered_map<Request*, std::unique_ptr<Request>> active_;
+  std::deque<PendingArrival> pending_;
+  // complete() runs inside handle_event; destruction is deferred until the
+  // reactor pass returns.
+  std::vector<std::unique_ptr<Request>> graveyard_;
+};
+
+bool Request::begin() {
+  auto sock = net::TcpSocket::connect(engine_.config().server);
+  if (!sock.is_ok()) {
+    finish(false, 0);
+    return false;
+  }
+  socket_ = std::move(sock).take();
+  state_ = State::kConnecting;
+  auto status = engine_.reactor().register_handler(socket_.fd(), this,
+                                                   net::kWritable);
+  if (!status.is_ok()) {
+    finish(false, 0);
+    return false;
+  }
+  return true;
+}
+
+void Request::handle_event(int /*fd*/, uint32_t readiness) {
+  if ((readiness & net::kErrored) != 0 && state_ != State::kConnecting) {
+    finish(false, 0);
+    return;
+  }
+  switch (state_) {
+    case State::kConnecting: {
+      auto status = socket_.finish_connect();
+      if (!status.is_ok()) {
+        finish(false, 0);
+        return;
+      }
+      socket_.set_nodelay(true);
+      outbound_ = "GET " + engine_.path_for(index_) +
+                  " HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n";
+      outbound_sent_ = 0;
+      state_ = State::kSending;
+      handle_event(socket_.fd(), net::kWritable);
+      return;
+    }
+    case State::kSending: {
+      if ((readiness & net::kWritable) == 0) return;
+      auto n =
+          socket_.write(std::string_view(outbound_).substr(outbound_sent_));
+      if (!n.is_ok()) {
+        if (n.status().code() == StatusCode::kWouldBlock) return;
+        finish(false, 0);
+        return;
+      }
+      outbound_sent_ += n.value();
+      if (outbound_sent_ >= outbound_.size()) {
+        state_ = State::kReceiving;
+        engine_.reactor().update_interest(socket_.fd(), net::kReadable);
+      }
+      return;
+    }
+    case State::kReceiving: {
+      if ((readiness & net::kReadable) == 0) return;
+      ByteBuffer chunk;
+      auto n = socket_.read(chunk);
+      if (!n.is_ok()) {
+        if (n.status().code() == StatusCode::kWouldBlock) return;
+        finish(false, 0);
+        return;
+      }
+      if (n.value() == 0) {
+        finish(false, 0);  // EOF before the full response
+        return;
+      }
+      size_t response_bytes = 0;
+      const int rc =
+          reader_.feed(chunk.read_ptr(), chunk.readable(), response_bytes);
+      if (rc < 0) {
+        finish(false, 0);
+      } else if (rc > 0) {
+        finish(true, response_bytes);
+      }
+      return;
+    }
+  }
+}
+
+void Request::abandon() { finish(false, 0); }
+
+void Request::finish(bool ok, size_t bytes) {
+  if (socket_.valid()) {
+    engine_.reactor().deregister(socket_.fd());
+    socket_.close();
+  }
+  auto& stats = engine_.stats();
+  if (ok) {
+    stats.completed += 1;
+    stats.total_bytes += bytes;
+    const int64_t us = to_micros(now() - scheduled_);
+    stats.latency.record(us);
+    stats.latencies_us.push_back(us);
+  } else {
+    stats.errors += 1;
+  }
+  engine_.complete(this);  // destroys *this (deferred to end of pass)
+}
+
+}  // namespace
+
+OpenLoopStats run_open_loop(const OpenLoopConfig& config) {
+  OpenLoopEngine engine(config);
+  return engine.run();
+}
+
+}  // namespace cops::loadgen

@@ -1,0 +1,81 @@
+// Open-loop HTTP load generator: Poisson arrivals at a configured offered
+// rate, independent of how fast the server answers.
+//
+// The closed-loop generator (http_client.hpp) models the paper's client
+// population: each virtual client waits for its reply before issuing the
+// next request, so a slow server automatically throttles its own load.
+// That feedback hides queueing delay — the classic *coordinated omission*
+// trap.  Scale-out experiments (latency vs. offered load across shard
+// counts) need the opposite: arrivals keep coming at the offered rate no
+// matter how far behind the server falls, and each request's latency is
+// measured from its *scheduled* arrival time, so time spent waiting for a
+// free slot or a late timer counts against the server, not the generator.
+//
+// Mechanics: one epoll loop on the calling thread.  Inter-arrival gaps are
+// exponentially distributed (a Poisson process at `offered_rps`); each
+// arrival opens a fresh connection, sends one GET with Connection: close,
+// and records latency when the full response (per Content-Length) has been
+// read.  When `max_in_flight` requests are already outstanding, further
+// arrivals queue with their scheduled timestamp intact — their eventual
+// latency still starts from the schedule, never from dispatch.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/histogram.hpp"
+#include "net/inet_address.hpp"
+
+namespace cops::loadgen {
+
+struct OpenLoopConfig {
+  net::InetAddress server;
+  // Offered load: mean arrival rate of the Poisson process, requests/sec.
+  double offered_rps = 100.0;
+  // Arrival window.  Requests in flight when it closes are still drained
+  // (up to drain_grace) and counted.
+  Duration duration = std::chrono::seconds(2);
+  Duration drain_grace = std::chrono::seconds(3);
+
+  // Request path for the i-th arrival; "/" when unset.
+  std::function<std::string(uint64_t arrival_index, std::mt19937& rng)>
+      path_for;
+
+  // A request older than this (from its scheduled arrival) is abandoned and
+  // counted as an error — the open-loop analogue of a client giving up.
+  Duration request_timeout = std::chrono::seconds(5);
+  // Concurrent sockets cap; arrivals beyond it queue (schedule preserved).
+  size_t max_in_flight = 512;
+  unsigned seed = 7;
+};
+
+struct OpenLoopStats {
+  uint64_t arrivals = 0;    // scheduled arrivals fired
+  uint64_t completed = 0;   // full responses received
+  uint64_t errors = 0;      // connect/read failures + abandoned timeouts
+  uint64_t total_bytes = 0;
+  // Scheduled arrival → last response byte, microseconds.  Includes any
+  // time the request spent queued behind max_in_flight (that is the point).
+  Histogram latency;
+  // The same samples raw (one per completed request), for exact percentiles
+  // — the histogram's log2 buckets are too coarse for p99 comparisons.
+  std::vector<int64_t> latencies_us;
+  double offered_rps = 0.0;
+  double elapsed_seconds = 0.0;
+
+  [[nodiscard]] double achieved_rps() const {
+    return elapsed_seconds > 0
+               ? static_cast<double>(completed) / elapsed_seconds
+               : 0.0;
+  }
+};
+
+// Runs the arrival process on the calling thread; returns when the window
+// has closed and in-flight requests have drained (or drain_grace passed).
+OpenLoopStats run_open_loop(const OpenLoopConfig& config);
+
+}  // namespace cops::loadgen

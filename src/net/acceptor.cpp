@@ -6,8 +6,8 @@ namespace cops::net {
 
 Acceptor::~Acceptor() { close(); }
 
-Status Acceptor::open(const InetAddress& addr, int backlog) {
-  auto listener = TcpListener::listen(addr, backlog);
+Status Acceptor::open(const InetAddress& addr, int backlog, bool reuseport) {
+  auto listener = TcpListener::listen(addr, backlog, reuseport);
   if (!listener.is_ok()) return listener.status();
   listener_ = std::move(listener).take();
   auto status =

@@ -27,8 +27,10 @@ class Acceptor : public EventHandler {
   ~Acceptor() override;
 
   // Binds and registers with the reactor.  Must run on the reactor thread
-  // (or before the loop starts).
-  Status open(const InetAddress& addr, int backlog = 128);
+  // (or before the loop starts).  `reuseport` opens the listener with
+  // SO_REUSEPORT so one Acceptor per shard can share the port.
+  Status open(const InetAddress& addr, int backlog = 512,
+              bool reuseport = false);
 
   // The bound address (resolves port 0).
   [[nodiscard]] Result<InetAddress> local_address() const {

@@ -71,7 +71,8 @@ Status TimerEventSource::poll(std::vector<ReadyCallback>& out,
 UserEventSource::UserEventSource(std::unique_ptr<EventSource> inner,
                                  SocketEventSource& base)
     : EventSourceDecorator(std::move(inner)),
-      wakeup_fd_(::eventfd(0, EFD_NONBLOCK)) {
+      wakeup_fd_(::eventfd(0, EFD_NONBLOCK)),
+      base_poller_(&base.poller()) {
   // Register the wakeup fd with a null handler: readiness only interrupts
   // the poll; the queued callbacks are drained in poll() below.
   base.poller().add(wakeup_fd_.get(), kReadable);
@@ -81,6 +82,11 @@ void UserEventSource::post(std::function<void()> fn) {
   queue_.push(std::move(fn));
   const uint64_t one = 1;
   [[maybe_unused]] ssize_t n = ::write(wakeup_fd_.get(), &one, sizeof(one));
+  // The eventfd is a real descriptor, so under simulation the write above
+  // wakes nothing — tell the simulator directly which poller has work.
+  if (auto* sim = sim_backend(); sim != nullptr) [[unlikely]] {
+    sim->sim_notify(base_poller_);
+  }
 }
 
 int UserEventSource::preferred_timeout_ms(int proposed) const {

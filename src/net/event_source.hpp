@@ -149,6 +149,10 @@ class UserEventSource : public EventSourceDecorator {
 
   MpmcQueue<std::function<void()>> queue_;
   Fd wakeup_fd_;
+  // Identity of the reactor's poller, as registered with the transport seam.
+  // post() forwards it to SimBackend::sim_notify so a cross-thread post also
+  // wakes the reactor under simulation, where the eventfd write is inert.
+  Poller* base_poller_;
 };
 
 }  // namespace cops::net

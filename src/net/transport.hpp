@@ -73,7 +73,11 @@ class SimBackend {
 
   // ---- endpoint creation ------------------------------------------------
   // Binds a simulated listener; port 0 gets a deterministic engine port.
-  virtual Result<int> sim_listen(const InetAddress& addr, int backlog) = 0;
+  // `reuseport` mirrors SO_REUSEPORT: several listeners may share one port
+  // (all must set the flag) and the simulator spreads incoming connections
+  // across them deterministically.
+  virtual Result<int> sim_listen(const InetAddress& addr, int backlog,
+                                 bool reuseport) = 0;
   // Outbound connections from within the simulated process.
   virtual Result<int> sim_connect(const InetAddress& peer) = 0;
 
@@ -88,6 +92,14 @@ class SimBackend {
   // advances the virtual clock instead of sleeping.
   virtual size_t sim_poll_wait(const void* poller, std::vector<ReadyFd>& out,
                                int timeout_ms) = 0;
+  // Cross-thread wakeup for `poller` (the sim-time analogue of the reactor's
+  // eventfd write).  A real eventfd write is invisible to the simulator, so
+  // without this hook a callback posted to another reactor would sit unserved
+  // while the virtual clock raced to the run deadline.  The simulator grants
+  // the notified poller at the *current* virtual instant — a cross-reactor
+  // hand-off costs zero virtual time.  Default no-op: a poller that never
+  // receives posts needs nothing.
+  virtual void sim_notify(const void* /*poller*/) {}
 };
 
 namespace detail {

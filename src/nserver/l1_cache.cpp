@@ -1,0 +1,55 @@
+#include "nserver/l1_cache.hpp"
+
+namespace cops::nserver {
+
+namespace {
+
+size_t round_up_pow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+L1FileCache::L1FileCache(size_t entries, size_t entry_max_bytes,
+                         std::chrono::milliseconds ttl)
+    : mask_(round_up_pow2(entries == 0 ? 1 : entries) - 1),
+      entry_max_bytes_(entry_max_bytes),
+      ttl_(ttl),
+      slots_(new std::atomic<std::shared_ptr<const Slot>>[mask_ + 1]) {}
+
+FileDataPtr L1FileCache::lookup(const std::string& key, uint64_t epoch) {
+  const auto slot = slots_[index_of(key)].load(std::memory_order_acquire);
+  if (slot != nullptr && slot->key == key && slot->epoch == epoch &&
+      ttl_.count() > 0 && now() - slot->cached_at < ttl_) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return slot->data;
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+void L1FileCache::promote(const std::string& key, FileDataPtr data,
+                          uint64_t epoch) {
+  if (data == nullptr || data->size() > entry_max_bytes_) return;
+  auto slot = std::make_shared<const Slot>(
+      Slot{key, std::move(data), epoch, now()});
+  slots_[index_of(key)].store(std::move(slot), std::memory_order_release);
+  promotions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void L1FileCache::clear() {
+  for (size_t i = 0; i <= mask_; ++i) {
+    slots_[i].store(nullptr, std::memory_order_release);
+  }
+}
+
+double L1FileCache::hit_rate() const {
+  const uint64_t h = hits();
+  const uint64_t m = misses();
+  return (h + m) == 0 ? 0.0
+                      : static_cast<double>(h) / static_cast<double>(h + m);
+}
+
+}  // namespace cops::nserver

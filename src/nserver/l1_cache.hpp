@@ -1,0 +1,90 @@
+// L1FileCache — the per-shard tier of the two-tier file cache.
+//
+// The paper's policy-driven FileCache (O6) is a single mutex-guarded map;
+// with one reactor per shard every cache hit on every shard serializes on
+// that mutex.  The two-tier split keeps the policy cache as a *shared L2*
+// (the five replacement policies remain the eviction knob) and puts one of
+// these bounded, read-mostly L1s in front of it per shard:
+//
+//   * the hit path is lock-free and allocation-free — a hash, one
+//     atomic<shared_ptr> load, a key compare, two stamp checks — so shards
+//     never contend with each other on cached files;
+//   * a miss falls through to the L2 (one shard's disk read fills the L2,
+//     and every other shard then *promotes* the entry into its own L1 on
+//     first touch — a miss on one shard warms all shards without any
+//     cross-shard writes);
+//   * freshness is inherited from the L2: an entry is served only while
+//     (a) it is younger than the revalidate interval — older entries fall
+//     through to the L2, which stat()s the file and re-promotes — and
+//     (b) the L2's invalidation epoch still matches the promotion-time
+//     stamp, so an explicit erase/clear or a detected file change drops
+//     every L1 replica at the next lookup.
+//
+// Direct-mapped: each key hashes to exactly one slot and a colliding
+// promotion displaces the previous occupant.  Capacity in bytes is bounded
+// by entries x entry_max_bytes (larger files stay L2-only).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "common/clock.hpp"
+#include "nserver/file_io_service.hpp"
+
+namespace cops::nserver {
+
+class L1FileCache {
+ public:
+  // `ttl` mirrors the L2's revalidate interval: entries older than this are
+  // not served from the L1 (with ttl 0 every lookup re-checks, so the L1
+  // steps aside entirely — same contract as the L2's interval 0).
+  L1FileCache(size_t entries, size_t entry_max_bytes,
+              std::chrono::milliseconds ttl);
+
+  // The hot path: returns the cached data when the slot holds `key`, is
+  // younger than the ttl, and was promoted under the current L2 epoch;
+  // nullptr otherwise.  No locks, no allocations.
+  [[nodiscard]] FileDataPtr lookup(const std::string& key, uint64_t epoch);
+
+  // Installs `data` (fresh from the L2 or from disk) into the key's slot.
+  // Oversized entries are skipped — they stay L2-only.
+  void promote(const std::string& key, FileDataPtr data, uint64_t epoch);
+
+  void clear();
+
+  [[nodiscard]] uint64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] uint64_t promotions() const {
+    return promotions_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double hit_rate() const;
+
+ private:
+  struct Slot {
+    std::string key;
+    FileDataPtr data;
+    uint64_t epoch = 0;
+    TimePoint cached_at{};
+  };
+
+  [[nodiscard]] size_t index_of(const std::string& key) const {
+    return std::hash<std::string>{}(key) & mask_;
+  }
+
+  const size_t mask_;  // slot count - 1 (power of two)
+  const size_t entry_max_bytes_;
+  const std::chrono::milliseconds ttl_;
+  std::unique_ptr<std::atomic<std::shared_ptr<const Slot>>[]> slots_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> promotions_{0};
+};
+
+}  // namespace cops::nserver

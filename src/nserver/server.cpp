@@ -83,6 +83,11 @@ Status Server::start() {
       shard->read_buffer_pool =
           std::make_shared<BufferPool>(options_.read_buffer_block_bytes);
     }
+    if (cache_ && options_.cache_l1_entries > 0) {
+      shard->l1_cache = std::make_unique<L1FileCache>(
+          options_.cache_l1_entries, options_.cache_l1_entry_max_bytes,
+          options_.cache_revalidate_interval);
+    }
     shards_.push_back(std::move(shard));
   }
 
@@ -97,18 +102,32 @@ Status Server::start() {
   // --- connector (Client Component) on dispatcher 0 -------------------------
   connector_ = std::make_unique<net::Connector>(*shards_[0]->reactor);
 
-  // --- acceptor on dispatcher 0 -------------------------------------------
-  acceptor_ = std::make_unique<net::Acceptor>(
-      *shards_[0]->reactor,
-      [this](net::TcpSocket socket) { on_accept(std::move(socket)); });
-  auto addr_result =
-      net::InetAddress::parse(options_.listen_host, options_.listen_port);
-  if (!addr_result.is_ok()) return addr_result.status();
-  auto status = acceptor_->open(addr_result.value(), options_.listen_backlog);
-  if (!status.is_ok()) return status;
-  auto bound = acceptor_->local_address();
-  if (!bound.is_ok()) return bound.status();
-  port_ = bound.value().port();
+  // --- acceptor(s) ---------------------------------------------------------
+  // kDispatch: the classic single listener on dispatcher 0.  kReuseport:
+  // one SO_REUSEPORT listener per shard, registered with that shard's
+  // reactor (safe here — the loops have not started yet), so the kernel
+  // spreads connections and each accept lands on its owning shard.  Shard
+  // 0 binds first to resolve port 0; the rest join the resolved port.
+  const bool reuseport = options_.accept_path == AcceptPath::kReuseport;
+  const size_t n_acceptors = reuseport ? shards_.size() : 1;
+  for (size_t i = 0; i < n_acceptors; ++i) {
+    auto acceptor = std::make_unique<net::Acceptor>(
+        *shards_[i]->reactor, [this, i](net::TcpSocket socket) {
+          on_accept(i, std::move(socket));
+        });
+    auto addr_result = net::InetAddress::parse(
+        options_.listen_host, i == 0 ? options_.listen_port : port_);
+    if (!addr_result.is_ok()) return addr_result.status();
+    auto status =
+        acceptor->open(addr_result.value(), options_.listen_backlog, reuseport);
+    if (!status.is_ok()) return status;
+    if (i == 0) {
+      auto bound = acceptor->local_address();
+      if (!bound.is_ok()) return bound.status();
+      port_ = bound.value().port();
+    }
+    acceptors_.push_back(std::move(acceptor));
+  }
 
   // --- admin endpoint (O11+) on dispatcher 0 -------------------------------
   if (options_.stats_export == StatsExport::kAdminHttp) {
@@ -163,7 +182,7 @@ void Server::stop() {
     std::promise<void> done;
     auto fut = done.get_future();
     shard.reactor->post([this, i, &shard, &done] {
-      if (i == 0 && acceptor_) acceptor_->close();
+      if (i < acceptors_.size() && acceptors_[i]) acceptors_[i]->close();
       if (i == 0 && admin_) admin_->close();
       // close() mutates the map via remove_connection; copy first.
       std::vector<std::shared_ptr<Connection>> conns;
@@ -206,12 +225,12 @@ bool Server::drain(std::chrono::milliseconds timeout) {
   // Visible to the admin endpoint immediately: /healthz flips to 503 so
   // upstream health checks stop routing here while we finish in-flight work.
   draining_.store(true, std::memory_order_relaxed);
-  // Step 1: no new connections.
-  {
+  // Step 1: no new connections — close every acceptor on its own shard.
+  for (size_t i = 0; i < acceptors_.size(); ++i) {
     std::promise<void> done;
     auto fut = done.get_future();
-    shards_[0]->reactor->post([this, &done] {
-      if (acceptor_) acceptor_->close();
+    shards_[i]->reactor->post([this, i, &done] {
+      if (acceptors_[i]) acceptors_[i]->close();
       done.set_value();
     });
     fut.wait();
@@ -235,13 +254,20 @@ bool Server::drain(std::chrono::milliseconds timeout) {
 
 // ---- accept path -----------------------------------------------------------
 
-void Server::on_accept(net::TcpSocket socket) {
-  if (options_.max_connections != 0 &&
-      num_connections_.load() >= options_.max_connections) {
-    // Overload mechanism 1: bounded simultaneous connections.
-    if (options_.profiling) profiler_.count_reject();
-    note_event(EventKind::kAccept, 0, "rejected-max-connections");
-    return;  // socket destructor sends RST/close
+void Server::on_accept(size_t acceptor_shard, net::TcpSocket socket) {
+  if (options_.max_connections != 0) {
+    // Overload mechanism 1: bounded simultaneous connections.  Under
+    // kReuseport accepts race on every shard, so the check must be a
+    // reservation — increment first, roll back past the cap — rather than
+    // a load that several shards could pass simultaneously.
+    const size_t prev =
+        num_connections_.fetch_add(1, std::memory_order_relaxed);
+    if (prev >= options_.max_connections) {
+      num_connections_.fetch_sub(1, std::memory_order_relaxed);
+      if (options_.profiling) profiler_.count_reject();
+      note_event(EventKind::kAccept, 0, "rejected-max-connections");
+      return;  // socket destructor sends RST/close
+    }
   }
   std::string ip_key;
   if (options_.max_connections_per_ip != 0) {
@@ -250,6 +276,9 @@ void Server::on_accept(net::TcpSocket socket) {
       std::lock_guard lock(ip_counts_mutex_);
       auto& count = ip_counts_[ip_key];
       if (count >= options_.max_connections_per_ip) {
+        if (options_.max_connections != 0) {
+          num_connections_.fetch_sub(1, std::memory_order_relaxed);
+        }
         if (options_.profiling) profiler_.count_per_ip_reject();
         note_event(EventKind::kAccept, 0, "rejected-per-ip-cap");
         return;  // socket destructor sends RST/close
@@ -257,25 +286,35 @@ void Server::on_accept(net::TcpSocket socket) {
       ++count;
     }
   }
+  // kReuseport: the kernel already picked this shard's listener — the
+  // connection stays local and the cross-thread dispatch hop disappears.
+  // kDispatch: classic round-robin from the single shard-0 listener.
   const size_t shard_index =
-      next_shard_.fetch_add(1, std::memory_order_relaxed) % shards_.size();
+      options_.accept_path == AcceptPath::kReuseport
+          ? acceptor_shard
+          : next_shard_.fetch_add(1, std::memory_order_relaxed) %
+                shards_.size();
+  shards_[shard_index]->accepts.fetch_add(1, std::memory_order_relaxed);
   if (options_.profiling) profiler_.count_accept();
-  if (shard_index == 0) {
-    add_connection(0, std::move(socket), std::move(ip_key));
+  const bool counted = options_.max_connections != 0;
+  if (shard_index == acceptor_shard) {
+    add_connection(shard_index, std::move(socket), std::move(ip_key), counted);
   } else {
     // Hand the socket to its shard's dispatcher thread.
     auto* raw = new net::TcpSocket(std::move(socket));
     shards_[shard_index]->reactor->post(
-        [this, shard_index, raw, ip_key = std::move(ip_key)]() mutable {
+        [this, shard_index, raw, counted,
+         ip_key = std::move(ip_key)]() mutable {
           net::TcpSocket sock(std::move(*raw));
           delete raw;
-          add_connection(shard_index, std::move(sock), std::move(ip_key));
+          add_connection(shard_index, std::move(sock), std::move(ip_key),
+                         counted);
         });
   }
 }
 
 uint64_t Server::add_connection(size_t shard_index, net::TcpSocket socket,
-                                std::string ip_key) {
+                                std::string ip_key, bool counted) {
   const uint64_t id = next_conn_id_.fetch_add(1);
   auto& shard = *shards_[shard_index];
   auto conn = std::make_shared<Connection>(*this, *shard.reactor,
@@ -286,7 +325,8 @@ uint64_t Server::add_connection(size_t shard_index, net::TcpSocket socket,
     std::lock_guard lock(conn_registry_mutex_);
     conn_registry_.emplace(id, conn);
   }
-  num_connections_.fetch_add(1);
+  if (!counted) num_connections_.fetch_add(1);
+  shard.open_connections.fetch_add(1, std::memory_order_relaxed);
   note_event(EventKind::kAccept, id, "accepted");
   if (options_.logging) {
     COPS_INFO("accepted connection " << id << " from " << conn->peer());
@@ -332,6 +372,31 @@ void Server::connect_peer(const net::InetAddress& peer,
   });
 }
 
+void Server::set_accept_suspended(bool on) {
+  // Acceptors are reactor-confined; this runs on the shard-0 housekeeping
+  // thread, so shard 0's acceptor is adjusted inline and the others (one
+  // per shard under kReuseport) get the flip posted to their own loops.
+  for (size_t i = 0; i < acceptors_.size(); ++i) {
+    auto* acceptor = acceptors_[i].get();
+    if (i == 0) {
+      if (on) {
+        acceptor->suspend();
+      } else {
+        acceptor->resume();
+      }
+    } else {
+      shards_[i]->reactor->post([acceptor, on] {
+        if (on) {
+          acceptor->suspend();
+        } else {
+          acceptor->resume();
+        }
+      });
+    }
+  }
+  accept_suspended_ = on;
+}
+
 void Server::remove_connection(Connection& conn) {
   auto& shard = *shards_[conn.shard_index()];
   if (options_.stats_export != StatsExport::kNone) {
@@ -340,6 +405,7 @@ void Server::remove_connection(Connection& conn) {
   }
   if (shard.connections.erase(conn.id()) > 0) {
     num_connections_.fetch_sub(1);
+    shard.open_connections.fetch_sub(1, std::memory_order_relaxed);
     if (!conn.ip_key_.empty()) {
       std::lock_guard lock(ip_counts_mutex_);
       auto it = ip_counts_.find(conn.ip_key_);
@@ -509,9 +575,22 @@ void Server::resolve_with_reply(RequestContext& ctx, std::any response) {
 
 void Server::fetch_file(RequestContextPtr ctx, std::string path,
                         RequestContext::FetchCallback done) {
+  // Two-tier lookup: the requesting connection's shard L1 first (lock-free,
+  // allocation-free), then the shared policy L2.  An L2 hit is promoted
+  // into this shard's L1, so after one shard's miss has filled the L2 every
+  // shard warms its own L1 without cross-shard writes.
+  L1FileCache* l1 = nullptr;
   if (cache_) {
+    l1 = shards_[ctx->conn_->shard_index()]->l1_cache.get();
+    if (l1) {
+      if (auto hit = l1->lookup(path, cache_->invalidation_epoch())) {
+        done(*ctx, std::move(hit));
+        return;
+      }
+    }
     if (auto hit = cache_->lookup(path)) {
-      done(*ctx, hit);
+      if (l1) l1->promote(path, hit, cache_->invalidation_epoch());
+      done(*ctx, std::move(hit));
       return;
     }
   }
@@ -535,9 +614,14 @@ void Server::fetch_file(RequestContextPtr ctx, std::string path,
     };
     file_service_->async_load(
         path, load, token,
-        [this, ctx, done = std::move(done)](Result<FileDataPtr> result) {
+        [this, ctx, l1, path,
+         done = std::move(done)](Result<FileDataPtr> result) {
           if (result.is_ok() && cache_ && result.value()->fd < 0) {
             cache_->insert(result.value()->path, result.value());
+            if (l1) {
+              l1->promote(path, result.value(),
+                          cache_->invalidation_epoch());
+            }
           }
           if (ctx->connection_closed()) return;  // stale completion token
           done(*ctx, std::move(result));
@@ -548,6 +632,9 @@ void Server::fetch_file(RequestContextPtr ctx, std::string path,
     auto result = FileIoService::load_file(path, load);
     if (result.is_ok() && cache_ && result.value()->fd < 0) {
       cache_->insert(path, result.value());
+      if (l1) {
+        l1->promote(path, result.value(), cache_->invalidation_epoch());
+      }
     }
     done(*ctx, std::move(result));
   }
@@ -667,14 +754,9 @@ void Server::build_overload_manager() {
                on ? "overload-shed" : "overload-shed-release");
   };
   actions.stop_accept = [this](bool on) {
-    if (!acceptor_) return;
-    if (on) {
-      acceptor_->suspend();
-      if (options_.profiling) profiler_.count_overload_suspension();
-    } else {
-      acceptor_->resume();
-    }
-    accept_suspended_ = on;
+    if (acceptors_.empty()) return;
+    set_accept_suspended(on);
+    if (on && options_.profiling) profiler_.count_overload_suspension();
     note_event(EventKind::kUser, 0,
                on ? "overload-suspend" : "overload-resume");
   };
@@ -725,17 +807,15 @@ void Server::housekeeping() {
     overload_mgr_->tick(now());
   }
 
-  if (overload_ && acceptor_) {
+  if (overload_ && !acceptors_.empty()) {
     switch (overload_->evaluate()) {
       case OverloadController::Decision::kSuspend:
-        acceptor_->suspend();
-        accept_suspended_ = true;
+        set_accept_suspended(true);
         if (options_.profiling) profiler_.count_overload_suspension();
         note_event(EventKind::kUser, 0, "overload-suspend");
         break;
       case OverloadController::Decision::kResume:
-        acceptor_->resume();
-        accept_suspended_ = false;
+        set_accept_suspended(false);
         note_event(EventKind::kUser, 0, "overload-resume");
         break;
       case OverloadController::Decision::kNoChange:
@@ -823,6 +903,16 @@ ProfilerSnapshot Server::profile() const {
       snapshot.pool_misses += shard->read_buffer_pool->misses();
       snapshot.pool_alloc_bytes += shard->read_buffer_pool->heap_bytes();
     }
+    // Two-tier cache: sum the per-shard L1 tiers (zero with the L1 off).
+    if (shard->l1_cache) {
+      snapshot.l1_hits += shard->l1_cache->hits();
+      snapshot.l1_misses += shard->l1_cache->misses();
+      snapshot.l1_promotions += shard->l1_cache->promotions();
+    }
+  }
+  if (const uint64_t total = snapshot.l1_hits + snapshot.l1_misses) {
+    snapshot.l1_hit_rate =
+        static_cast<double>(snapshot.l1_hits) / static_cast<double>(total);
   }
   return snapshot;
 }
@@ -847,6 +937,22 @@ StatsSnapshot Server::stats_snapshot() const {
     s.cache_bytes = cache_->size_bytes();
     s.cache_capacity_bytes = cache_->capacity_bytes();
     s.cache_entries = cache_->entry_count();
+  }
+  s.shards.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const auto& shard = *shards_[i];
+    ShardStats row;
+    row.shard = i;
+    row.accepts = shard.accepts.load(std::memory_order_relaxed);
+    row.connections_open =
+        shard.open_connections.load(std::memory_order_relaxed);
+    if (shard.l1_cache) {
+      row.l1_hits = shard.l1_cache->hits();
+      row.l1_misses = shard.l1_cache->misses();
+      row.l1_promotions = shard.l1_cache->promotions();
+      row.l1_hit_rate = shard.l1_cache->hit_rate();
+    }
+    s.shards.push_back(row);
   }
   {
     std::lock_guard lock(conn_registry_mutex_);

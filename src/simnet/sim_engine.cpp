@@ -23,17 +23,15 @@ constexpr std::chrono::seconds kRunWallTimeout{120};
 
 void SimClient::connect(uint16_t port) {
   SimEngine::Lock lock(engine_->mutex_);
-  auto listener = engine_->listeners_.find(port);
-  if (listener == engine_->listeners_.end() || listener->second.closed ||
-      listener->second.killed) {
+  auto route = engine_->route_connect_locked(port);
+  if (route.listener == nullptr) {
     engine_->record_locked("connect-refused port=" + std::to_string(port));
     engine_->failures_.push_back("connect refused: port " +
                                  std::to_string(port) + " not listening");
     closed_ = true;
     return;
   }
-  if (listener->second.pending.size() >=
-      static_cast<size_t>(listener->second.backlog)) {
+  if (route.member == nullptr) {
     // Accept-queue overflow: the SYN is dropped, the client never connects.
     engine_->record_locked("syn-drop port=" + std::to_string(port));
     return;
@@ -44,7 +42,7 @@ void SimClient::connect(uint16_t port) {
   channel->client_port = engine_->next_client_port_++;
   channel->client = this;
   channel_ = channel->id;
-  listener->second.pending.push_back(channel->id);
+  route.member->pending.push_back(channel->id);
   engine_->record_locked("connect ch=" + std::to_string(channel->id) +
                          " port=" + std::to_string(port));
   engine_->channels_.emplace(channel->id, std::move(channel));
@@ -292,20 +290,62 @@ void SimEngine::close_server_side_locked(Channel& ch) {
 
 // ---- SimBackend: endpoint creation -----------------------------------------
 
-Result<int> SimEngine::sim_listen(const net::InetAddress& addr, int backlog) {
+Result<int> SimEngine::sim_listen(const net::InetAddress& addr, int backlog,
+                                  bool reuseport) {
   Lock lock(mutex_);
   uint16_t port = addr.port();
   if (port == 0) port = next_auto_port_++;
-  if (auto it = listeners_.find(port);
-      it != listeners_.end() && !it->second.closed) {
-    return Status::invalid_argument("simnet: port already listening");
+  auto it = listeners_.find(port);
+  if (it != listeners_.end() && !it->second.all_closed()) {
+    // A live group: joining requires SO_REUSEPORT on both sides, like the
+    // kernel's EADDRINUSE rule.
+    if (!reuseport || !it->second.reuseport) {
+      return Status::invalid_argument("simnet: port already listening");
+    }
+    const int fd = next_fd_++;
+    it->second.members.push_back(Listener::Member{fd, false, {}});
+    fds_[fd] = FdEntry{true, false, -1, port};
+    record_locked("listen fd=" + std::to_string(fd) +
+                  " port=" + std::to_string(port) + " reuseport");
+    return fd;
   }
   const int fd = next_fd_++;
-  listeners_[port] = Listener{fd, port, backlog, false, false, {}};
+  Listener listener;
+  listener.port = port;
+  listener.backlog = backlog;
+  listener.reuseport = reuseport;
+  listener.members.push_back(Listener::Member{fd, false, {}});
+  listeners_[port] = std::move(listener);
   fds_[fd] = FdEntry{true, false, -1, port};
   record_locked("listen fd=" + std::to_string(fd) +
-                " port=" + std::to_string(port));
+                " port=" + std::to_string(port) +
+                (reuseport ? " reuseport" : ""));
   return fd;
+}
+
+SimEngine::ConnectRoute SimEngine::route_connect_locked(uint16_t port) {
+  ConnectRoute route;
+  auto it = listeners_.find(port);
+  if (it == listeners_.end() || it->second.killed ||
+      it->second.all_closed()) {
+    return route;
+  }
+  Listener& listener = it->second;
+  route.listener = &listener;
+  // Deterministic round-robin over open members — the stand-in for the
+  // kernel's SO_REUSEPORT 4-tuple hash.  The chosen member's queue being
+  // full is a SYN drop, as with a real per-socket backlog (no failover).
+  const size_t n = listener.members.size();
+  for (size_t probe = 0; probe < n; ++probe) {
+    auto& member = listener.members[listener.rr_next % n];
+    listener.rr_next = (listener.rr_next + 1) % n;
+    if (member.closed) continue;
+    if (member.pending.size() < static_cast<size_t>(listener.backlog)) {
+      route.member = &member;
+    }
+    return route;
+  }
+  return route;
 }
 
 Result<int> SimEngine::sim_connect(const net::InetAddress& peer) {
@@ -326,14 +366,12 @@ Result<int> SimEngine::sim_connect(const net::InetAddress& peer) {
     channels_.emplace(channel->id, std::move(channel));
     return fd;
   }
-  auto listener = listeners_.find(port);
-  if (listener == listeners_.end() || listener->second.closed ||
-      listener->second.killed) {
+  auto route = route_connect_locked(port);
+  if (route.listener == nullptr) {
     record_locked("connect-refused port=" + std::to_string(port));
     return Status::unavailable("simnet: connection refused");
   }
-  if (listener->second.pending.size() >=
-      static_cast<size_t>(listener->second.backlog)) {
+  if (route.member == nullptr) {
     record_locked("connect-overflow port=" + std::to_string(port));
     return Status::unavailable("simnet: accept queue full");
   }
@@ -344,7 +382,7 @@ Result<int> SimEngine::sim_connect(const net::InetAddress& peer) {
   const int fd = next_fd_++;
   channel->initiator_fd = fd;
   fds_[fd] = FdEntry{false, true, channel->id, 0};
-  listener->second.pending.push_back(channel->id);
+  route.member->pending.push_back(channel->id);
   record_locked("connect fd=" + std::to_string(fd) +
                 " ch=" + std::to_string(channel->id) +
                 " port=" + std::to_string(port));
@@ -365,7 +403,7 @@ void SimEngine::kill_port_locked(uint16_t port) {
   record_locked("kill port=" + std::to_string(port));
   if (auto it = listeners_.find(port); it != listeners_.end()) {
     it->second.killed = true;
-    it->second.pending.clear();
+    for (auto& member : it->second.members) member.pending.clear();
   }
   for (auto& [id, ch_ptr] : channels_) {
     Channel& ch = *ch_ptr;
@@ -424,9 +462,16 @@ net::SysResult SimEngine::sim_accept(int listen_fd) {
     record_locked("fault accept-eintr port=" + std::to_string(listener.port));
     return {-1, EINTR};
   }
-  if (listener.pending.empty()) return {-1, EAGAIN};
-  const int channel = listener.pending.front();
-  listener.pending.pop_front();
+  Listener::Member* member = nullptr;
+  for (auto& m : listener.members) {
+    if (m.fd == listen_fd) {
+      member = &m;
+      break;
+    }
+  }
+  if (member == nullptr || member->pending.empty()) return {-1, EAGAIN};
+  const int channel = member->pending.front();
+  member->pending.pop_front();
   Channel& ch = *channels_.at(channel);
   const int fd = next_fd_++;
   ch.server_fd = fd;
@@ -589,8 +634,14 @@ void SimEngine::sim_close(int fd) {
   if (it->second.is_listener) {
     auto listener = listeners_.find(it->second.port);
     if (listener != listeners_.end()) {
-      listener->second.closed = true;
-      record_locked("listener-close port=" + std::to_string(it->second.port));
+      for (auto& member : listener->second.members) {
+        if (member.fd == fd && !member.closed) {
+          member.closed = true;
+          record_locked("listener-close port=" +
+                        std::to_string(it->second.port));
+          break;
+        }
+      }
     }
   } else if (auto ch = channels_.find(it->second.channel);
              ch != channels_.end()) {
@@ -686,9 +737,16 @@ void SimEngine::collect_ready_locked(const void* poller,
     if (entry == fds_.end()) continue;
     if (entry->second.is_listener) {
       auto listener = listeners_.find(entry->second.port);
-      if (listener == listeners_.end() || listener->second.closed) continue;
-      if ((interest & net::kReadable) != 0 &&
-          !listener->second.pending.empty()) {
+      if (listener == listeners_.end()) continue;
+      const Listener::Member* member = nullptr;
+      for (const auto& m : listener->second.members) {
+        if (m.fd == fd) {
+          member = &m;
+          break;
+        }
+      }
+      if (member == nullptr || member->closed) continue;
+      if ((interest & net::kReadable) != 0 && !member->pending.empty()) {
         out.push_back({fd, net::kReadable});
       }
       continue;
@@ -756,7 +814,8 @@ void SimEngine::schedule_locked() {
       const size_t idx = (rr_next_ + i) % n;
       const void* p = poller_order_[idx];
       auto& slot = slots_[p];
-      if (has_ready_locked(p) || slot.deadline_ns <= now) {
+      if (has_ready_locked(p) || slot.notified || slot.deadline_ns <= now) {
+        slot.notified = false;
         slot.granted = true;
         token_holder_ = p;
         rr_next_ = (idx + 1) % n;
@@ -783,6 +842,21 @@ void SimEngine::schedule_locked() {
     }
     advance_to_locked(target);
   }
+}
+
+void SimEngine::sim_notify(const void* poller) {
+  Lock lock(mutex_);
+  // A reactor that owns no sim fds (e.g. a dispatch-target shard whose only
+  // descriptor is its real wakeup eventfd) is unknown to the scheduler until
+  // its first post — register it now so it joins the token rotation.  The
+  // grant happens at the current virtual instant (`notified` short-circuits
+  // the deadline check in schedule_locked), so a cross-reactor hand-off is
+  // free in virtual time and the trace stays bit-identical per seed.
+  note_poller_locked(poller);
+  slots_[poller].notified = true;
+  // If the poller is idling in the unknown-poller / paused real-time wait,
+  // bounce it out immediately so it parks and becomes grantable.
+  cv_run_.notify_all();
 }
 
 size_t SimEngine::sim_poll_wait(const void* poller,

@@ -150,7 +150,8 @@ class SimEngine : public net::SimBackend {
   void sim_close(int fd) override;
   Result<net::InetAddress> sim_local_address(int fd) override;
   Result<net::InetAddress> sim_peer_address(int fd) override;
-  Result<int> sim_listen(const net::InetAddress& addr, int backlog) override;
+  Result<int> sim_listen(const net::InetAddress& addr, int backlog,
+                         bool reuseport) override;
   Result<int> sim_connect(const net::InetAddress& peer) override;
   Status sim_poll_add(const void* poller, int fd, uint32_t interest) override;
   Status sim_poll_modify(const void* poller, int fd,
@@ -158,6 +159,7 @@ class SimEngine : public net::SimBackend {
   Status sim_poll_remove(const void* poller, int fd) override;
   size_t sim_poll_wait(const void* poller, std::vector<net::ReadyFd>& out,
                        int timeout_ms) override;
+  void sim_notify(const void* poller) override;
 
  private:
   friend class SimClient;
@@ -187,13 +189,30 @@ class SimEngine : public net::SimBackend {
     bool client_notified_close = false;
   };
 
+  // One listening port.  Normally a single member; with SO_REUSEPORT every
+  // shard's listener joins the same port as another member and incoming
+  // connections are spread across open members by deterministic round-robin
+  // (the stand-in for the kernel's 4-tuple hash).  Each member owns its own
+  // accept queue, like a real per-socket backlog.
   struct Listener {
-    int fd = -1;
     uint16_t port = 0;
-    int backlog = 0;
-    bool closed = false;
-    bool killed = false;  // kill_port(): refuse connects until revived
-    std::deque<int> pending;  // channel ids awaiting accept
+    int backlog = 0;          // per-member accept-queue bound
+    bool killed = false;      // kill_port(): refuse connects until revived
+    bool reuseport = false;   // every member was opened with SO_REUSEPORT
+    struct Member {
+      int fd = -1;
+      bool closed = false;
+      std::deque<int> pending;  // channel ids awaiting accept on this fd
+    };
+    std::vector<Member> members;
+    size_t rr_next = 0;  // round-robin cursor over open members
+
+    [[nodiscard]] bool all_closed() const {
+      for (const auto& m : members) {
+        if (!m.closed) return false;
+      }
+      return true;
+    }
   };
 
   struct FdEntry {
@@ -207,6 +226,7 @@ class SimEngine : public net::SimBackend {
   struct PollerSlot {
     bool waiting = false;
     bool granted = false;
+    bool notified = false;    // sim_notify pending: grant at current instant
     int64_t deadline_ns = 0;  // virtual instant its poll timeout expires
   };
 
@@ -229,6 +249,15 @@ class SimEngine : public net::SimBackend {
   net::SysResult sim_write_gather_locked(int fd, const struct iovec* iov,
                                          int iovcnt, const char* op);
   Channel* channel_of_fd_locked(int fd);
+  // Routing for a new connection to `port`: picks the accept-queue member.
+  // listener == nullptr means refused (not listening / killed / all
+  // members closed); member == nullptr with a listener means the chosen
+  // member's queue is full (SYN drop).
+  struct ConnectRoute {
+    Listener* listener = nullptr;
+    Listener::Member* member = nullptr;
+  };
+  ConnectRoute route_connect_locked(uint16_t port);
   void close_server_side_locked(Channel& ch);
   void reset_channel_locked(Channel& ch);
   void kill_port_locked(uint16_t port);

@@ -605,6 +605,82 @@ TEST(NServerTemplate, OverloadAppendsWithoutRenumbering) {
   EXPECT_LT(proxy_row, overload_row) << "overload must append after S4";
 }
 
+TEST(NServerTemplate, AcceptPathOptionCrosscutsGeneratedUnits) {
+  const auto tmpl = make_nserver_template();
+  // Both presets default to dispatch (the paper's single-listener servers
+  // are untouched); flipping to reuseport emits the shard unit and wires
+  // the accept path + per-shard L1 sizing into the options block.
+  auto dispatch_set = nserver_http_options();
+  auto reuseport_set = dispatch_set;
+  reuseport_set.set("accept_path", "reuseport");
+  auto off = tmpl.render_all(dispatch_set,
+                             {{"app_name", "A"}, {"listen_port", "0"}});
+  auto on = tmpl.render_all(reuseport_set,
+                            {{"app_name", "A"}, {"listen_port", "0"}});
+  ASSERT_TRUE(off.is_ok());
+  ASSERT_TRUE(on.is_ok());
+  EXPECT_TRUE(on.value().count("shard_config.hpp"));
+  EXPECT_FALSE(off.value().count("shard_config.hpp"));
+  EXPECT_NE(on.value().at("traits.hpp").find("kReuseportAccept = true"),
+            std::string::npos);
+  EXPECT_NE(off.value().at("traits.hpp").find("kReuseportAccept = false"),
+            std::string::npos);
+  EXPECT_NE(on.value().at("server_main.cpp").find("AcceptPath::kReuseport"),
+            std::string::npos);
+  EXPECT_NE(off.value().at("server_main.cpp").find("AcceptPath::kDispatch"),
+            std::string::npos);
+  EXPECT_NE(on.value().at("shard_config.hpp").find("kShardListeners"),
+            std::string::npos);
+  // The preset keeps a file cache, so the shard unit sizes the L1 tier and
+  // server_main wires it through.
+  EXPECT_NE(on.value().at("shard_config.hpp").find("kCacheL1Entries"),
+            std::string::npos);
+  EXPECT_NE(on.value().at("server_main.cpp").find("cache_l1_entries"),
+            std::string::npos);
+  EXPECT_EQ(off.value().at("server_main.cpp").find("cache_l1_entries"),
+            std::string::npos);
+  // Both shipped presets stay on dispatch.
+  EXPECT_EQ(nserver_http_options().get("accept_path"), "dispatch");
+  EXPECT_EQ(nserver_ftp_options().get("accept_path"), "dispatch");
+}
+
+TEST(NServerTemplate, AcceptPathWithoutCacheSkipsL1Sizing) {
+  // The nested conditional: a cacheless reuseport server still gets its
+  // shard unit, but no L1 tier constants (the L1 fronts the L2 — without
+  // an L2 there is nothing to front).
+  const auto tmpl = make_nserver_template();
+  auto set = nserver_http_options();
+  set.set("accept_path", "reuseport");
+  set.set("file_cache", "none");
+  auto rendered =
+      tmpl.render_all(set, {{"app_name", "A"}, {"listen_port", "0"}});
+  ASSERT_TRUE(rendered.is_ok());
+  const auto& shard = rendered.value().at("shard_config.hpp");
+  EXPECT_NE(shard.find("kShardListeners"), std::string::npos);
+  EXPECT_EQ(shard.find("kCacheL1Entries"), std::string::npos);
+  EXPECT_EQ(rendered.value().at("server_main.cpp").find("cache_l1_entries"),
+            std::string::npos);
+}
+
+TEST(NServerTemplate, AcceptPathAppendsWithoutRenumbering) {
+  // accept_path joins Table 2 as its own column while everything already
+  // there stays put; in the README option table it rows after overload.
+  const auto tmpl = make_nserver_template();
+  auto matrix = tmpl.crosscut();
+  ASSERT_TRUE(matrix.is_ok());
+  EXPECT_TRUE(matrix.value().at("Shard Accept").at("accept_path").existence);
+  EXPECT_TRUE(matrix.value().at("Overload Manager").at("overload").existence);
+  auto rendered = tmpl.render_all(nserver_http_options(),
+                                  {{"app_name", "A"}, {"listen_port", "0"}});
+  ASSERT_TRUE(rendered.is_ok());
+  const auto& readme = rendered.value().at("README.md");
+  const size_t overload_row = readme.find("S5 overload");
+  const size_t accept_row = readme.find("S6 accept path");
+  ASSERT_NE(overload_row, std::string::npos);
+  ASSERT_NE(accept_row, std::string::npos);
+  EXPECT_LT(overload_row, accept_row) << "accept_path must append after S5";
+}
+
 TEST(NServerTemplate, ConstraintRejectsAdaptiveOverloadWithoutO9) {
   const auto tmpl = make_nserver_template();
   auto bad = nserver_http_options();

@@ -1,0 +1,244 @@
+// Simnet coverage for the S6 shared-nothing accept path (scale-out PR).
+//
+// The generative contract: `accept_path` must be *observationally
+// invisible*.  A client cannot tell whether its connection came through the
+// classic single listener plus dispatch hop or through one of N
+// SO_REUSEPORT listeners — only throughput changes.  The differential test
+// below enforces exactly that: per seed, the same scripted clients replay
+// against both configurations (same shard count) and every client's reply
+// stream must match byte for byte, Date header included (the simulated
+// clock makes replies bit-identical per seed).
+//
+// Also covered here, because only the simulation makes them deterministic:
+// the listener group's round-robin connection spread, per-shard L1 cache
+// warm-up (each shard promotes independently; the L2 fill is shared), and
+// the flagship trace-determinism guarantee extended to multi-shard
+// reuseport runs.
+#include <chrono>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "http/http_server.hpp"
+#include "simnet/sim_harness.hpp"
+#include "tests/test_util.hpp"
+
+namespace cops::simnet {
+namespace {
+
+using std::chrono::milliseconds;
+
+constexpr uint16_t kPort = 8090;
+
+// Deterministic fixture set: four files with distinct sizes and contents.
+std::string fixture_body(size_t i) {
+  std::string out = "scaleout fixture " + std::to_string(i) + "\n";
+  for (size_t j = 0; j < 20 + i * 40; ++j) {
+    out += static_cast<char>('a' + (i * 11 + j * 5) % 26);
+  }
+  out += '\n';
+  return out;
+}
+
+// One scripted client: connect time, request bytes, and the send schedule
+// (piece boundaries and times), all derived from the seed alone so the
+// dispatch and reuseport runs replay identical inputs.
+struct ClientScript {
+  int connect_ms = 0;
+  std::vector<std::pair<int, std::string>> sends;  // (time ms, piece)
+};
+
+std::vector<ClientScript> build_scripts(uint64_t seed, size_t n_clients) {
+  std::mt19937_64 rng(seed);
+  std::vector<ClientScript> scripts(n_clients);
+  for (size_t c = 0; c < n_clients; ++c) {
+    auto& script = scripts[c];
+    script.connect_ms = 1 + static_cast<int>(c);
+    std::string wire;
+    const size_t requests = 1 + rng() % 3;
+    for (size_t r = 0; r < requests; ++r) {
+      const bool last = r + 1 == requests;
+      wire += "GET /f" + std::to_string(rng() % 4) +
+              ".txt HTTP/1.1\r\nHost: sim\r\n" +
+              (last ? "Connection: close\r\n" : "") + "\r\n";
+    }
+    // Arbitrary TCP segmentation on top of the accept path under test.
+    size_t pos = 0;
+    int when = script.connect_ms + 2;
+    while (pos < wire.size()) {
+      const size_t chunk = 1 + rng() % (wire.size() - pos);
+      script.sends.emplace_back(when, wire.substr(pos, chunk));
+      pos += chunk;
+      when += static_cast<int>(rng() % 3);
+    }
+  }
+  return scripts;
+}
+
+struct SessionResult {
+  std::vector<std::string> replies;  // per client, raw received bytes
+  std::vector<bool> closed;
+  std::vector<nserver::ShardStats> shards;
+  std::vector<std::string> trace;
+};
+
+// Replays the seed's scripts against a fresh server in the requested
+// accept-path configuration and returns every client's observations.
+SessionResult run_scaleout_session(uint64_t seed, nserver::AcceptPath path,
+                                   int shards, size_t n_clients,
+                                   size_t l1_entries = 0) {
+  SimEngine engine(seed);
+  SCOPED_TRACE("scaleout seed=" + std::to_string(seed));
+
+  test::TempDir dir;
+  for (size_t i = 0; i < 4; ++i) {
+    dir.write_file("f" + std::to_string(i) + ".txt", fixture_body(i));
+  }
+
+  auto options = http::CopsHttpServer::default_options();
+  make_deterministic(options);
+  // The whole point of this suite is the multi-shard accept path, so the
+  // shard count is restored *after* make_deterministic pinned it to one —
+  // the engine's poller token rotation keeps N reactors deterministic.
+  options.dispatcher_threads = shards;
+  options.accept_path = path;
+  options.cache_l1_entries = l1_entries;
+  options.listen_port = kPort;
+  http::HttpServerConfig config;
+  config.doc_root = dir.str();
+  http::CopsHttpServer server(std::move(options), config);
+  auto started = server.start();
+  EXPECT_TRUE(started.is_ok()) << started.to_string();
+  if (!started.is_ok()) return {};
+
+  const auto scripts = build_scripts(seed, n_clients);
+  std::vector<SimClient*> clients;
+  for (const auto& script : scripts) {
+    auto* client = engine.new_client();
+    clients.push_back(client);
+    engine.at(milliseconds(script.connect_ms),
+              [client] { client->connect(kPort); });
+    for (const auto& [when, piece] : script.sends) {
+      engine.at(milliseconds(when),
+                [client, piece] { client->send(piece); });
+    }
+  }
+
+  EXPECT_TRUE(engine.run(std::chrono::seconds(120)))
+      << "session did not quiesce\n" << engine.trace_text();
+
+  SessionResult result;
+  for (auto* client : clients) {
+    result.replies.push_back(client->received());
+    result.closed.push_back(client->peer_closed());
+  }
+  result.shards = server.server().stats_snapshot().shards;
+  result.trace = engine.trace();
+  EXPECT_TRUE(engine.failures().empty()) << engine.trace_text();
+  server.stop();
+  return result;
+}
+
+// ---- the differential guarantee -------------------------------------------
+
+class ScaleoutDifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScaleoutDifferentialTest, ReuseportMatchesDispatchByteForByte) {
+  const auto seed = static_cast<uint64_t>(GetParam());
+  constexpr size_t kClients = 6;
+  const SessionResult dispatch = run_scaleout_session(
+      seed, nserver::AcceptPath::kDispatch, /*shards=*/2, kClients);
+  const SessionResult reuseport = run_scaleout_session(
+      seed, nserver::AcceptPath::kReuseport, /*shards=*/2, kClients);
+
+  ASSERT_EQ(dispatch.replies.size(), kClients);
+  ASSERT_EQ(reuseport.replies.size(), kClients);
+  for (size_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(dispatch.replies[c], reuseport.replies[c])
+        << "client " << c << " observed different reply bytes across "
+        << "accept paths (seed " << seed << ")";
+    EXPECT_FALSE(dispatch.replies[c].empty()) << "client " << c;
+    EXPECT_EQ(dispatch.closed[c], reuseport.closed[c]) << "client " << c;
+    // Every script ends with Connection: close, so both paths must close.
+    EXPECT_TRUE(reuseport.closed[c]) << "client " << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScaleoutDifferentialTest,
+                         ::testing::Range(1, 9),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+// ---- listener-group semantics ----------------------------------------------
+
+TEST(ScaleoutSimTest, ReuseportSpreadsConnectionsRoundRobin) {
+  // Eight clients over four shards: the simulated kernel's round-robin
+  // spread gives every shard exactly two accepts, and the per-shard gauges
+  // (satellite: the `shard` label) report exactly that.
+  const SessionResult result = run_scaleout_session(
+      0x5ca1e, nserver::AcceptPath::kReuseport, /*shards=*/4,
+      /*n_clients=*/8);
+  ASSERT_EQ(result.shards.size(), 4u);
+  uint64_t total = 0;
+  for (const auto& shard : result.shards) {
+    EXPECT_EQ(shard.accepts, 2u) << "shard " << shard.shard;
+    EXPECT_EQ(shard.connections_open, 0u) << "shard " << shard.shard;
+    total += shard.accepts;
+  }
+  EXPECT_EQ(total, 8u);
+}
+
+TEST(ScaleoutSimTest, DispatchKeepsTheSingleListener) {
+  // Same workload through the classic path: connections still end up
+  // sharded (round-robin by the server, not the kernel), so the per-shard
+  // accept gauges spread even though only shard 0 owns a listener.
+  const SessionResult result = run_scaleout_session(
+      0x5ca1e, nserver::AcceptPath::kDispatch, /*shards=*/4,
+      /*n_clients=*/8);
+  ASSERT_EQ(result.shards.size(), 4u);
+  uint64_t total = 0;
+  for (const auto& shard : result.shards) total += shard.accepts;
+  EXPECT_EQ(total, 8u);
+}
+
+TEST(ScaleoutSimTest, EveryShardWarmsItsOwnL1) {
+  // Four clients, two shards, every request hits the same four files: the
+  // first touch on each shard falls through to the shared L2 and promotes;
+  // repeat touches are per-shard L1 hits.  Both shards must show L1
+  // traffic — the tier is per shard, not global.
+  const SessionResult result = run_scaleout_session(
+      77, nserver::AcceptPath::kReuseport, /*shards=*/2, /*n_clients=*/4,
+      /*l1_entries=*/16);
+  ASSERT_EQ(result.shards.size(), 2u);
+  for (const auto& shard : result.shards) {
+    EXPECT_GT(shard.l1_promotions, 0u) << "shard " << shard.shard;
+  }
+}
+
+// ---- determinism ------------------------------------------------------------
+
+TEST(ScaleoutSimTest, SameSeedSameMultiShardReuseportTrace) {
+  // The flagship determinism guarantee holds with four reactor threads and
+  // four racing listeners: the poller token rotation serialises them into
+  // a bit-identical event trace per seed.
+  const SessionResult first = run_scaleout_session(
+      424242, nserver::AcceptPath::kReuseport, /*shards=*/4,
+      /*n_clients=*/6, /*l1_entries=*/16);
+  const SessionResult second = run_scaleout_session(
+      424242, nserver::AcceptPath::kReuseport, /*shards=*/4,
+      /*n_clients=*/6, /*l1_entries=*/16);
+  ASSERT_FALSE(first.trace.empty());
+  ASSERT_EQ(first.trace.size(), second.trace.size())
+      << "trace lengths diverged across identical runs";
+  for (size_t i = 0; i < first.trace.size(); ++i) {
+    ASSERT_EQ(first.trace[i], second.trace[i])
+        << "first divergence at trace line " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cops::simnet
