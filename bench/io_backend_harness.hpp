@@ -1,0 +1,313 @@
+// epoll-vs-io_uring backend harness, shared by the micro_io_backend baseline
+// binary and the perf-smoke gate.  Real time, real loopback: the point is
+// the syscall path (readiness + recv/send per request vs batched SQE
+// submission and completion reaping), which the virtual-clock simnet
+// benches cannot express.
+//
+// The modeled server: COPS-HTTP serving a small cached fileset over
+// keep-alive connections.  Load is CLOSED-loop — a fixed set of concurrent
+// keep-alive sessions, each issuing its next GET as soon as the previous
+// reply completes — so both backends face the identical request stream and
+// the measured quantity is per-request service latency plus the syscall
+// overhead under comparison.
+//
+// Clients speak raw socket syscalls on purpose: when the io_uring backend
+// is active the process-wide sync-over-ring ops shim routes TcpSocket
+// send/recv through per-thread rings, and a client built on TcpSocket
+// would smuggle ring overhead into the *client* half of the measurement.
+// Raw ::send/::recv keeps the client constant across both rows.
+#pragma once
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "http/http_server.hpp"
+#include "net/uring.hpp"
+
+namespace cops::bench {
+
+struct IoBackendBenchConfig {
+  std::string docroot = "/tmp/cops_bench_io_backend";
+  int connections = 8;             // concurrent keep-alive sessions
+  int requests_per_connection = 400;
+  int warmup_requests = 40;        // per connection, excluded from stats
+  size_t fileset_size = 16;
+  size_t file_bytes = 2048;
+  int dispatcher_threads = 2;
+  unsigned seed = 7;
+};
+
+[[nodiscard]] inline IoBackendBenchConfig io_backend_quick_config(
+    std::string docroot = "/tmp/cops_bench_io_backend") {
+  IoBackendBenchConfig config;
+  config.docroot = std::move(docroot);
+  config.connections = 4;
+  config.requests_per_connection = 60;
+  config.warmup_requests = 10;
+  return config;
+}
+
+struct IoBackendRow {
+  std::string backend;  // "epoll" | "io_uring"
+  bool effective = false;  // probe honoured the request (false = fell back)
+  int connections = 0;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  uint64_t bytes_rx = 0;
+  double rps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+[[nodiscard]] inline bool make_io_backend_docroot(
+    const IoBackendBenchConfig& config) {
+  std::error_code ec;
+  std::filesystem::create_directories(config.docroot, ec);
+  if (ec) return false;
+  for (size_t i = 0; i < config.fileset_size; ++i) {
+    std::ofstream out(config.docroot + "/f" + std::to_string(i) + ".txt",
+                      std::ios::trunc | std::ios::binary);
+    std::string body(config.file_bytes, static_cast<char>('a' + i % 26));
+    out << body;
+    if (!out.good()) return false;
+  }
+  return true;
+}
+
+[[nodiscard]] inline double io_backend_percentile(
+    std::vector<int64_t> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const size_t index = static_cast<size_t>(p * (values.size() - 1) + 0.5);
+  return static_cast<double>(values[std::min(index, values.size() - 1)]);
+}
+
+namespace detail {
+
+// One raw-syscall keep-alive session: issue `total` GETs back-to-back,
+// recording per-request microsecond latencies after the warm-up prefix.
+struct SessionResult {
+  std::vector<int64_t> latencies_us;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  uint64_t bytes_rx = 0;
+};
+
+inline void run_session(uint16_t port, const IoBackendBenchConfig& config,
+                        unsigned seed, SessionResult* out) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    ++out->errors;
+    return;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ++out->errors;
+    ::close(fd);
+    return;
+  }
+
+  uint64_t rng = seed * 0x9e3779b97f4a7c15ull + 1;
+  const int total = config.warmup_requests + config.requests_per_connection;
+  std::string reply;
+  reply.reserve(config.file_bytes + 512);
+  char buf[4096];
+  for (int i = 0; i < total; ++i) {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    const size_t pick = (rng >> 33) % config.fileset_size;
+    const std::string request = "GET /f" + std::to_string(pick) +
+                                ".txt HTTP/1.1\r\nHost: bench\r\n\r\n";
+    const auto start = std::chrono::steady_clock::now();
+    size_t sent = 0;
+    while (sent < request.size()) {
+      const ssize_t n = ::send(fd, request.data() + sent,
+                               request.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        ++out->errors;
+        ::close(fd);
+        return;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    // Read one full reply: headers, then Content-Length body bytes.
+    reply.clear();
+    size_t need = std::string::npos;  // total reply bytes once headers parse
+    bool ok = false;
+    while (true) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        break;
+      }
+      reply.append(buf, static_cast<size_t>(n));
+      if (need == std::string::npos) {
+        const size_t header_end = reply.find("\r\n\r\n");
+        if (header_end == std::string::npos) continue;
+        const size_t cl = reply.find("Content-Length: ");
+        if (cl == std::string::npos || cl > header_end) break;
+        need = header_end + 4 +
+               static_cast<size_t>(std::strtoul(reply.c_str() + cl + 16,
+                                                nullptr, 10));
+      }
+      if (reply.size() >= need) {
+        ok = reply.compare(0, 12, "HTTP/1.1 200") == 0;
+        break;
+      }
+    }
+    if (!ok) {
+      ++out->errors;
+      ::close(fd);
+      return;
+    }
+    out->bytes_rx += reply.size();
+    ++out->requests;
+    if (i >= config.warmup_requests) {
+      out->latencies_us.push_back(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+    }
+  }
+  ::close(fd);
+}
+
+}  // namespace detail
+
+// One point: start COPS-HTTP on the requested backend, drive the closed
+// keep-alive load, report achieved rate and latency percentiles.
+[[nodiscard]] inline IoBackendRow run_io_backend_point(
+    const IoBackendBenchConfig& config, const char* backend) {
+  auto options = http::CopsHttpServer::default_options();
+  options.dispatcher_threads = config.dispatcher_threads;
+  options.io_backend = std::string(backend) == "io_uring"
+                           ? nserver::IoBackend::kIoUring
+                           : nserver::IoBackend::kEpoll;
+  options.cache_policy = nserver::CachePolicyKind::kLru;
+  options.listen_port = 0;
+
+  http::HttpServerConfig http_config;
+  http_config.doc_root = config.docroot;
+  http::CopsHttpServer server(std::move(options), http_config);
+  if (!server.start().is_ok()) {
+    std::fprintf(stderr, "io_backend bench: server start failed\n");
+    return {};
+  }
+
+  IoBackendRow row;
+  row.backend = backend;
+  row.effective = nserver::to_string(server.server().effective_io_backend()) ==
+                  std::string(std::string(backend) == "io_uring" ? "IoUring"
+                                                                 : "Epoll");
+  row.connections = config.connections;
+
+  std::vector<detail::SessionResult> results(
+      static_cast<size_t>(config.connections));
+  std::vector<std::thread> threads;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < config.connections; ++i) {
+    threads.emplace_back(detail::run_session, server.port(), std::cref(config),
+                         config.seed + static_cast<unsigned>(i), &results[i]);
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed_s =
+      std::chrono::duration_cast<std::chrono::duration<double>>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  server.stop();
+
+  std::vector<int64_t> latencies;
+  for (auto& r : results) {
+    row.requests += r.requests;
+    row.errors += r.errors;
+    row.bytes_rx += r.bytes_rx;
+    latencies.insert(latencies.end(), r.latencies_us.begin(),
+                     r.latencies_us.end());
+  }
+  row.rps = elapsed_s > 0.0 ? static_cast<double>(row.requests) / elapsed_s
+                            : 0.0;
+  row.p50_us = io_backend_percentile(latencies, 0.5);
+  row.p99_us = io_backend_percentile(std::move(latencies), 0.99);
+  return row;
+}
+
+[[nodiscard]] inline std::string io_backend_rows_to_json(
+    const IoBackendBenchConfig& config, const std::vector<IoBackendRow>& rows,
+    bool quick) {
+  std::string out = "{\n  \"benchmark\": \"io_backend\",\n  \"quick\": ";
+  out += quick ? "true" : "false";
+  char line[384];
+  std::snprintf(line, sizeof(line),
+                ",\n  \"uring_compiled\": %s,\n  \"uring_available\": %s,\n"
+                "  \"connections\": %d,\n  \"file_bytes\": %zu,\n"
+                "  \"rows\": [\n",
+                net::uring_compiled() ? "true" : "false",
+                net::uring_available() ? "true" : "false", config.connections,
+                config.file_bytes);
+  out += line;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    std::snprintf(
+        line, sizeof(line),
+        "    {\"backend\": \"%s\", \"effective\": %s, \"connections\": %d, "
+        "\"requests\": %llu, \"errors\": %llu, \"bytes_rx\": %llu, "
+        "\"rps\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f}%s\n",
+        row.backend.c_str(), row.effective ? "true" : "false", row.connections,
+        static_cast<unsigned long long>(row.requests),
+        static_cast<unsigned long long>(row.errors),
+        static_cast<unsigned long long>(row.bytes_rx), row.rps, row.p50_us,
+        row.p99_us, i + 1 < rows.size() ? "," : "");
+    out += line;
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+// Structural validation of the emitted document — the perf-smoke gate and
+// the committed baseline's consumers rely on exactly these fields.
+[[nodiscard]] inline bool validate_io_backend_json(const std::string& json,
+                                                   std::string* error) {
+  const auto need = [&](const char* token) {
+    if (json.find(token) == std::string::npos) {
+      if (error) *error = std::string("missing token: ") + token;
+      return false;
+    }
+    return true;
+  };
+  if (!need("\"benchmark\": \"io_backend\"")) return false;
+  if (!need("\"quick\": ")) return false;
+  if (!need("\"uring_compiled\": ")) return false;
+  if (!need("\"uring_available\": ")) return false;
+  if (!need("\"rows\": [")) return false;
+  for (const char* token :
+       {"\"backend\": \"epoll\"", "\"backend\": \"io_uring\"",
+        "\"effective\": ", "\"connections\": ", "\"requests\"", "\"errors\"",
+        "\"bytes_rx\"", "\"rps\"", "\"p50_us\"", "\"p99_us\""}) {
+    if (!need(token)) return false;
+  }
+  if (json.empty() || json.back() != '\n' || json[json.size() - 2] != '}') {
+    if (error) *error = "document not terminated";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cops::bench

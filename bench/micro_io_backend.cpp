@@ -1,0 +1,119 @@
+// I/O backend baseline: epoll readiness vs io_uring completion, persisted
+// as BENCH_io_backend.json.
+//
+//   micro_io_backend [--quick] [--out PATH]
+//
+// Real-time points (see io_backend_harness.hpp): COPS-HTTP serving a cached
+// fileset to a fixed set of raw-syscall keep-alive sessions, once per
+// backend.  Exits non-zero when the emitted JSON fails validation or when
+// the regression gates below fail:
+//
+//   * both rows completed the full request count with zero errors;
+//   * on a kernel with a working io_uring the uring row really ran on the
+//     ring (effective=true) and its throughput is no slower than epoll
+//     (with slack for CI noise); without one, the row records the graceful
+//     fallback instead of failing the build.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "io_backend_harness.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cops::bench;
+
+  std::string out_path = "BENCH_io_backend.json";
+  BenchEnv env = bench_env();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      env.quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--quick] [--out PATH]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  print_header("I/O backend baseline (epoll vs io_uring)",
+               "Closed-loop keep-alive GETs from raw-syscall clients against "
+               "COPS-HTTP,\nonce per io_backend.  Measures the syscall path: "
+               "per-request readiness +\nrecv/send vs batched SQE submission "
+               "and completion reaping.");
+
+  const IoBackendBenchConfig config =
+      env.quick ? io_backend_quick_config() : IoBackendBenchConfig{};
+  if (!make_io_backend_docroot(config)) {
+    std::fprintf(stderr, "FAIL: could not create docroot %s\n",
+                 config.docroot.c_str());
+    return 1;
+  }
+  const bool have_uring = cops::net::uring_available();
+  std::printf("  io_uring: compiled=%d available=%d\n",
+              cops::net::uring_compiled() ? 1 : 0, have_uring ? 1 : 0);
+
+  std::vector<IoBackendRow> rows;
+  for (const char* backend : {"epoll", "io_uring"}) {
+    rows.push_back(run_io_backend_point(config, backend));
+    const auto& row = rows.back();
+    std::printf("  %-8s effective=%d  %6llu req  %4llu err  %8.1f req/s  "
+                "p50 %7.1f us  p99 %7.1f us\n",
+                row.backend.c_str(), row.effective ? 1 : 0,
+                static_cast<unsigned long long>(row.requests),
+                static_cast<unsigned long long>(row.errors), row.rps,
+                row.p50_us, row.p99_us);
+  }
+  const IoBackendRow& epoll_row = rows[0];
+  const IoBackendRow& uring_row = rows[1];
+
+  // Gate 1: both rows served every request.
+  const uint64_t expected = static_cast<uint64_t>(config.connections) *
+                            static_cast<uint64_t>(config.warmup_requests +
+                                                  config.requests_per_connection);
+  for (const auto& row : rows) {
+    if (row.errors != 0 || row.requests != expected) {
+      std::fprintf(stderr, "FAIL: %s row incomplete (%llu/%llu, %llu errors)\n",
+                   row.backend.c_str(),
+                   static_cast<unsigned long long>(row.requests),
+                   static_cast<unsigned long long>(expected),
+                   static_cast<unsigned long long>(row.errors));
+      return 1;
+    }
+  }
+  // Gate 2: with a working ring, the uring row ran on it and is no slower
+  // than epoll (20% + CI slack); without one, fallback must be recorded.
+  if (have_uring) {
+    if (!uring_row.effective) {
+      std::fprintf(stderr, "FAIL: probe passed but uring row fell back\n");
+      return 1;
+    }
+    if (uring_row.rps < 0.8 * epoll_row.rps) {
+      std::fprintf(stderr,
+                   "FAIL: io_uring %.1f req/s much slower than epoll %.1f\n",
+                   uring_row.rps, epoll_row.rps);
+      return 1;
+    }
+  } else if (uring_row.effective) {
+    std::fprintf(stderr, "FAIL: no ring available yet row claims uring\n");
+    return 1;
+  }
+
+  const std::string json = io_backend_rows_to_json(config, rows, env.quick);
+  std::string error;
+  if (!validate_io_backend_json(json, &error)) {
+    std::fprintf(stderr, "FAIL: emitted JSON invalid: %s\n%s\n",
+                 error.c_str(), json.c_str());
+    return 1;
+  }
+  std::ofstream out(out_path, std::ios::trunc);
+  out << json;
+  if (!out.good()) {
+    std::fprintf(stderr, "FAIL: could not write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out_path.c_str());
+  return 0;
+}

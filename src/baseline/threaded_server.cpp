@@ -25,7 +25,7 @@ Status ThreadedHttpServer::start() {
   }
   // Deliberately a *blocking* listener: each worker thread parks in
   // accept(), exactly like an Apache 1.3 child process.
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return Status::from_errno("socket");
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));

@@ -51,7 +51,7 @@ void DataConnection::close() {
 
 Result<uint16_t> FtpSession::enter_passive(const std::string& host) {
   close_pasv();
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return Status::from_errno("socket");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -101,7 +101,7 @@ Result<DataConnection> FtpSession::open_data_connection(int timeout_ms) {
   }
   if (port_target_set_) {
     port_target_set_ = false;
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd < 0) return Status::from_errno("socket");
     sockaddr_in addr{};
     addr.sin_family = AF_INET;

@@ -371,7 +371,7 @@ ClientStats run_clients(const ClientConfig& config) {
 }
 
 std::string scrape_admin(uint16_t port, const std::string& path) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return {};
   timeval tv{};
   tv.tv_sec = 2;

@@ -45,16 +45,39 @@ class Acceptor : public EventHandler {
   void close();
 
   [[nodiscard]] uint64_t accepted_count() const { return accepted_; }
+  // Descriptor-exhaustion recovery (EMFILE/ENFILE on accept): how many
+  // exhaustion events were handled, and how many pending connections were
+  // accepted-then-closed through the reserve descriptor to clear them.
+  [[nodiscard]] uint64_t overflow_events() const { return overflow_events_; }
+  [[nodiscard]] uint64_t shed_count() const { return shed_; }
+  // Backoff before accepting again after fd exhaustion (test knob).
+  void set_exhaustion_backoff_ms(int ms) { resume_delay_ms_ = ms; }
 
   void handle_event(int fd, uint32_t readiness) override;
 
  private:
+  // EMFILE recovery: without intervention a level-triggered listener stays
+  // readable forever once accept fails with EMFILE — the reactor spins at
+  // 100% CPU and the pending connection never clears.  The reserve-descriptor
+  // trick sheds it (close reserve, accept, close client, reopen reserve) and
+  // a suspend + timer-resume backstop bounds wakeups until fds free up.
+  void handle_fd_exhaustion();
+
   Reactor& reactor_;
   AcceptCallback on_accept_;
   TcpListener listener_;
+  // Two reserve descriptors: one to accept-then-close the pending client,
+  // and enough headroom that recovery-path code needing a pipe (two fds —
+  // log reopen, sanitizer memory probes) still functions at exhaustion.
+  Fd reserve_[2];
   bool registered_ = false;
   bool suspended_ = false;
+  bool resume_timer_armed_ = false;
+  TimerQueue::TimerId resume_timer_{};
+  int resume_delay_ms_ = 100;
   uint64_t accepted_ = 0;
+  uint64_t overflow_events_ = 0;
+  uint64_t shed_ = 0;
 };
 
 }  // namespace cops::net

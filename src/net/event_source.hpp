@@ -45,10 +45,12 @@ class EventSource {
   virtual Status poll(std::vector<ReadyCallback>& out, int timeout_ms) = 0;
 };
 
-// Base source: socket readiness via epoll.
+// Base source: socket readiness via epoll (or the io_uring completion loop
+// when constructed with PollBackend::kUring).
 class SocketEventSource : public EventSource {
  public:
-  SocketEventSource() = default;
+  explicit SocketEventSource(PollBackend backend = PollBackend::kEpoll)
+      : poller_(backend) {}
 
   Status register_handler(int fd, EventHandler* handler,
                           uint32_t interest) override;

@@ -5,6 +5,9 @@
 #include <array>
 #include <cerrno>
 
+#include "common/logging.hpp"
+#include "net/uring.hpp"
+
 namespace cops::net {
 namespace {
 
@@ -25,12 +28,23 @@ uint32_t from_epoll(uint32_t ev) {
 
 }  // namespace
 
-Poller::Poller() : epoll_fd_(::epoll_create1(0)) {}
+Poller::Poller(PollBackend backend) {
+  if (backend == PollBackend::kUring) {
+    uring_ = UringPoller::create();
+    if (uring_ != nullptr) return;
+    COPS_WARN("io_uring backend unavailable; falling back to epoll");
+  }
+  // EPOLL_CLOEXEC: the demultiplexer must not leak into forked helpers.
+  epoll_fd_ = Fd(::epoll_create1(EPOLL_CLOEXEC));
+}
+
+Poller::~Poller() = default;
 
 Status Poller::add(int fd, uint32_t interest) {
   if (is_sim_fd(fd)) [[unlikely]] {
     return sim_backend()->sim_poll_add(this, fd, interest);
   }
+  if (uring_ != nullptr) return uring_->add(fd, interest);
   epoll_event ev{};
   ev.events = to_epoll(interest);
   ev.data.fd = fd;
@@ -44,6 +58,7 @@ Status Poller::modify(int fd, uint32_t interest) {
   if (is_sim_fd(fd)) [[unlikely]] {
     return sim_backend()->sim_poll_modify(this, fd, interest);
   }
+  if (uring_ != nullptr) return uring_->modify(fd, interest);
   epoll_event ev{};
   ev.events = to_epoll(interest);
   ev.data.fd = fd;
@@ -57,6 +72,7 @@ Status Poller::remove(int fd) {
   if (is_sim_fd(fd)) [[unlikely]] {
     return sim_backend()->sim_poll_remove(this, fd);
   }
+  if (uring_ != nullptr) return uring_->remove(fd);
   if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr) < 0) {
     return Status::from_errno("epoll_ctl(DEL)");
   }
@@ -67,10 +83,12 @@ Result<size_t> Poller::wait(std::vector<ReadyFd>& out, int timeout_ms) {
   // While a simulation backend is installed the wait is answered entirely
   // from the simulator: virtual time advances instead of sleeping, and the
   // few real fds in the set (the reactor's wakeup eventfd) are covered by
-  // the UserEventSource's queue-length timeout logic.
+  // the UserEventSource's queue-length timeout logic.  This check precedes
+  // the backend split so every chaos plan applies identically to both.
   if (auto* sim = sim_backend(); sim != nullptr) [[unlikely]] {
     return sim->sim_poll_wait(this, out, timeout_ms);
   }
+  if (uring_ != nullptr) return uring_->wait(out, timeout_ms);
   std::array<epoll_event, 256> events;  // NOLINT
   const int n =
       ::epoll_wait(epoll_fd_.get(), events.data(),

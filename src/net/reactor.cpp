@@ -4,9 +4,10 @@
 
 namespace cops::net {
 
-Reactor::Reactor() {
-  auto base = std::make_unique<SocketEventSource>();
+Reactor::Reactor(PollBackend backend) {
+  auto base = std::make_unique<SocketEventSource>(backend);
   SocketEventSource& base_ref = *base;
+  poll_backend_ = base_ref.poller().backend();
   auto with_timers = std::make_unique<TimerEventSource>(std::move(base));
   timers_ = with_timers.get();
   auto with_user = std::make_unique<UserEventSource>(std::move(with_timers),

@@ -22,7 +22,9 @@ namespace cops::net {
 
 class Reactor {
  public:
-  Reactor();
+  // `backend` selects the kernel demultiplexer (option S7, io_backend);
+  // kUring silently degrades to epoll when the capability probe fails.
+  explicit Reactor(PollBackend backend = PollBackend::kEpoll);
   ~Reactor();
   Reactor(const Reactor&) = delete;
   Reactor& operator=(const Reactor&) = delete;
@@ -68,6 +70,8 @@ class Reactor {
   [[nodiscard]] uint64_t events_dispatched() const {
     return events_dispatched_.load();
   }
+  // The backend actually driving the loop (kEpoll after a failed probe).
+  [[nodiscard]] PollBackend poll_backend() const { return poll_backend_; }
 
  private:
   // Decorator chain: UserEventSource( TimerEventSource( SocketEventSource )).
@@ -75,6 +79,7 @@ class Reactor {
   TimerEventSource* timers_ = nullptr;     // borrowed from the chain
   UserEventSource* user_events_ = nullptr; // borrowed from the chain
 
+  PollBackend poll_backend_ = PollBackend::kEpoll;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
   std::atomic<std::thread::id> loop_thread_id_{};

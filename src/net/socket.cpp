@@ -11,6 +11,7 @@
 #include <mutex>
 
 #include "net/transport.hpp"
+#include "net/uring.hpp"
 
 namespace cops::net {
 namespace {
@@ -18,13 +19,17 @@ namespace {
 // Kernel-ABI shims: identical return-value/errno semantics whether the fd
 // is real or simulated, so every retry/short-I/O code path above runs
 // unchanged under simulation.  The sim branch is a constant compare on a
-// register value — never taken in production.
+// register value — never taken in production, and checked *before* the
+// io_uring routing so chaos plans apply identically to both backends.
 
 ssize_t sys_read(int fd, void* buf, size_t len) {
   if (is_sim_fd(fd)) [[unlikely]] {
     const SysResult r = sim_backend()->sim_read(fd, buf, len);
     errno = r.err;
     return r.n;
+  }
+  if (uring_ops_enabled()) [[unlikely]] {
+    return uring_recv(fd, buf, len);
   }
   return ::read(fd, buf, len);
 }
@@ -35,6 +40,9 @@ ssize_t sys_send(int fd, const void* buf, size_t len) {
     errno = r.err;
     return r.n;
   }
+  if (uring_ops_enabled()) [[unlikely]] {
+    return uring_send(fd, buf, len);
+  }
   return ::send(fd, buf, len, MSG_NOSIGNAL);
 }
 
@@ -43,6 +51,9 @@ ssize_t sys_writev(int fd, const struct iovec* iov, int iovcnt) {
     const SysResult r = sim_backend()->sim_writev(fd, iov, iovcnt);
     errno = r.err;
     return r.n;
+  }
+  if (uring_ops_enabled()) [[unlikely]] {
+    return uring_sendmsg(fd, iov, iovcnt);
   }
   // sendmsg rather than writev: scatter-gather with MSG_NOSIGNAL, matching
   // the EPIPE (not SIGPIPE) semantics of the sys_send path.
@@ -70,11 +81,28 @@ ssize_t sys_sendfile(int out_fd, int in_fd, uint64_t offset, size_t count) {
 
 int sys_accept(int fd) {
   if (is_sim_fd(fd)) [[unlikely]] {
-    const SysResult r = sim_backend()->sim_accept(fd);
-    errno = r.err;
-    return static_cast<int>(r.n);
+    // A signal interrupting accept is not a failure: retry so the simnet
+    // accept_eintr fault resolves within one dispatch instead of bouncing
+    // back through the reactor.
+    for (;;) {
+      const SysResult r = sim_backend()->sim_accept(fd);
+      if (r.n < 0 && r.err == EINTR) continue;
+      errno = r.err;
+      return static_cast<int>(r.n);
+    }
   }
-  return ::accept4(fd, nullptr, nullptr, SOCK_NONBLOCK);
+  // The io_uring backend accepts kernel-side (multishot IORING_OP_ACCEPT)
+  // and stages the results; an empty stage falls through to accept4, which
+  // keeps the EMFILE reserve-descriptor recovery path working unchanged.
+  if (SysResult staged; uring_pop_staged_accept(fd, staged)) [[unlikely]] {
+    errno = staged.err;
+    return static_cast<int>(staged.n);
+  }
+  int client;
+  do {
+    client = ::accept4(fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+  } while (client < 0 && errno == EINTR);
+  return client;
 }
 
 }  // namespace
@@ -106,7 +134,7 @@ Result<TcpSocket> TcpSocket::connect(const InetAddress& peer) {
     if (!fd.is_ok()) return fd.status();
     return TcpSocket(Fd(fd.value()));
   }
-  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0));
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
   if (!fd.valid()) return Status::from_errno("socket");
   const auto& raw = peer.raw();
   const int rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&raw),
@@ -266,7 +294,7 @@ Result<TcpListener> TcpListener::listen(const InetAddress& addr, int backlog,
     if (!fd.is_ok()) return fd.status();
     return TcpListener(Fd(fd.value()));
   }
-  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0));
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0));
   if (!fd.valid()) return Status::from_errno("socket");
   const int one = 1;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -289,7 +317,15 @@ Result<TcpSocket> TcpListener::accept() {
   const int client = sys_accept(fd_.get());
   if (client >= 0) return TcpSocket(Fd(client));
   if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::would_block();
-  if (errno == ECONNABORTED || errno == EINTR) return Status::would_block();
+  // EINTR is retried inside sys_accept; ECONNABORTED means the peer gave up
+  // while queued — nothing to do, keep draining.
+  if (errno == ECONNABORTED) return Status::would_block();
+  // Descriptor exhaustion is recoverable (the Acceptor sheds the pending
+  // connection via its reserve descriptor); mark it so callers can tell it
+  // apart from fatal listener errors.
+  if (errno == EMFILE || errno == ENFILE) {
+    return Status::resource_exhausted("accept: out of file descriptors");
+  }
   return Status::from_errno("accept");
 }
 

@@ -1,0 +1,731 @@
+#include "net/uring.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/buffer_pool.hpp"
+#include "common/logging.hpp"
+
+#if COPS_URING_ENABLED
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#endif
+
+namespace cops::net {
+
+namespace {
+std::atomic<bool> g_force_unavailable{false};
+std::atomic<int> g_ops_enabled{0};
+}  // namespace
+
+void test_force_uring_unavailable(bool forced) {
+  g_force_unavailable.store(forced, std::memory_order_relaxed);
+}
+
+void enable_uring_ops() {
+  g_ops_enabled.fetch_add(1, std::memory_order_relaxed);
+}
+
+void disable_uring_ops() {
+  g_ops_enabled.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool uring_ops_enabled() {
+  return g_ops_enabled.load(std::memory_order_relaxed) > 0;
+}
+
+#if !COPS_URING_ENABLED
+
+// ---- compiled-out stubs ---------------------------------------------------
+// Every entry point degrades to "not available"; the socket shims and the
+// Poller fall back to the plain syscalls / epoll.
+
+bool uring_compiled() { return false; }
+bool uring_available() { return false; }
+
+ssize_t uring_recv(int fd, void* buf, size_t len) {
+  return ::read(fd, buf, len);
+}
+ssize_t uring_send(int fd, const void* buf, size_t len) {
+  return ::send(fd, buf, len, MSG_NOSIGNAL);
+}
+ssize_t uring_sendmsg(int fd, const struct iovec* iov, int iovcnt) {
+  msghdr msg{};
+  msg.msg_iov = const_cast<struct iovec*>(iov);
+  msg.msg_iovlen = static_cast<size_t>(iovcnt);
+  return ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+}
+bool uring_pop_staged_accept(int, SysResult&) { return false; }
+
+struct UringPoller::Impl {};
+
+UringPoller::UringPoller() = default;
+UringPoller::~UringPoller() = default;
+std::unique_ptr<UringPoller> UringPoller::create() { return nullptr; }
+Status UringPoller::add(int, uint32_t) {
+  return Status::io_error("io_uring backend compiled out");
+}
+Status UringPoller::modify(int, uint32_t) {
+  return Status::io_error("io_uring backend compiled out");
+}
+Status UringPoller::remove(int) {
+  return Status::io_error("io_uring backend compiled out");
+}
+Result<size_t> UringPoller::wait(std::vector<ReadyFd>&, int) {
+  return Status::io_error("io_uring backend compiled out");
+}
+size_t UringPoller::accept_streams() const { return 0; }
+uint64_t UringPoller::cqes_reaped() const { return 0; }
+
+#else  // COPS_URING_ENABLED
+
+namespace {
+
+// ---- raw syscalls ---------------------------------------------------------
+
+int sys_uring_setup(unsigned entries, io_uring_params* p) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, p));
+}
+
+long sys_uring_enter(int fd, unsigned to_submit, unsigned min_complete,
+                     unsigned flags, const void* arg, size_t argsz) {
+  return ::syscall(__NR_io_uring_enter, fd, to_submit, min_complete, flags,
+                   arg, argsz);
+}
+
+int sys_uring_register(int fd, unsigned opcode, const void* arg,
+                       unsigned nr_args) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_register, fd, opcode, arg, nr_args));
+}
+
+// GCC/Clang builtins rather than std::atomic_ref: atomic_ref over the
+// kernel-shared ring words would require const-casting the mapped memory.
+inline uint32_t acquire_load(const uint32_t* p) {
+  return __atomic_load_n(p, __ATOMIC_ACQUIRE);
+}
+inline void release_store(uint32_t* p, uint32_t v) {
+  __atomic_store_n(p, v, __ATOMIC_RELEASE);
+}
+
+// poll(2) event bits (identical values to their EPOLL* counterparts); local
+// constants keep this file independent of _GNU_SOURCE poll.h details.
+constexpr uint32_t kPollIn = 0x001;
+constexpr uint32_t kPollOut = 0x004;
+constexpr uint32_t kPollErr = 0x008;
+constexpr uint32_t kPollHup = 0x010;
+constexpr uint32_t kPollRdHup = 0x2000;
+
+uint32_t to_poll_mask(uint32_t interest) {
+  uint32_t mask = 0;
+  if ((interest & kReadable) != 0) mask |= kPollIn;
+  if ((interest & kWritable) != 0) mask |= kPollOut;
+  return mask;
+}
+
+uint32_t from_poll_mask(uint32_t mask) {
+  uint32_t out = 0;
+  if ((mask & (kPollIn | kPollRdHup)) != 0) out |= kReadable;
+  if ((mask & kPollOut) != 0) out |= kWritable;
+  if ((mask & (kPollErr | kPollHup)) != 0) out |= kErrored;
+  return out;
+}
+
+}  // namespace
+
+bool uring_compiled() { return true; }
+
+bool uring_available() {
+  if (g_force_unavailable.load(std::memory_order_relaxed)) return false;
+  static const bool probed = [] {
+    io_uring_params p{};
+    const int fd = sys_uring_setup(4, &p);
+    if (fd < 0) return false;
+    ::close(fd);
+    // EXT_ARG gives io_uring_enter a timeout argument — without it the
+    // reactor could not bound its poll sleep.  Kernels 5.11+.
+    return (p.features & IORING_FEAT_EXT_ARG) != 0;
+  }();
+  return probed;
+}
+
+// ---- UringRing ------------------------------------------------------------
+
+UringRing::~UringRing() {
+  if (sq_ring_ != nullptr) ::munmap(sq_ring_, sq_ring_bytes_);
+  if (cq_ring_ != nullptr && cq_ring_ != sq_ring_) {
+    ::munmap(cq_ring_, cq_ring_bytes_);
+  }
+  if (sqes_ != nullptr) ::munmap(sqes_, sqes_bytes_);
+  if (ring_fd_ >= 0) ::close(ring_fd_);
+}
+
+Status UringRing::init(unsigned entries) {
+  io_uring_params p{};
+  ring_fd_ = sys_uring_setup(entries, &p);
+  if (ring_fd_ < 0) return Status::from_errno("io_uring_setup");
+  sq_entries_ = p.sq_entries;
+
+  sq_ring_bytes_ = p.sq_off.array + p.sq_entries * sizeof(uint32_t);
+  cq_ring_bytes_ = p.cq_off.cqes + p.cq_entries * sizeof(io_uring_cqe);
+  const bool single_mmap = (p.features & IORING_FEAT_SINGLE_MMAP) != 0;
+  if (single_mmap && cq_ring_bytes_ > sq_ring_bytes_) {
+    sq_ring_bytes_ = cq_ring_bytes_;
+  }
+  sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE,
+                    MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQ_RING);
+  if (sq_ring_ == MAP_FAILED) {
+    sq_ring_ = nullptr;
+    return Status::from_errno("mmap(sq_ring)");
+  }
+  if (single_mmap) {
+    cq_ring_ = sq_ring_;
+  } else {
+    cq_ring_ = ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                      MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+    if (cq_ring_ == MAP_FAILED) {
+      cq_ring_ = nullptr;
+      return Status::from_errno("mmap(cq_ring)");
+    }
+  }
+  sqes_bytes_ = p.sq_entries * sizeof(io_uring_sqe);
+  sqes_ = static_cast<io_uring_sqe*>(
+      ::mmap(nullptr, sqes_bytes_, PROT_READ | PROT_WRITE,
+             MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES));
+  if (sqes_ == MAP_FAILED) {
+    sqes_ = nullptr;
+    return Status::from_errno("mmap(sqes)");
+  }
+
+  auto* sq = static_cast<uint8_t*>(sq_ring_);
+  sq_head_ = reinterpret_cast<uint32_t*>(sq + p.sq_off.head);
+  sq_tail_ = reinterpret_cast<uint32_t*>(sq + p.sq_off.tail);
+  sq_mask_ = reinterpret_cast<uint32_t*>(sq + p.sq_off.ring_mask);
+  sq_array_ = reinterpret_cast<uint32_t*>(sq + p.sq_off.array);
+  auto* cq = static_cast<uint8_t*>(cq_ring_);
+  cq_head_ = reinterpret_cast<uint32_t*>(cq + p.cq_off.head);
+  cq_tail_ = reinterpret_cast<uint32_t*>(cq + p.cq_off.tail);
+  cq_mask_ = reinterpret_cast<uint32_t*>(cq + p.cq_off.ring_mask);
+  cqes_ = reinterpret_cast<io_uring_cqe*>(cq + p.cq_off.cqes);
+  return Status::ok();
+}
+
+io_uring_sqe* UringRing::get_sqe() {
+  const uint32_t head = acquire_load(sq_head_);
+  const uint32_t tail = *sq_tail_;  // sole producer: plain read
+  if (tail - head >= sq_entries_) return nullptr;
+  const uint32_t idx = tail & *sq_mask_;
+  io_uring_sqe* sqe = &sqes_[idx];
+  std::memset(sqe, 0, sizeof(*sqe));
+  sq_array_[idx] = idx;
+  release_store(sq_tail_, tail + 1);
+  ++to_submit_;
+  return sqe;
+}
+
+int UringRing::submit() { return submit_and_wait(0, 0); }
+
+int UringRing::submit_and_wait(unsigned wait_nr, int timeout_ms) {
+  unsigned flags = 0;
+  io_uring_getevents_arg arg{};
+  __kernel_timespec ts{};
+  const void* argp = nullptr;
+  size_t argsz = 0;
+  if (wait_nr > 0) {
+    flags |= IORING_ENTER_GETEVENTS;
+    if (timeout_ms >= 0) {
+      ts.tv_sec = timeout_ms / 1000;
+      ts.tv_nsec = static_cast<long long>(timeout_ms % 1000) * 1000000;
+      arg.ts = reinterpret_cast<uint64_t>(&ts);
+      flags |= IORING_ENTER_EXT_ARG;
+      argp = &arg;
+      argsz = sizeof(arg);
+    }
+  } else if (to_submit_ == 0) {
+    return 0;  // nothing to do
+  }
+  const long ret =
+      sys_uring_enter(ring_fd_, to_submit_, wait_nr, flags, argp, argsz);
+  if (ret < 0) {
+    // If SQEs were consumed before the wait failed, the kernel returns the
+    // consumed count instead of an error — so an error here means nothing
+    // was submitted.  Timeouts and signals are "0 events", not failures.
+    if (errno == EINTR || errno == ETIME) return 0;
+    return -errno;
+  }
+  const auto consumed = static_cast<unsigned>(ret);
+  to_submit_ -= (consumed > to_submit_) ? to_submit_ : consumed;
+  return static_cast<int>(ret);
+}
+
+bool UringRing::pop_cqe(io_uring_cqe& out) {
+  const uint32_t head = *cq_head_;  // sole consumer: plain read
+  if (head == acquire_load(cq_tail_)) return false;
+  out = cqes_[head & *cq_mask_];
+  release_store(cq_head_, head + 1);
+  return true;
+}
+
+Status UringRing::register_buffers(const struct iovec* iov, unsigned count) {
+  if (sys_uring_register(ring_fd_, IORING_REGISTER_BUFFERS, iov, count) < 0) {
+    return Status::from_errno("io_uring_register(BUFFERS)");
+  }
+  return Status::ok();
+}
+
+void UringRing::unregister_buffers() {
+  sys_uring_register(ring_fd_, IORING_UNREGISTER_BUFFERS, nullptr, 0);
+}
+
+// ---- UringPoller ----------------------------------------------------------
+
+// user_data layout: tag(8) | generation(24) | fd(32).  Generations stamp
+// every armed operation; a CQE whose generation no longer matches the fd's
+// registration (cancelled, re-armed, or the fd number was recycled) is
+// dropped instead of being misattributed.
+namespace {
+constexpr uint64_t kTagPoll = 1;
+constexpr uint64_t kTagAccept = 2;
+constexpr uint64_t kTagIgnore = 3;
+
+uint64_t make_ud(uint64_t tag, uint32_t gen, int fd) {
+  return (tag << 56) | (static_cast<uint64_t>(gen & 0xFFFFFF) << 32) |
+         static_cast<uint32_t>(fd);
+}
+uint64_t ud_tag(uint64_t ud) { return ud >> 56; }
+uint32_t ud_gen(uint64_t ud) { return static_cast<uint32_t>(ud >> 32) & 0xFFFFFF; }
+int ud_fd(uint64_t ud) { return static_cast<int>(ud & 0xFFFFFFFF); }
+}  // namespace
+
+struct UringPoller::Impl {
+  struct FdState {
+    uint32_t desired = 0;  // interest the owner asked for
+    uint32_t armed = 0;    // interest currently armed in the kernel
+    uint32_t gen = 0;      // stamps in-flight user_data
+    bool is_accept = false;
+    bool dirty = false;
+    std::deque<SysResult> staged;  // multishot-accept results
+  };
+  struct Cancel {
+    uint64_t ud = 0;
+    bool accept = false;
+  };
+
+  UringRing ring;
+  std::unordered_map<int, FdState> fds;
+  std::vector<int> dirty;
+  std::vector<Cancel> cancels;
+  size_t accept_streams = 0;
+  uint64_t cqes_reaped = 0;
+
+  ~Impl();
+  void mark_dirty(int fd, FdState& st) {
+    if (!st.dirty) {
+      st.dirty = true;
+      dirty.push_back(fd);
+    }
+  }
+  Status flush();
+  Status push_sqe(uint8_t opcode, int fd, uint64_t addr, uint32_t len,
+                  uint32_t op_flags, uint16_t ioprio, uint64_t user_data);
+  void reap(std::vector<ReadyFd>& out);
+  void merge_ready(std::vector<ReadyFd>& out, int fd, uint32_t events);
+};
+
+namespace {
+// Listener fds with an active multishot-accept stream, so sys_accept can
+// drain staged results.  The map is tiny (one entry per listener); lookups
+// happen once per Acceptor drain round.
+std::mutex g_accept_mu;
+std::unordered_map<int, UringPoller::Impl*> g_accept_map;
+}  // namespace
+
+bool uring_pop_staged_accept(int listen_fd, SysResult& r) {
+  std::lock_guard<std::mutex> lock(g_accept_mu);
+  auto it = g_accept_map.find(listen_fd);
+  if (it == g_accept_map.end()) return false;
+  auto fit = it->second->fds.find(listen_fd);
+  if (fit == it->second->fds.end() || fit->second.staged.empty()) {
+    // Stream armed but nothing staged: fall through to accept4 — that keeps
+    // the EMFILE reserve-descriptor retry working, and costs epoll-parity
+    // (one trailing EAGAIN accept per drain round).
+    return false;
+  }
+  r = fit->second.staged.front();
+  fit->second.staged.pop_front();
+  return true;
+}
+
+UringPoller::Impl::~Impl() {
+  std::lock_guard<std::mutex> lock(g_accept_mu);
+  for (auto& [fd, st] : fds) {
+    for (const auto& staged : st.staged) {
+      if (staged.n >= 0) ::close(static_cast<int>(staged.n));
+    }
+    if (st.is_accept) g_accept_map.erase(fd);
+  }
+}
+
+UringPoller::UringPoller() = default;
+UringPoller::~UringPoller() = default;
+
+std::unique_ptr<UringPoller> UringPoller::create() {
+  if (!uring_available()) return nullptr;
+  auto poller = std::unique_ptr<UringPoller>(new UringPoller());
+  poller->impl_ = std::make_unique<Impl>();
+  // 256 SQEs: one oneshot re-arm per ready fd per tick, submitted in one
+  // batch; flush() drains to the kernel mid-tick if a burst overflows.
+  if (!poller->impl_->ring.init(256).is_ok()) return nullptr;
+  return poller;
+}
+
+Status UringPoller::Impl::push_sqe(uint8_t opcode, int fd, uint64_t addr,
+                                   uint32_t len, uint32_t op_flags,
+                                   uint16_t ioprio, uint64_t user_data) {
+  io_uring_sqe* sqe = ring.get_sqe();
+  while (sqe == nullptr) {
+    const int rc = ring.submit();
+    if (rc < 0) return Status::io_error("io_uring_enter(submit)");
+    sqe = ring.get_sqe();
+  }
+  sqe->opcode = opcode;
+  sqe->fd = fd;
+  sqe->addr = addr;
+  sqe->len = len;
+  sqe->poll32_events = op_flags;  // union shared with accept/cancel flags
+  sqe->ioprio = ioprio;
+  sqe->user_data = user_data;
+  return Status::ok();
+}
+
+Status UringPoller::Impl::flush() {
+  for (const auto& c : cancels) {
+    const uint8_t op = c.accept ? static_cast<uint8_t>(IORING_OP_ASYNC_CANCEL)
+                                : static_cast<uint8_t>(IORING_OP_POLL_REMOVE);
+    auto status = push_sqe(op, -1, c.ud, 0, 0, 0, make_ud(kTagIgnore, 0, 0));
+    if (!status.is_ok()) return status;
+  }
+  cancels.clear();
+  for (size_t i = 0; i < dirty.size(); ++i) {  // flush may re-dirty
+    const int fd = dirty[i];
+    auto it = fds.find(fd);
+    if (it == fds.end()) continue;
+    FdState& st = it->second;
+    st.dirty = false;
+    if (st.armed == st.desired) continue;
+    Status status;
+    if (st.armed != 0) {
+      // Oneshot interest changed while armed: remove, then re-arm below.
+      status = push_sqe(IORING_OP_POLL_REMOVE, -1,
+                        make_ud(kTagPoll, st.gen, fd), 0, 0, 0,
+                        make_ud(kTagIgnore, 0, 0));
+      if (!status.is_ok()) return status;
+      st.armed = 0;
+      ++st.gen;
+    }
+    if (st.desired == 0) continue;
+    if (st.is_accept) {
+      status = push_sqe(IORING_OP_ACCEPT, fd, 0, 0,
+                        SOCK_NONBLOCK | SOCK_CLOEXEC, IORING_ACCEPT_MULTISHOT,
+                        make_ud(kTagAccept, st.gen, fd));
+    } else {
+      status = push_sqe(IORING_OP_POLL_ADD, fd, 0, 0,
+                        to_poll_mask(st.desired), 0,
+                        make_ud(kTagPoll, st.gen, fd));
+    }
+    if (!status.is_ok()) return status;
+    st.armed = st.desired;
+  }
+  dirty.clear();
+  return Status::ok();
+}
+
+void UringPoller::Impl::merge_ready(std::vector<ReadyFd>& out, int fd,
+                                    uint32_t events) {
+  for (auto& ready : out) {
+    if (ready.fd == fd) {
+      ready.events |= events;
+      return;
+    }
+  }
+  out.push_back({fd, events});
+}
+
+void UringPoller::Impl::reap(std::vector<ReadyFd>& out) {
+  io_uring_cqe cqe{};
+  while (ring.pop_cqe(cqe)) {
+    ++cqes_reaped;
+    const uint64_t ud = cqe.user_data;
+    if (ud_tag(ud) == kTagIgnore) continue;
+    const int fd = ud_fd(ud);
+    auto it = fds.find(fd);
+    if (it == fds.end() || it->second.gen != ud_gen(ud)) {
+      // Stale completion (deregistered, re-armed, or recycled fd).  A stale
+      // accepted descriptor must still be closed, never leaked.
+      if (ud_tag(ud) == kTagAccept && cqe.res >= 0) ::close(cqe.res);
+      continue;
+    }
+    FdState& st = it->second;
+    if (ud_tag(ud) == kTagAccept) {
+      if (cqe.res >= 0) {
+        st.staged.push_back({cqe.res, 0});
+        merge_ready(out, fd, kReadable);
+      } else if (cqe.res != -ECANCELED) {
+        // Kernel-side accept failure (EMFILE and friends): stage it so the
+        // Acceptor's error path — including the reserve-fd recovery — sees
+        // the same errno a direct accept4 would have produced.
+        st.staged.push_back({-1, -cqe.res});
+        merge_ready(out, fd, kReadable);
+      }
+      if ((cqe.flags & IORING_CQE_F_MORE) == 0) {
+        // Stream ended (error or cancellation): re-arm on the next tick.
+        st.armed = 0;
+        ++st.gen;
+        mark_dirty(fd, st);
+      }
+      continue;
+    }
+    // Oneshot poll: every completion disarms.
+    st.armed = 0;
+    ++st.gen;
+    if (cqe.res < 0) {
+      if (cqe.res != -ECANCELED) {
+        // The fd went bad underneath the registration (closed without
+        // deregister).  Park it — epoll drops closed fds silently too, and
+        // re-arming would spin on the same error.
+        st.desired = 0;
+      }
+      continue;
+    }
+    mark_dirty(fd, st);  // level-triggered equivalence: re-arm next tick
+    const uint32_t events = from_poll_mask(static_cast<uint32_t>(cqe.res));
+    if (events != 0) merge_ready(out, fd, events);
+  }
+}
+
+Status UringPoller::add(int fd, uint32_t interest) {
+  auto [it, inserted] = impl_->fds.try_emplace(fd);
+  if (!inserted) {
+    return Status::invalid_argument("uring add: fd already registered");
+  }
+  Impl::FdState& st = it->second;
+  st.desired = interest;
+  // Listeners get a multishot accept stream instead of poll readiness.
+  int acceptconn = 0;
+  socklen_t len = sizeof(acceptconn);
+  if ((interest & kReadable) != 0 &&
+      ::getsockopt(fd, SOL_SOCKET, SO_ACCEPTCONN, &acceptconn, &len) == 0 &&
+      acceptconn != 0) {
+    st.is_accept = true;
+    ++impl_->accept_streams;
+    std::lock_guard<std::mutex> lock(g_accept_mu);
+    g_accept_map[fd] = impl_.get();
+  }
+  impl_->mark_dirty(fd, st);
+  return Status::ok();
+}
+
+Status UringPoller::modify(int fd, uint32_t interest) {
+  auto it = impl_->fds.find(fd);
+  if (it == impl_->fds.end()) {
+    return Status::invalid_argument("uring modify: fd not registered");
+  }
+  it->second.desired = interest;
+  if (it->second.armed != interest) impl_->mark_dirty(fd, it->second);
+  return Status::ok();
+}
+
+Status UringPoller::remove(int fd) {
+  auto it = impl_->fds.find(fd);
+  if (it == impl_->fds.end()) {
+    return Status::invalid_argument("uring remove: fd not registered");
+  }
+  Impl::FdState& st = it->second;
+  if (st.armed != 0) {
+    impl_->cancels.push_back(Impl::Cancel{
+        make_ud(st.is_accept ? kTagAccept : kTagPoll, st.gen, fd),
+        st.is_accept});
+  }
+  for (const auto& staged : st.staged) {
+    if (staged.n >= 0) ::close(static_cast<int>(staged.n));
+  }
+  if (st.is_accept) {
+    --impl_->accept_streams;
+    std::lock_guard<std::mutex> lock(g_accept_mu);
+    g_accept_map.erase(fd);
+  }
+  impl_->fds.erase(it);
+  return Status::ok();
+}
+
+Result<size_t> UringPoller::wait(std::vector<ReadyFd>& out, int timeout_ms) {
+  auto status = impl_->flush();
+  if (!status.is_ok()) return status;
+  const size_t before = out.size();
+  // Completions may already be queued from a previous tick's submissions:
+  // reap first and return immediately (after pushing any pending SQEs to
+  // the kernel) rather than sleeping on a non-empty queue.
+  impl_->reap(out);
+  if (out.size() != before) {
+    const int rc = impl_->ring.submit();
+    if (rc < 0) return Status::io_error("io_uring_enter(submit)");
+    return out.size() - before;
+  }
+  const int rc = impl_->ring.submit_and_wait(1, timeout_ms);
+  if (rc < 0) return Status::io_error("io_uring_enter(wait)");
+  impl_->reap(out);
+  return out.size() - before;
+}
+
+size_t UringPoller::accept_streams() const { return impl_->accept_streams; }
+uint64_t UringPoller::cqes_reaped() const { return impl_->cqes_reaped; }
+
+// ---- sync-over-ring socket ops -------------------------------------------
+
+namespace {
+
+// One tiny ring per thread: with the separate-processor-pool option the
+// reads and writes run on Event Processor threads, not the reactor thread,
+// so the ring must travel with the caller.  Lazily initialised; a thread
+// that cannot get a ring (seccomp, rlimits) falls back to plain syscalls.
+struct OpRingTls {
+  UringRing ring;
+  bool tried = false;
+  bool usable = false;
+
+  UringRing* get() {
+    if (!tried) {
+      tried = true;
+      usable = uring_available() && ring.init(8).is_ok();
+    }
+    return usable ? &ring : nullptr;
+  }
+};
+thread_local OpRingTls t_op_ring;
+
+// Submits the queued SQE and blocks until its completion.  The ops carry
+// MSG_DONTWAIT, so "blocks" is one bounded enter: the kernel executes the
+// op inline and posts EAGAIN instead of sleeping — identical errno contract
+// to the plain syscall.
+ssize_t sync_op_result(UringRing& ring) {
+  for (;;) {
+    const int rc = ring.submit_and_wait(1, -1);
+    if (rc < 0) {
+      errno = -rc;
+      return -1;
+    }
+    io_uring_cqe cqe{};
+    if (ring.pop_cqe(cqe)) {
+      if (cqe.res < 0) {
+        errno = -cqe.res;
+        return -1;
+      }
+      return cqe.res;
+    }
+    // Interrupted before the completion arrived: wait again.
+  }
+}
+
+}  // namespace
+
+ssize_t uring_recv(int fd, void* buf, size_t len) {
+  UringRing* ring = t_op_ring.get();
+  io_uring_sqe* sqe = ring != nullptr ? ring->get_sqe() : nullptr;
+  if (sqe == nullptr) return ::read(fd, buf, len);
+  sqe->opcode = IORING_OP_RECV;
+  sqe->fd = fd;
+  sqe->addr = reinterpret_cast<uint64_t>(buf);
+  sqe->len = static_cast<uint32_t>(len);
+  sqe->msg_flags = MSG_DONTWAIT;
+  sqe->user_data = make_ud(kTagIgnore, 0, fd);
+  return sync_op_result(*ring);
+}
+
+ssize_t uring_send(int fd, const void* buf, size_t len) {
+  UringRing* ring = t_op_ring.get();
+  io_uring_sqe* sqe = ring != nullptr ? ring->get_sqe() : nullptr;
+  if (sqe == nullptr) return ::send(fd, buf, len, MSG_NOSIGNAL);
+  sqe->opcode = IORING_OP_SEND;
+  sqe->fd = fd;
+  sqe->addr = reinterpret_cast<uint64_t>(buf);
+  sqe->len = static_cast<uint32_t>(len);
+  sqe->msg_flags = MSG_DONTWAIT | MSG_NOSIGNAL;
+  sqe->user_data = make_ud(kTagIgnore, 0, fd);
+  return sync_op_result(*ring);
+}
+
+ssize_t uring_sendmsg(int fd, const struct iovec* iov, int iovcnt) {
+  UringRing* ring = t_op_ring.get();
+  msghdr msg{};
+  msg.msg_iov = const_cast<struct iovec*>(iov);
+  msg.msg_iovlen = static_cast<size_t>(iovcnt);
+  io_uring_sqe* sqe = ring != nullptr ? ring->get_sqe() : nullptr;
+  if (sqe == nullptr) return ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+  sqe->opcode = IORING_OP_SENDMSG;
+  sqe->fd = fd;
+  sqe->addr = reinterpret_cast<uint64_t>(&msg);
+  sqe->len = 1;
+  sqe->msg_flags = MSG_DONTWAIT | MSG_NOSIGNAL;
+  sqe->user_data = make_ud(kTagIgnore, 0, fd);
+  return sync_op_result(*ring);
+}
+
+#endif  // COPS_URING_ENABLED
+
+// ---- RegisteredBufferPool -------------------------------------------------
+
+RegisteredBufferPool::RegisteredBufferPool(BufferPool& source, size_t count)
+    : source_(source), slab_bytes_(source.block_bytes()) {
+  slabs_.reserve(count);
+  free_.reserve(count);
+  handed_out_once_.assign(count, 0);
+  for (size_t i = 0; i < count; ++i) {
+    auto slab = source_.acquire();
+    slab.resize(slab_bytes_);
+    slabs_.push_back(std::move(slab));
+    free_.push_back(static_cast<int>(i));
+  }
+}
+
+RegisteredBufferPool::~RegisteredBufferPool() {
+  for (auto& slab : slabs_) source_.release(std::move(slab));
+}
+
+#if COPS_URING_ENABLED
+Status RegisteredBufferPool::register_with(UringRing& ring) {
+  std::vector<struct iovec> iovs(slabs_.size());
+  for (size_t i = 0; i < slabs_.size(); ++i) {
+    iovs[i].iov_base = slabs_[i].data();
+    iovs[i].iov_len = slab_bytes_;
+  }
+  return ring.register_buffers(iovs.data(),
+                               static_cast<unsigned>(iovs.size()));
+}
+#endif
+
+int RegisteredBufferPool::acquire() {
+  if (free_.empty()) return -1;
+  const int slot = free_.back();
+  free_.pop_back();
+  if (handed_out_once_[static_cast<size_t>(slot)] != 0) {
+    ++reuses_;
+  } else {
+    handed_out_once_[static_cast<size_t>(slot)] = 1;
+  }
+  return slot;
+}
+
+void RegisteredBufferPool::release(int slot) { free_.push_back(slot); }
+
+uint8_t* RegisteredBufferPool::data(int slot) {
+  return slabs_[static_cast<size_t>(slot)].data();
+}
+
+}  // namespace cops::net

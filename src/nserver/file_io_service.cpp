@@ -4,19 +4,49 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
-#include <fstream>
+#include <cerrno>
+
+#include "nserver/uring_file_engine.hpp"
 
 namespace cops::nserver {
+
+namespace {
+std::function<void(const std::string&)>& pre_open_hook() {
+  static std::function<void(const std::string&)> hook;
+  return hook;
+}
+}  // namespace
+
+void FileIoService::set_test_pre_open_hook(
+    std::function<void(const std::string&)> hook) {
+  pre_open_hook() = std::move(hook);
+}
+
+namespace detail {
+void invoke_test_pre_open_hook(const std::string& path) {
+  if (pre_open_hook()) pre_open_hook()(path);
+}
+}  // namespace detail
 
 FileData::~FileData() {
   if (fd >= 0) ::close(fd);
 }
 
-FileIoService::FileIoService(size_t threads) : pool_(threads) {}
+FileIoService::FileIoService(size_t threads, bool use_uring)
+    : pool_(threads) {
+  if (use_uring) engine_ = UringFileEngine::create();
+}
 
 FileIoService::~FileIoService() { stop(); }
 
-void FileIoService::stop() { pool_.stop(); }
+void FileIoService::stop() {
+  if (engine_) engine_->stop();
+  pool_.stop();
+}
+
+size_t FileIoService::pending() const {
+  return engine_ ? engine_->pending() : pool_.queue_depth();
+}
 
 Result<FileDataPtr> FileIoService::read_file(const std::string& path) {
   return load_file(path, FileLoadOptions{});
@@ -24,35 +54,52 @@ Result<FileDataPtr> FileIoService::read_file(const std::string& path) {
 
 Result<FileDataPtr> FileIoService::load_file(const std::string& path,
                                              const FileLoadOptions& load) {
+  // TOCTOU-safe: open the descriptor first and derive *everything* —
+  // existence, type, size, mtime, bytes — from that one descriptor.  The
+  // old stat-then-open shape could serve file B's bytes with file A's
+  // size/mtime when the path was swapped between the two calls.
+  detail::invoke_test_pre_open_hook(path);
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT || errno == ENOTDIR) return Status::not_found(path);
+    return Status::from_errno("open");
+  }
   struct stat st{};
-  if (::stat(path.c_str(), &st) != 0) {
-    return Status::not_found(path);
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::from_errno("fstat");
   }
   if (!S_ISREG(st.st_mode)) {
+    ::close(fd);
     return Status::invalid_argument(path + " is not a regular file");
   }
+  auto data = std::make_shared<FileData>();
+  data->path = path;
+  data->mtime_seconds = static_cast<int64_t>(st.st_mtime);
   if (load.open_for_sendfile &&
       static_cast<size_t>(st.st_size) >= load.sendfile_min_bytes) {
-    // sendfile-eligible: hand back an open descriptor, no bytes in memory.
-    const int fd = ::open(path.c_str(), O_RDONLY);
-    if (fd < 0) return Status::from_errno("open");
-    auto data = std::make_shared<FileData>();
-    data->path = path;
-    data->mtime_seconds = static_cast<int64_t>(st.st_mtime);
+    // sendfile-eligible: hand back the open descriptor, no bytes in memory.
     data->fd = fd;
     data->fd_size = static_cast<uint64_t>(st.st_size);
     return FileDataPtr(std::move(data));
   }
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Status::not_found(path);
-  auto data = std::make_shared<FileData>();
-  data->path = path;
-  data->mtime_seconds = static_cast<int64_t>(st.st_mtime);
   data->bytes.resize(static_cast<size_t>(st.st_size));
-  in.read(data->bytes.data(), st.st_size);
-  if (in.gcount() != st.st_size) {
-    return Status::io_error("short read on " + path);
+  size_t off = 0;
+  while (off < data->bytes.size()) {
+    const ssize_t n =
+        ::read(fd, data->bytes.data() + off, data->bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::from_errno("read");
+    }
+    if (n == 0) {
+      ::close(fd);
+      return Status::io_error("short read on " + path);
+    }
+    off += static_cast<size_t>(n);
   }
+  ::close(fd);
   return FileDataPtr(std::move(data));
 }
 
@@ -67,6 +114,22 @@ void FileIoService::async_load(std::string path, FileLoadOptions load,
                                CompletionToken token, FileCallback callback,
                                CompletionExecutor executor) {
   (void)token;  // carried by the caller's closure; see header
+  if (engine_) {
+    // Proactor proper: the kernel does the read (IORING_OP_READ) and the
+    // completion re-enters the event flow through the same executor the
+    // pool path uses.
+    engine_->submit(std::move(path), load,
+                    [this, callback = std::move(callback),
+                     executor = std::move(executor)](
+                        Result<FileDataPtr> result) mutable {
+                      completed_.fetch_add(1, std::memory_order_relaxed);
+                      executor([callback = std::move(callback),
+                                result = std::move(result)] {
+                        callback(result);
+                      });
+                    });
+    return;
+  }
   pool_.submit([this, path = std::move(path), load,
                 callback = std::move(callback),
                 executor = std::move(executor)]() mutable {

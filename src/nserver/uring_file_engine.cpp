@@ -1,0 +1,360 @@
+#include "nserver/uring_file_engine.hpp"
+
+#include "net/uring.hpp"
+
+#if COPS_URING_ENABLED
+
+#include <fcntl.h>
+#include <sys/eventfd.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/buffer_pool.hpp"
+#include "common/logging.hpp"
+
+namespace cops::nserver {
+
+namespace {
+constexpr unsigned kRingEntries = 64;
+constexpr size_t kSlabBytes = 64 * 1024;
+constexpr size_t kSlabCount = 16;
+// user_data of the eventfd wake read; load reads carry their in-flight
+// slot index, which stays far below this.
+constexpr uint64_t kWakeData = ~uint64_t{0};
+}  // namespace
+
+struct UringFileEngine::Impl {
+  struct Request {
+    std::string path;
+    FileLoadOptions load;
+    Callback done;
+  };
+  struct Inflight {
+    std::shared_ptr<FileData> data;
+    Callback done;
+    int fd = -1;
+    size_t size = 0;
+    size_t off = 0;
+    int slot = -1;  // registered-buffer slot; -1 = plain READ
+    bool active = false;
+  };
+
+  net::UringRing ring;
+  BufferPool slab_source{kSlabBytes, /*max_free=*/kSlabCount};
+  std::unique_ptr<net::RegisteredBufferPool> regbufs;
+  int wake_fd = -1;
+  uint64_t wake_buf = 0;
+  bool wake_armed = false;
+
+  std::thread thread;
+  std::mutex mu;
+  std::deque<Request> queue;
+  std::atomic<size_t> pending{0};
+  std::atomic<bool> stopping{false};
+  std::atomic<uint64_t> fixed_reads{0};
+  std::atomic<uint64_t> plain_reads{0};
+
+  std::vector<Inflight> inflight;
+  std::vector<size_t> free_slots;
+  size_t active = 0;
+
+  ~Impl() {
+    if (wake_fd >= 0) ::close(wake_fd);
+  }
+
+  size_t alloc_inflight() {
+    if (free_slots.empty()) {
+      inflight.emplace_back();
+      free_slots.push_back(inflight.size() - 1);
+    }
+    const size_t idx = free_slots.back();
+    free_slots.pop_back();
+    inflight[idx] = Inflight{};
+    inflight[idx].active = true;
+    ++active;
+    return idx;
+  }
+
+  void complete(size_t idx, Result<FileDataPtr> result) {
+    Inflight& inf = inflight[idx];
+    if (inf.slot >= 0 && regbufs) regbufs->release(inf.slot);
+    if (inf.fd >= 0) ::close(inf.fd);
+    auto done = std::move(inf.done);
+    inf = Inflight{};
+    free_slots.push_back(idx);
+    --active;
+    pending.fetch_sub(1, std::memory_order_relaxed);
+    done(std::move(result));
+  }
+
+  io_uring_sqe* sqe_or_flush() {
+    io_uring_sqe* sqe = ring.get_sqe();
+    if (sqe == nullptr) {
+      ring.submit();
+      sqe = ring.get_sqe();
+    }
+    return sqe;
+  }
+
+  // Submits the next READ (or READ_FIXED) for an in-flight load; falls back
+  // to a blocking read-to-completion if the SQ stays full (cannot happen
+  // with <= kRingEntries loads in flight, but never hang a request on it).
+  void submit_read(size_t idx) {
+    Inflight& inf = inflight[idx];
+    io_uring_sqe* sqe = sqe_or_flush();
+    if (sqe == nullptr) {
+      finish_blocking(idx);
+      return;
+    }
+    if (inf.slot >= 0) {
+      sqe->opcode = IORING_OP_READ_FIXED;
+      sqe->addr = reinterpret_cast<uint64_t>(regbufs->data(inf.slot)) + inf.off;
+      sqe->buf_index = static_cast<uint16_t>(inf.slot);
+    } else {
+      sqe->opcode = IORING_OP_READ;
+      sqe->addr = reinterpret_cast<uint64_t>(inf.data->bytes.data()) + inf.off;
+    }
+    sqe->fd = inf.fd;
+    sqe->len = static_cast<uint32_t>(inf.size - inf.off);
+    sqe->off = inf.off;
+    sqe->user_data = idx;
+  }
+
+  void finish_blocking(size_t idx) {
+    Inflight& inf = inflight[idx];
+    while (inf.off < inf.size) {
+      const ssize_t n = ::pread(inf.fd, inf.data->bytes.data() + inf.off,
+                                inf.size - inf.off, inf.off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        complete(idx, Status::from_errno("read"));
+        return;
+      }
+      if (n == 0) {
+        complete(idx, Status::io_error("short read on " + inf.data->path));
+        return;
+      }
+      inf.off += static_cast<size_t>(n);
+    }
+    finish_ok(idx);
+  }
+
+  void finish_ok(size_t idx) {
+    Inflight& inf = inflight[idx];
+    if (inf.slot >= 0) {
+      std::memcpy(inf.data->bytes.data(), regbufs->data(inf.slot), inf.size);
+      fixed_reads.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      plain_reads.fetch_add(1, std::memory_order_relaxed);
+    }
+    complete(idx, FileDataPtr(std::move(inf.data)));
+  }
+
+  // Opens + fstats (same TOCTOU-safe contract as FileIoService::load_file)
+  // and either completes immediately (error, sendfile fd, empty file) or
+  // submits the first kernel read.
+  void start(Request r) {
+    detail::invoke_test_pre_open_hook(r.path);
+    const size_t idx = alloc_inflight();
+    Inflight& inf = inflight[idx];
+    inf.done = std::move(r.done);
+    int fd = ::open(r.path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      if (errno == ENOENT || errno == ENOTDIR) {
+        complete(idx, Status::not_found(r.path));
+      } else {
+        complete(idx, Status::from_errno("open"));
+      }
+      return;
+    }
+    inf.fd = fd;
+    struct stat st{};
+    if (::fstat(fd, &st) != 0) {
+      complete(idx, Status::from_errno("fstat"));
+      return;
+    }
+    if (!S_ISREG(st.st_mode)) {
+      complete(idx, Status::invalid_argument(r.path + " is not a regular file"));
+      return;
+    }
+    auto data = std::make_shared<FileData>();
+    data->path = r.path;
+    data->mtime_seconds = static_cast<int64_t>(st.st_mtime);
+    if (r.load.open_for_sendfile &&
+        static_cast<size_t>(st.st_size) >= r.load.sendfile_min_bytes) {
+      data->fd = fd;
+      data->fd_size = static_cast<uint64_t>(st.st_size);
+      inf.fd = -1;  // ownership moved into the FileData
+      complete(idx, FileDataPtr(std::move(data)));
+      return;
+    }
+    inf.size = static_cast<size_t>(st.st_size);
+    data->bytes.resize(inf.size);
+    inf.data = std::move(data);
+    if (inf.size == 0) {
+      finish_ok(idx);
+      return;
+    }
+    if (regbufs && inf.size <= regbufs->slab_bytes()) {
+      inf.slot = regbufs->acquire();  // -1 when all slabs busy → plain READ
+    }
+    submit_read(idx);
+  }
+
+  void handle_cqe(const io_uring_cqe& cqe) {
+    if (cqe.user_data == kWakeData) {
+      wake_armed = false;
+      return;
+    }
+    const size_t idx = static_cast<size_t>(cqe.user_data);
+    if (idx >= inflight.size() || !inflight[idx].active) return;
+    Inflight& inf = inflight[idx];
+    if (cqe.res < 0) {
+      errno = -cqe.res;
+      complete(idx, Status::from_errno("read"));
+      return;
+    }
+    if (cqe.res == 0) {
+      complete(idx, Status::io_error("short read on " + inf.data->path));
+      return;
+    }
+    inf.off += static_cast<size_t>(cqe.res);
+    if (inf.off < inf.size) {
+      submit_read(idx);
+      return;
+    }
+    finish_ok(idx);
+  }
+
+  void arm_wake() {
+    if (wake_armed) return;
+    io_uring_sqe* sqe = sqe_or_flush();
+    if (sqe == nullptr) return;  // retried next loop pass
+    sqe->opcode = IORING_OP_READ;
+    sqe->fd = wake_fd;
+    sqe->addr = reinterpret_cast<uint64_t>(&wake_buf);
+    sqe->len = sizeof(wake_buf);
+    sqe->user_data = kWakeData;
+    wake_armed = true;
+  }
+
+  void run() {
+    while (true) {
+      arm_wake();
+      ring.submit_and_wait(1, -1);
+      io_uring_cqe cqe;
+      while (ring.pop_cqe(cqe)) handle_cqe(cqe);
+      std::deque<Request> batch;
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        batch.swap(queue);
+      }
+      for (auto& r : batch) start(std::move(r));
+      if (stopping.load(std::memory_order_acquire) && active == 0) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (queue.empty()) return;
+      }
+    }
+  }
+
+  void wake() {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd, &one, sizeof(one));
+  }
+};
+
+UringFileEngine::UringFileEngine() : impl_(std::make_unique<Impl>()) {}
+
+UringFileEngine::~UringFileEngine() { stop(); }
+
+std::unique_ptr<UringFileEngine> UringFileEngine::create() {
+  if (!net::uring_available()) return nullptr;
+  auto engine = std::unique_ptr<UringFileEngine>(new UringFileEngine());
+  Impl& impl = *engine->impl_;
+  if (!impl.ring.init(kRingEntries).is_ok()) return nullptr;
+  // Blocking eventfd on purpose: io_uring poll-arms the READ internally; a
+  // non-blocking one would complete instantly with EAGAIN.
+  impl.wake_fd = ::eventfd(0, EFD_CLOEXEC);
+  if (impl.wake_fd < 0) return nullptr;
+  auto regbufs =
+      std::make_unique<net::RegisteredBufferPool>(impl.slab_source, kSlabCount);
+  if (regbufs->register_with(impl.ring).is_ok()) {
+    impl.regbufs = std::move(regbufs);
+  } else {
+    // RLIMIT_MEMLOCK too small for pinned slabs — plain READs still work.
+    COPS_WARN("io_uring buffer registration failed; file loads use plain READ");
+  }
+  impl.thread = std::thread([&impl] { impl.run(); });
+  return engine;
+}
+
+void UringFileEngine::submit(std::string path, FileLoadOptions load,
+                             Callback done) {
+  Impl& impl = *impl_;
+  impl.pending.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(impl.mu);
+    impl.queue.push_back(
+        Impl::Request{std::move(path), load, std::move(done)});
+  }
+  impl.wake();
+}
+
+void UringFileEngine::stop() {
+  Impl& impl = *impl_;
+  if (!impl.thread.joinable()) return;
+  impl.stopping.store(true, std::memory_order_release);
+  impl.wake();
+  impl.thread.join();
+  // A submit that raced the final drain: complete it here, blocking.
+  std::deque<Impl::Request> leftover;
+  {
+    std::lock_guard<std::mutex> lock(impl.mu);
+    leftover.swap(impl.queue);
+  }
+  for (auto& r : leftover) {
+    impl.pending.fetch_sub(1, std::memory_order_relaxed);
+    r.done(FileIoService::load_file(r.path, r.load));
+  }
+}
+
+size_t UringFileEngine::pending() const { return impl_->pending.load(); }
+uint64_t UringFileEngine::fixed_reads() const {
+  return impl_->fixed_reads.load();
+}
+uint64_t UringFileEngine::plain_reads() const {
+  return impl_->plain_reads.load();
+}
+
+}  // namespace cops::nserver
+
+#else  // !COPS_URING_ENABLED
+
+namespace cops::nserver {
+
+struct UringFileEngine::Impl {};
+
+UringFileEngine::UringFileEngine() = default;
+UringFileEngine::~UringFileEngine() = default;
+
+std::unique_ptr<UringFileEngine> UringFileEngine::create() { return nullptr; }
+void UringFileEngine::submit(std::string path, FileLoadOptions load,
+                             Callback done) {
+  done(FileIoService::load_file(path, load));
+}
+void UringFileEngine::stop() {}
+size_t UringFileEngine::pending() const { return 0; }
+uint64_t UringFileEngine::fixed_reads() const { return 0; }
+uint64_t UringFileEngine::plain_reads() const { return 0; }
+
+}  // namespace cops::nserver
+
+#endif  // COPS_URING_ENABLED

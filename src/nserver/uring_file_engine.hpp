@@ -1,0 +1,64 @@
+// UringFileEngine — the real Proactor behind FileIoService when
+// `io_backend = io_uring`.
+//
+// The paper emulates non-blocking file I/O with a pool of threads issuing
+// blocking reads.  With io_uring the emulation disappears: one engine
+// thread owns a ring, file loads become IORING_OP_READ submissions, and the
+// kernel performs the read while the engine thread sleeps in
+// io_uring_enter.  Small files (at most one slab) read through registered
+// buffers (IORING_OP_READ_FIXED, slabs pinned from a BufferPool via
+// RegisteredBufferPool) so steady-state loads recycle pre-registered memory
+// instead of faulting fresh pages; large files chain plain READs directly
+// into the destination string.
+//
+// Metadata stays TOCTOU-safe: the engine opens first (O_RDONLY | O_CLOEXEC)
+// and fstats the descriptor it will read from — identical contract to
+// FileIoService::load_file.  sendfile-eligible loads complete immediately
+// with the open descriptor (the send path wants the fd, not bytes).
+//
+// Completion callbacks run on the engine thread; FileIoService wraps them
+// with the caller's CompletionExecutor so results re-enter the normal event
+// flow exactly like pool-path completions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "common/status.hpp"
+#include "nserver/file_io_service.hpp"
+
+namespace cops::nserver {
+
+class UringFileEngine {
+ public:
+  using Callback = std::function<void(Result<FileDataPtr>)>;
+
+  // nullptr when the io_uring backend is compiled out or the runtime probe
+  // fails — the caller keeps the thread-pool emulation.
+  static std::unique_ptr<UringFileEngine> create();
+  ~UringFileEngine();
+  UringFileEngine(const UringFileEngine&) = delete;
+  UringFileEngine& operator=(const UringFileEngine&) = delete;
+
+  // Queues a load; `done` runs on the engine thread.  Safe from any thread.
+  void submit(std::string path, FileLoadOptions load, Callback done);
+
+  // Finishes in-flight loads, completes queued ones, joins the thread.
+  void stop();
+
+  [[nodiscard]] size_t pending() const;
+  // Reads served through registered buffers vs. plain READs (introspection
+  // for tests and the perf report).
+  [[nodiscard]] uint64_t fixed_reads() const;
+  [[nodiscard]] uint64_t plain_reads() const;
+
+  struct Impl;
+
+ private:
+  UringFileEngine();
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace cops::nserver

@@ -14,6 +14,8 @@
 // warm-up (each shard promotes independently; the L2 fill is shared), and
 // the flagship trace-determinism guarantee extended to multi-shard
 // reuseport runs.
+#include <utime.h>
+
 #include <chrono>
 #include <cstdint>
 #include <random>
@@ -95,7 +97,13 @@ SessionResult run_scaleout_session(uint64_t seed, nserver::AcceptPath path,
 
   test::TempDir dir;
   for (size_t i = 0; i < 4; ++i) {
-    dir.write_file("f" + std::to_string(i) + ".txt", fixture_body(i));
+    const std::string name = "f" + std::to_string(i) + ".txt";
+    dir.write_file(name, fixture_body(i));
+    // Pin the mtime: the dispatch and reuseport sessions each write their
+    // own fixture copies, and a wall-clock second boundary between the two
+    // would otherwise make Last-Modified differ and fail the byte-compare.
+    struct utimbuf times{1000000000, 1000000000};
+    ::utime((dir.path() / name).c_str(), &times);
   }
 
   auto options = http::CopsHttpServer::default_options();

@@ -24,7 +24,7 @@ class BlockingClient {
 
   bool connect(const std::string& host, uint16_t port,
                int timeout_ms = 2000) {
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
     if (fd_ < 0) return false;
     timeval tv{};
     tv.tv_sec = timeout_ms / 1000;
@@ -35,8 +35,16 @@ class BlockingClient {
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
     ::inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
-    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
-           0;
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
+      return true;
+    if (errno != EINTR) return false;
+    // Interrupted connect keeps going in the kernel: wait for completion.
+    pollfd pfd{fd_, POLLOUT, 0};
+    if (::poll(&pfd, 1, timeout_ms) != 1) return false;
+    int err = 0;
+    socklen_t len = sizeof(err);
+    return ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) == 0 &&
+           err == 0;
   }
 
   bool send_all(const std::string& data) {
@@ -44,6 +52,7 @@ class BlockingClient {
     while (sent < data.size()) {
       const ssize_t n = ::send(fd_, data.data() + sent, data.size() - sent,
                                MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
       if (n <= 0) return false;
       sent += static_cast<size_t>(n);
     }
@@ -51,6 +60,9 @@ class BlockingClient {
   }
 
   // Reads until the connection closes or `bytes` arrive (bytes=0: til EOF).
+  // EINTR is retried: a live io_uring in the process makes the kernel
+  // interrupt blocking syscalls on OTHER threads for task-work delivery,
+  // so a -1/EINTR recv here is routine, not end-of-stream.
   std::string read_some(size_t bytes = 0, int timeout_ms = 2000) {
     std::string out;
     char buf[4096];
@@ -59,6 +71,7 @@ class BlockingClient {
     while (bytes == 0 || out.size() < bytes) {
       if (std::chrono::steady_clock::now() > deadline) break;
       const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n < 0 && errno == EINTR) continue;
       if (n <= 0) break;
       out.append(buf, static_cast<size_t>(n));
     }
@@ -74,6 +87,7 @@ class BlockingClient {
     while (out.find(marker) == std::string::npos) {
       if (std::chrono::steady_clock::now() > deadline) break;
       const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n < 0 && errno == EINTR) continue;
       if (n <= 0) break;
       out.append(buf, static_cast<size_t>(n));
     }
